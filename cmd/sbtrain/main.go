@@ -1,0 +1,105 @@
+// Command sbtrain runs SmartBalance's offline profiling and training
+// step and prints the resulting predictor: the Table 4 coefficient
+// matrix Θ, the per-core-type power fits (Eq. 9), and the held-out
+// prediction error (the Fig. 6 metric).
+//
+// Usage:
+//
+//	sbtrain                 # train for the Table 2 quad-HMP types
+//	sbtrain -types biglittle
+//	sbtrain -seed 7 -holdout-seed 99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smartbalance"
+	"smartbalance/internal/arch"
+	"smartbalance/internal/core"
+	"smartbalance/internal/tablefmt"
+	"smartbalance/internal/workload"
+)
+
+func main() {
+	var (
+		typeSet     = flag.String("types", "table2", "core-type set: table2 | biglittle")
+		seed        = flag.Uint64("seed", 1, "training corpus seed")
+		holdoutSeed = flag.Uint64("holdout-seed", 7734, "held-out workload jitter seed")
+	)
+	flag.Parse()
+
+	types, err := typesFor(*typeSet)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	cfg := core.DefaultTrainConfig()
+	cfg.Seed = *seed
+	pred, err := core.Train(types, cfg)
+	if err != nil {
+		fatalf("train: %v", err)
+	}
+
+	// Θ matrix in Table 4 layout.
+	headers := append([]string{"Predictor IPC"}, core.FeatureNames()...)
+	tb := tablefmt.New("Predictor coefficient matrix (Table 4 layout)", headers...)
+	for s := range types {
+		for d := range types {
+			if s == d {
+				continue
+			}
+			m := pred.Model(arch.CoreTypeID(s), arch.CoreTypeID(d))
+			cells := []string{fmt.Sprintf("%s->%s", types[s].Name, types[d].Name)}
+			for _, c := range m.Coef {
+				cells = append(cells, fmt.Sprintf("%.3f", c))
+			}
+			tb.AddRow(cells...)
+		}
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		fatalf("render: %v", err)
+	}
+
+	// Eq. 9 power fits.
+	fmt.Printf("\nPower fits p = a1*ipc + a0 (Eq. 9, from offline profiling):\n")
+	for tid := range types {
+		f := pred.PowerFitFor(arch.CoreTypeID(tid))
+		fmt.Printf("  %-8s a1=%8.4f W/IPC   a0=%8.4f W\n", types[tid].Name, f.Alpha1, f.Alpha0)
+	}
+
+	// Held-out error (Fig. 6 metric).
+	var held []workload.Phase
+	for _, name := range workload.Benchmarks() {
+		specs, err := workload.Benchmark(name, 2, *holdoutSeed)
+		if err != nil {
+			fatalf("holdout: %v", err)
+		}
+		for i := range specs {
+			held = append(held, specs[i].Phases...)
+		}
+	}
+	perf, power, err := core.PredictionError(pred, held, cfg.SensorSigma, *seed+1)
+	if err != nil {
+		fatalf("evaluate: %v", err)
+	}
+	fmt.Printf("\nHeld-out prediction error: performance %.2f%%, power %.2f%% (paper: 4.2%%, 5%%)\n",
+		perf, power)
+}
+
+// typesFor resolves a named core-type set.
+func typesFor(name string) ([]smartbalance.CoreType, error) {
+	switch name {
+	case "table2":
+		return smartbalance.Table2Types(), nil
+	case "biglittle":
+		return smartbalance.BigLittleTypes(), nil
+	}
+	return nil, fmt.Errorf("unknown type set %q (table2 | biglittle)", name)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sbtrain: "+format+"\n", args...)
+	os.Exit(1)
+}

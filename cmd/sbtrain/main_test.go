@@ -1,0 +1,17 @@
+package main
+
+import "testing"
+
+func TestTypesFor(t *testing.T) {
+	ts, err := typesFor("table2")
+	if err != nil || len(ts) != 4 {
+		t.Fatalf("table2: %d types, %v", len(ts), err)
+	}
+	ts, err = typesFor("biglittle")
+	if err != nil || len(ts) != 2 {
+		t.Fatalf("biglittle: %d types, %v", len(ts), err)
+	}
+	if _, err := typesFor("nope"); err == nil {
+		t.Fatal("unknown type set accepted")
+	}
+}

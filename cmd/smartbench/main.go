@@ -1,0 +1,166 @@
+// Command smartbench regenerates the tables and figures of the
+// SmartBalance paper's evaluation and prints them as text tables
+// (optionally also CSV files).
+//
+// Usage:
+//
+//	smartbench                      # run every artefact at default size
+//	smartbench -run F4b,F5          # run a subset
+//	smartbench -quick               # trimmed workloads (seconds, not minutes)
+//	smartbench -dur 2000 -threads 2,4,8
+//	smartbench -csv out/            # also write one CSV per artefact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"smartbalance"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated artefact ids (T2,T3,T4,F4a,F4b,F5,F6,F7,F8) or 'all'")
+		quick   = flag.Bool("quick", false, "trim workload sets for a fast smoke run")
+		durMs   = flag.Int64("dur", 1200, "simulated duration per scenario in milliseconds")
+		threads = flag.String("threads", "2,4,8", "comma-separated thread counts per benchmark")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		csvDir  = flag.String("csv", "", "directory to write per-artefact CSV files (optional)")
+		report  = flag.String("report", "", "write a Markdown paper-vs-measured digest to this file (optional)")
+		list    = flag.Bool("list", false, "list the regenerable artefacts and exit")
+		seeds   = flag.Int("seeds", 0, "replicate each artefact over N seeds and report mean/std instead of one run")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range smartbalance.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := smartbalance.DefaultExperimentOptions()
+	opts.Quick = *quick
+	opts.Seed = *seed
+	opts.DurationNs = *durMs * 1e6
+	tcs, err := parseInts(*threads)
+	if err != nil {
+		fatalf("bad -threads: %v", err)
+	}
+	opts.ThreadCounts = tcs
+
+	ids := smartbalance.ExperimentIDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	known := map[string]bool{}
+	for _, id := range smartbalance.ExperimentIDs() {
+		known[id] = true
+	}
+	for _, id := range ids {
+		if !known[strings.TrimSpace(id)] {
+			fatalf("unknown artefact %q; known: %s", id, strings.Join(smartbalance.ExperimentIDs(), ","))
+		}
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatalf("csv dir: %v", err)
+		}
+	}
+
+	var collected []*smartbalance.ExperimentResult
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		var res *smartbalance.ExperimentResult
+		var err error
+		if *seeds > 1 {
+			seedList := make([]uint64, *seeds)
+			for i := range seedList {
+				seedList[i] = *seed + uint64(i)
+			}
+			res, err = smartbalance.ReplicateExperiment(id, opts, seedList)
+		} else {
+			res, err = smartbalance.RunExperiment(id, opts)
+		}
+		if err != nil {
+			fatalf("%s: %v", id, err)
+		}
+		collected = append(collected, res)
+		fmt.Printf("\n")
+		if err := res.Table.Render(os.Stdout); err != nil {
+			fatalf("%s: render: %v", id, err)
+		}
+		if res.Bars != nil {
+			fmt.Println()
+			if err := res.Bars.Render(os.Stdout, 40); err != nil {
+				fatalf("%s: bars: %v", id, err)
+			}
+		}
+		fmt.Printf("  paper claim: %s\n", res.PaperClaim)
+		keys := make([]string, 0, len(res.Headline))
+		for k := range res.Headline {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  headline %-28s %.4g\n", k+":", res.Headline[k])
+		}
+		fmt.Printf("  (regenerated in %v)\n", time.Since(start).Round(time.Millisecond))
+
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, id+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			if err := res.Table.RenderCSV(f); err != nil {
+				f.Close()
+				fatalf("%s: csv: %v", id, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("%s: csv close: %v", id, err)
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+
+	if *report != "" {
+		f, err := os.Create(*report)
+		if err != nil {
+			fatalf("report: %v", err)
+		}
+		if err := smartbalance.WriteReport(f, collected, opts); err != nil {
+			f.Close()
+			fatalf("report: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("report close: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", *report)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "smartbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("2,4,8")
+	if err != nil || len(got) != 3 || got[0] != 2 || got[2] != 8 {
+		t.Fatalf("parseInts: %v, %v", got, err)
+	}
+	got, err = parseInts(" 1 , 2 ")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("whitespace: %v, %v", got, err)
+	}
+	if _, err := parseInts("2,x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Fatal("empty accepted")
+	}
+}

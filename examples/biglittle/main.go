@@ -1,0 +1,77 @@
+// big.LITTLE: the paper's Section 6.1 comparison as an application.
+// Runs PARSEC-like benchmarks on an octa-core big.LITTLE (4 big + 4
+// little) under ARM GTS, Linaro IKS, and SmartBalance, printing the
+// normalized energy efficiency of each policy (the Fig. 5 scenario).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"smartbalance"
+)
+
+func main() {
+	const (
+		threads = 4
+		seed    = 3
+		span    = 1500 * time.Millisecond
+	)
+	workloads := []string{"blackscholes", "bodytrack", "canneal", "swaptions", "Mix5"}
+
+	type policy struct {
+		name string
+		mk   func(p *smartbalance.Platform) (smartbalance.Balancer, error)
+	}
+	policies := []policy{
+		{"arm-gts", smartbalance.NewGTSBalancer},
+		{"linaro-iks", smartbalance.NewIKSBalancer},
+		{"smartbalance", func(p *smartbalance.Platform) (smartbalance.Balancer, error) {
+			return smartbalance.TrainSmartBalance(p.Types, seed)
+		}},
+	}
+
+	fmt.Printf("octa-core big.LITTLE (%s), %d threads per benchmark, %v per run\n\n",
+		smartbalance.OctaBigLittle(), threads, span)
+	fmt.Printf("%-14s %12s %12s %14s %12s\n", "workload", "gts", "iks", "smartbalance", "gain vs gts")
+
+	for _, wl := range workloads {
+		ee := map[string]float64{}
+		for _, pol := range policies {
+			plat := smartbalance.OctaBigLittle()
+			bal, err := pol.mk(plat)
+			if err != nil {
+				log.Fatalf("%s: %v", pol.name, err)
+			}
+			sys, err := smartbalance.NewSystem(plat, bal)
+			if err != nil {
+				log.Fatal(err)
+			}
+			specs, err := makeWorkload(wl, threads, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.SpawnAll(specs); err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.Run(span); err != nil {
+				log.Fatal(err)
+			}
+			ee[pol.name] = sys.Stats().EnergyEfficiency()
+		}
+		base := ee["arm-gts"]
+		fmt.Printf("%-14s %12.4g %12.4g %14.4g %11.2fx\n",
+			wl, ee["arm-gts"], ee["linaro-iks"], ee["smartbalance"], ee["smartbalance"]/base)
+	}
+	fmt.Println("\npaper: GTS's utilisation-only, two-class decisions cost it ~20% vs SmartBalance (Fig. 5)")
+}
+
+func makeWorkload(name string, threads int, seed uint64) ([]smartbalance.ThreadSpec, error) {
+	for _, m := range smartbalance.MixNames() {
+		if m == name {
+			return smartbalance.Mix(name, threads, seed)
+		}
+	}
+	return smartbalance.Benchmark(name, threads, seed)
+}

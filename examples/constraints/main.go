@@ -1,0 +1,77 @@
+// Constraints: demonstrates the two constraint mechanisms layered on
+// SmartBalance — CPU-affinity masks (hard constraints the optimiser
+// must honour) and thermal-aware weight derating (soft constraints that
+// steer work off hot cores). A latency-critical thread is pinned to the
+// Big core while background work floats, and the thermal wrapper keeps
+// the die below its derating threshold.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"smartbalance"
+)
+
+func main() {
+	const seed = 13
+	plat := smartbalance.QuadHMP()
+
+	ctrl, tracker, err := smartbalance.NewThermalSmartBalance(plat, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl.DerateAboveC = 55
+	ctrl.CriticalC = 70
+
+	sys, err := smartbalance.NewSystem(plat, ctrl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A latency-critical control thread, pinned to the Big core (id 1).
+	critical, err := smartbalance.NewWorkload("control-loop").
+		Compute(8e6, 2.4).
+		Sleep(4*time.Millisecond).
+		Workers(1, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	critID, err := sys.Spawn(&critical[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SetAffinity(critID, []smartbalance.CoreID{1}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Background batch work, free to float wherever the optimiser wants.
+	batch, err := smartbalance.Benchmark("fluidanimate", 4, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SpawnAll(batch); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sys.Run(2 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	st := sys.Stats()
+	fmt.Printf("constrained run on %s: %.4g IPS/W\n\n", plat, st.EnergyEfficiency())
+	for _, ts := range st.Tasks {
+		pin := ""
+		if ts.ID == critID {
+			pin = "  <- pinned to core 1"
+		}
+		fmt.Printf("  %-18s run=%7.1fms instr=%9.3g migrations=%d%s\n",
+			ts.Name, float64(ts.RunNs)/1e6, float64(ts.Instr), ts.Migrations, pin)
+	}
+	fmt.Printf("\nper-core temperatures after 2s (ambient %.0fC):\n", 45.0)
+	for j, temp := range tracker.Temps() {
+		fmt.Printf("  core %d (%-6s): %.1fC\n", j, plat.Types[plat.TypeID(smartbalance.CoreID(j))].Name, temp)
+	}
+	fmt.Printf("peak seen: %.1fC (derating starts at %.0fC)\n", tracker.MaxSeen(), ctrl.DerateAboveC)
+}

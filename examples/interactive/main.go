@@ -1,0 +1,71 @@
+// Interactive: sweeps the paper's interactive-microbenchmark (IMB)
+// grid — throughput x interactivity in {high, medium, low}² — on the
+// 4-type HMP and prints SmartBalance's energy-efficiency gain over the
+// vanilla Linux balancer for each configuration (the Fig. 4(a)
+// scenario as an application).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"smartbalance"
+)
+
+func main() {
+	const (
+		threads = 4
+		seed    = 2
+		span    = time.Second
+	)
+	levels := []smartbalance.Level{smartbalance.High, smartbalance.Medium, smartbalance.Low}
+
+	fmt.Printf("IMB grid on %s, %d threads, %v per run\n\n", smartbalance.QuadHMP(), threads, span)
+	fmt.Printf("%-8s %14s %18s %8s\n", "config", "vanilla IPS/W", "smartbalance IPS/W", "gain")
+
+	smartCtor := func(p *smartbalance.Platform) (smartbalance.Balancer, error) {
+		return smartbalance.TrainSmartBalance(p.Types, seed)
+	}
+	vanillaCtor := func(*smartbalance.Platform) (smartbalance.Balancer, error) {
+		return smartbalance.NewVanillaBalancer(), nil
+	}
+
+	var sumGain float64
+	var n int
+	for _, tl := range levels {
+		for _, il := range levels {
+			van := runIMB(tl, il, threads, seed, span, vanillaCtor)
+			smart := runIMB(tl, il, threads, seed, span, smartCtor)
+			gain := smart / van
+			sumGain += gain
+			n++
+			fmt.Printf("%s%sT%sI %14.4g %18.4g %7.2fx\n", "", tl, il, van, smart, gain)
+		}
+	}
+	fmt.Printf("\naverage gain %.2fx (paper: 50.02%% average improvement on the IMBs)\n", sumGain/float64(n))
+}
+
+func runIMB(tl, il smartbalance.Level, threads int, seed uint64, span time.Duration,
+	mk func(p *smartbalance.Platform) (smartbalance.Balancer, error)) float64 {
+	plat := smartbalance.QuadHMP()
+	bal, err := mk(plat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := smartbalance.NewSystem(plat, bal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs, err := smartbalance.IMB(tl, il, threads, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.SpawnAll(specs); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.Run(span); err != nil {
+		log.Fatal(err)
+	}
+	return sys.Stats().EnergyEfficiency()
+}

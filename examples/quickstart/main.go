@@ -1,0 +1,66 @@
+// Quickstart: build the paper's 4-type heterogeneous platform, run the
+// same PARSEC-like mix under the vanilla Linux balancer and under
+// SmartBalance, and compare energy efficiency (IPS/Watt).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"smartbalance"
+)
+
+func main() {
+	const (
+		mix     = "Mix1" // x264H-crew + x264H-bow (Table 3)
+		threads = 4
+		seed    = 1
+		span    = 2 * time.Second
+	)
+
+	// One run per balancer, same platform and workload.
+	run := func(name string, mk func(p *smartbalance.Platform) (smartbalance.Balancer, error)) *smartbalance.RunStats {
+		plat := smartbalance.QuadHMP()
+		bal, err := mk(plat)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		sys, err := smartbalance.NewSystem(plat, bal)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		specs, err := smartbalance.Mix(mix, threads, seed)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := sys.SpawnAll(specs); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		if err := sys.Run(span); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		return sys.Stats()
+	}
+
+	vanilla := run("vanilla", func(*smartbalance.Platform) (smartbalance.Balancer, error) {
+		return smartbalance.NewVanillaBalancer(), nil
+	})
+	smart := run("smartbalance", func(p *smartbalance.Platform) (smartbalance.Balancer, error) {
+		return smartbalance.TrainSmartBalance(p.Types, seed)
+	})
+
+	fmt.Printf("workload %s x %d threads for %v on %s\n\n", mix, threads, span, smartbalance.QuadHMP())
+	fmt.Printf("%-14s %12s %10s %14s\n", "balancer", "IPS", "power (W)", "IPS/W")
+	for _, st := range []*smartbalance.RunStats{vanilla, smart} {
+		fmt.Printf("%-14s %12.4g %10.3f %14.4g\n", st.Balancer, st.IPS(), st.PowerW(), st.EnergyEfficiency())
+	}
+	gain := smart.EnergyEfficiency() / vanilla.EnergyEfficiency()
+	fmt.Printf("\nSmartBalance energy-efficiency gain: %.2fx (paper reports >1.5x on the 4-type HMP)\n", gain)
+
+	fmt.Println("\nper-core view under SmartBalance:")
+	for _, c := range smart.Cores {
+		fmt.Printf("  core %d (%-6s): busy %6.1fms  sleep %6.1fms  %.3g instructions\n",
+			c.Core, c.TypeName, float64(c.BusyNs)/1e6, float64(c.SleepNs)/1e6, float64(c.Instr))
+	}
+}

@@ -1,0 +1,3 @@
+module smartbalance
+
+go 1.22

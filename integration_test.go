@@ -1,0 +1,227 @@
+package smartbalance
+
+// Cross-policy integration tests: every balancer on identical
+// workloads, asserting the orderings the paper's evaluation implies.
+
+import (
+	"testing"
+	"time"
+)
+
+// runPolicy executes the named mix under one balancer and returns the
+// stats.
+func runPolicy(t *testing.T, plat *Platform, bal Balancer, mix string, threads int, span time.Duration) *RunStats {
+	t.Helper()
+	sys, err := NewSystem(plat, bal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := Mix(mix, threads, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SpawnAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(span); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Kernel().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Stats()
+}
+
+func TestPolicyOrderingOnQuadHMP(t *testing.T) {
+	const span = 1200 * time.Millisecond
+	plat := func() *Platform { return QuadHMP() }
+
+	smart, err := TrainSmartBalance(Table2Types(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smartEE := runPolicy(t, plat(), smart, "Mix5", 2, span).EnergyEfficiency()
+	vanillaEE := runPolicy(t, plat(), NewVanillaBalancer(), "Mix5", 2, span).EnergyEfficiency()
+	pinnedEE := runPolicy(t, plat(), NewPinnedBalancer(), "Mix5", 2, span).EnergyEfficiency()
+
+	// The paper's core ordering: SmartBalance > vanilla. Pinned (no
+	// balancing at all) must not beat SmartBalance either.
+	if smartEE <= vanillaEE {
+		t.Fatalf("ordering violated: smart %.4g <= vanilla %.4g", smartEE, vanillaEE)
+	}
+	if smartEE <= pinnedEE {
+		t.Fatalf("ordering violated: smart %.4g <= pinned %.4g", smartEE, pinnedEE)
+	}
+}
+
+func TestPolicyOrderingOnBigLittle(t *testing.T) {
+	const span = 1200 * time.Millisecond
+	smart, err := TrainSmartBalance(BigLittleTypes(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smartEE := runPolicy(t, OctaBigLittle(), smart, "Mix6", 2, span).EnergyEfficiency()
+
+	gts, err := NewGTSBalancer(OctaBigLittle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtsEE := runPolicy(t, OctaBigLittle(), gts, "Mix6", 2, span).EnergyEfficiency()
+
+	iks, err := NewIKSBalancer(OctaBigLittle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	iksEE := runPolicy(t, OctaBigLittle(), iks, "Mix6", 2, span).EnergyEfficiency()
+
+	// Paper orderings: SmartBalance > GTS, and GTS >= IKS (GTS is the
+	// finer-grained refinement of IKS).
+	if smartEE <= gtsEE {
+		t.Fatalf("smart %.4g <= GTS %.4g", smartEE, gtsEE)
+	}
+	if gtsEE < iksEE*0.95 {
+		t.Fatalf("GTS %.4g materially worse than IKS %.4g", gtsEE, iksEE)
+	}
+}
+
+func TestDVFSPlatformEndToEnd(t *testing.T) {
+	points := []OperatingPoint{
+		{FreqMHz: 1500, VoltageV: 0.80},
+		{FreqMHz: 750, VoltageV: 0.65},
+	}
+	plat, err := DVFSPlatform(Table2Types()[1], points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smart, err := TrainSmartBalance(plat.Types, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runPolicy(t, plat, smart, "Mix1", 2, 800*time.Millisecond)
+	if st.TotalInstructions() == 0 {
+		t.Fatal("no work on DVFS platform")
+	}
+	if st.EnergyEfficiency() <= 0 {
+		t.Fatal("no efficiency on DVFS platform")
+	}
+}
+
+func TestFullStackDeterminism(t *testing.T) {
+	run := func() (uint64, float64) {
+		smart, err := TrainSmartBalance(Table2Types(), 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := runPolicy(t, QuadHMP(), smart, "Mix4", 2, 700*time.Millisecond)
+		return st.TotalInstructions(), st.TotalEnergyJ()
+	}
+	i1, e1 := run()
+	i2, e2 := run()
+	if i1 != i2 || e1 != e2 {
+		t.Fatalf("full stack not deterministic: (%d, %g) vs (%d, %g)", i1, e1, i2, e2)
+	}
+}
+
+func TestThroughputScalesWithThreads(t *testing.T) {
+	// More worker threads must retire more total instructions under any
+	// policy on the quad HMP (until saturation).
+	ee := func(threads int) uint64 {
+		return runPolicy(t, QuadHMP(), NewVanillaBalancer(), "Mix1", threads, 600*time.Millisecond).TotalInstructions()
+	}
+	one := ee(1)
+	four := ee(4)
+	if four <= one {
+		t.Fatalf("throughput did not scale: %d threads*4 -> %d vs %d", 4, four, one)
+	}
+}
+
+func TestAffinityThroughFacade(t *testing.T) {
+	// A thread pinned to the Huge core must stay there even though the
+	// SmartBalance optimiser would prefer to move it to an efficient
+	// core; unpinned threads remain free.
+	plat := QuadHMP()
+	smart, err := TrainSmartBalance(Table2Types(), 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(plat, smart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := Benchmark("canneal", 3, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []ThreadID
+	for i := range specs {
+		id, err := sys.Spawn(&specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := sys.SetAffinity(ids[0], []CoreID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(900 * 1e6); err != nil {
+		t.Fatal(err)
+	}
+	task := sys.Kernel().Task(ids[0])
+	if task.Core() != 0 {
+		t.Fatalf("pinned thread ended on core %d", task.Core())
+	}
+	if task.Migrations() != 0 {
+		t.Fatalf("pinned thread migrated %d times", task.Migrations())
+	}
+	// The Huge core must actually have executed the pinned thread.
+	if sys.Stats().Cores[0].Instr == 0 {
+		t.Fatal("pinned core idle")
+	}
+	if err := sys.Kernel().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Clearing the mask frees the optimiser to move it away again.
+	if err := sys.ClearAffinity(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(600 * 1e6); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Kernel().Task(ids[0]).Core() == 0 {
+		t.Fatal("optimiser left the canneal thread on the Huge core after unpinning")
+	}
+}
+
+func TestSmartBeatsRandomChaos(t *testing.T) {
+	// Metamorphic sanity: a deliberate policy must beat random epoch
+	// reshuffling on energy efficiency.
+	smart, err := TrainSmartBalance(Table2Types(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smartEE := runPolicy(t, QuadHMP(), smart, "Mix1", 2, time.Second).EnergyEfficiency()
+	// balancer.Random is internal; approximate chaos with a fresh GTS on
+	// the wrong platform? No — use the pinned baseline plus vanilla as
+	// the two alternative policies and require smart to beat both.
+	vanillaEE := runPolicy(t, QuadHMP(), NewVanillaBalancer(), "Mix1", 2, time.Second).EnergyEfficiency()
+	pinnedEE := runPolicy(t, QuadHMP(), NewPinnedBalancer(), "Mix1", 2, time.Second).EnergyEfficiency()
+	if smartEE <= vanillaEE || smartEE <= pinnedEE {
+		t.Fatalf("smart %.4g not above vanilla %.4g and pinned %.4g", smartEE, vanillaEE, pinnedEE)
+	}
+}
+
+func TestPerBenchmarkViewThroughFacade(t *testing.T) {
+	sys, err := NewSystem(QuadHMP(), NewVanillaBalancer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, _ := Mix("Mix6", 2, 5)
+	_ = sys.SpawnAll(specs)
+	if err := sys.Run(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	groups := sys.Stats().ByBenchmark()
+	if len(groups) != 3 {
+		t.Fatalf("Mix6 should aggregate into 3 benchmarks, got %d", len(groups))
+	}
+}

@@ -1,0 +1,187 @@
+// Package arch describes the heterogeneous computing elements of
+// Section 3 of the paper: core types defined by micro-architectural
+// feature combinations (Table 2), cores instantiating those types, and
+// platform topologies (generic HMPs, the octa-core big.LITTLE used for
+// the GTS comparison, and the scaling configurations of Fig. 7).
+package arch
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CoreTypeID identifies a core type within a platform. The paper's set
+// R = {r1, ..., rq}.
+type CoreTypeID int
+
+// CoreID identifies a physical core within a platform. The paper's set
+// C = {c1, ..., cn}.
+type CoreID int
+
+// CoreType is one architecturally differentiated core configuration —
+// one column of the paper's Table 2. The X = {x1..x7} feature set plus
+// nominal frequency/voltage and the Gem5/McPAT-derived anchors (peak
+// IPC, peak power, area) used to calibrate the analytical models.
+type CoreType struct {
+	Name string
+
+	// Micro-architectural parameters (x1..x7 of Table 2).
+	IssueWidth int // x1: superscalar issue width
+	LQSize     int // x2 (load half): load-queue entries
+	SQSize     int // x2 (store half): store-queue entries
+	IQSize     int // x3: instruction-queue entries
+	ROBSize    int // x4: reorder-buffer entries
+	IntRegs    int // x5 (int half): physical integer registers
+	FloatRegs  int // x5 (float half): physical float registers
+	L1IKB      int // x6: L1 instruction cache size in KB
+	L1DKB      int // x7: L1 data cache size in KB
+	// L2KB is the private unified L2 size in KB (Section 5: "All L1 and
+	// L2 caches are private"). Table 2 does not list L2 sizes; the
+	// constructors derive them as 16x the L1D capacity. Zero is invalid.
+	L2KB int
+
+	// Nominal operating point.
+	FreqMHz  float64 // F: clock frequency
+	VoltageV float64 // Vdd: supply voltage
+
+	// Gem5/McPAT calibration anchors (the starred rows of Table 2).
+	PeakIPC    float64 // peak sustained throughput in instructions/cycle
+	PeakPowerW float64 // total power at peak throughput
+	AreaMM2    float64 // die area
+}
+
+// FreqHz returns the clock frequency in Hz.
+func (ct *CoreType) FreqHz() float64 { return ct.FreqMHz * 1e6 }
+
+// Validate checks the structural sanity of a core type definition.
+func (ct *CoreType) Validate() error {
+	switch {
+	case ct.Name == "":
+		return errors.New("arch: core type without a name")
+	case ct.IssueWidth < 1 || ct.IssueWidth > 16:
+		return fmt.Errorf("arch: core type %q: issue width %d out of [1,16]", ct.Name, ct.IssueWidth)
+	case ct.LQSize < 1 || ct.SQSize < 1:
+		return fmt.Errorf("arch: core type %q: LQ/SQ must be positive", ct.Name)
+	case ct.IQSize < 1 || ct.ROBSize < 1:
+		return fmt.Errorf("arch: core type %q: IQ/ROB must be positive", ct.Name)
+	case ct.IntRegs < 16 || ct.FloatRegs < 16:
+		return fmt.Errorf("arch: core type %q: too few physical registers", ct.Name)
+	case ct.L1IKB < 1 || ct.L1DKB < 1:
+		return fmt.Errorf("arch: core type %q: L1 sizes must be positive", ct.Name)
+	case ct.L2KB < ct.L1DKB:
+		return fmt.Errorf("arch: core type %q: L2 (%dKB) smaller than L1D (%dKB)", ct.Name, ct.L2KB, ct.L1DKB)
+	case ct.FreqMHz <= 0:
+		return fmt.Errorf("arch: core type %q: non-positive frequency", ct.Name)
+	case ct.VoltageV <= 0:
+		return fmt.Errorf("arch: core type %q: non-positive voltage", ct.Name)
+	case ct.PeakIPC <= 0 || ct.PeakIPC > float64(ct.IssueWidth):
+		return fmt.Errorf("arch: core type %q: peak IPC %.2f outside (0, issue width]", ct.Name, ct.PeakIPC)
+	case ct.PeakPowerW <= 0:
+		return fmt.Errorf("arch: core type %q: non-positive peak power", ct.Name)
+	case ct.AreaMM2 <= 0:
+		return fmt.Errorf("arch: core type %q: non-positive area", ct.Name)
+	}
+	return nil
+}
+
+// Core is one physical core: an instance of a core type.
+type Core struct {
+	ID   CoreID
+	Type CoreTypeID
+}
+
+// Platform is a heterogeneous MPSoC: the core-type set R, the core set
+// C, and the typing function gamma: C -> R (held as Core.Type).
+type Platform struct {
+	Name  string
+	Types []CoreType
+	Cores []Core
+}
+
+// NumCores returns n = |C|.
+func (p *Platform) NumCores() int { return len(p.Cores) }
+
+// NumTypes returns q = |R|.
+func (p *Platform) NumTypes() int { return len(p.Types) }
+
+// Type returns the core type of core c (the paper's gamma(c)). It
+// panics on an invalid id, which is always a programming error.
+func (p *Platform) Type(c CoreID) *CoreType {
+	return &p.Types[p.Cores[c].Type]
+}
+
+// TypeID returns the core-type id of core c.
+func (p *Platform) TypeID(c CoreID) CoreTypeID {
+	return p.Cores[c].Type
+}
+
+// CoresOfType returns the ids of all cores whose type is tid.
+func (p *Platform) CoresOfType(tid CoreTypeID) []CoreID {
+	var out []CoreID
+	for _, c := range p.Cores {
+		if c.Type == tid {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// TypeCounts returns, per core type, the number of cores of that type.
+func (p *Platform) TypeCounts() []int {
+	counts := make([]int, len(p.Types))
+	for _, c := range p.Cores {
+		counts[c.Type]++
+	}
+	return counts
+}
+
+// Validate checks structural consistency: non-empty sets, dense core
+// ids, and every core referencing a valid type.
+func (p *Platform) Validate() error {
+	if len(p.Types) == 0 {
+		return errors.New("arch: platform with no core types")
+	}
+	if len(p.Cores) == 0 {
+		return errors.New("arch: platform with no cores")
+	}
+	seen := map[string]bool{}
+	for i := range p.Types {
+		if err := p.Types[i].Validate(); err != nil {
+			return err
+		}
+		if seen[p.Types[i].Name] {
+			return fmt.Errorf("arch: duplicate core type name %q", p.Types[i].Name)
+		}
+		seen[p.Types[i].Name] = true
+	}
+	for i, c := range p.Cores {
+		if int(c.ID) != i {
+			return fmt.Errorf("arch: core at index %d has id %d (ids must be dense)", i, c.ID)
+		}
+		if c.Type < 0 || int(c.Type) >= len(p.Types) {
+			return fmt.Errorf("arch: core %d references unknown type %d", c.ID, c.Type)
+		}
+	}
+	return nil
+}
+
+// TotalAreaMM2 returns the summed core area of the platform.
+func (p *Platform) TotalAreaMM2() float64 {
+	a := 0.0
+	for _, c := range p.Cores {
+		a += p.Types[c.Type].AreaMM2
+	}
+	return a
+}
+
+// String returns a short human-readable description, e.g.
+// "quad-hmp: 1xHuge 1xBig 1xMedium 1xSmall".
+func (p *Platform) String() string {
+	s := p.Name + ":"
+	for tid, n := range p.TypeCounts() {
+		if n > 0 {
+			s += fmt.Sprintf(" %dx%s", n, p.Types[tid].Name)
+		}
+	}
+	return s
+}

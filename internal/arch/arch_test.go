@@ -1,0 +1,258 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable2ValuesMatchPaper(t *testing.T) {
+	// Spot-check the exact Table 2 numbers the models calibrate against.
+	h := HugeCore()
+	if h.IssueWidth != 8 || h.ROBSize != 192 || h.L1IKB != 64 || h.FreqMHz != 2000 ||
+		h.VoltageV != 1.0 || h.PeakIPC != 4.18 || h.PeakPowerW != 8.62 || h.AreaMM2 != 11.99 {
+		t.Fatalf("Huge core diverges from Table 2: %+v", h)
+	}
+	b := BigCore()
+	if b.IssueWidth != 4 || b.ROBSize != 128 || b.FreqMHz != 1500 || b.PeakIPC != 2.60 || b.PeakPowerW != 1.41 {
+		t.Fatalf("Big core diverges from Table 2: %+v", b)
+	}
+	m := MediumCore()
+	if m.IssueWidth != 2 || m.IQSize != 16 || m.FreqMHz != 1000 || m.PeakIPC != 1.31 || m.PeakPowerW != 0.53 {
+		t.Fatalf("Medium core diverges from Table 2: %+v", m)
+	}
+	s := SmallCore()
+	if s.IssueWidth != 1 || s.FreqMHz != 500 || s.PeakIPC != 0.91 || s.PeakPowerW != 0.095 || s.AreaMM2 != 2.27 {
+		t.Fatalf("Small core diverges from Table 2: %+v", s)
+	}
+}
+
+func TestTable2TypesAllValid(t *testing.T) {
+	for _, ct := range Table2Types() {
+		if err := ct.Validate(); err != nil {
+			t.Errorf("%s: %v", ct.Name, err)
+		}
+	}
+}
+
+func TestTable2Ordering(t *testing.T) {
+	types := Table2Types()
+	names := []string{"Huge", "Big", "Medium", "Small"}
+	for i, ct := range types {
+		if ct.Name != names[i] {
+			t.Fatalf("type %d = %q, want %q", i, ct.Name, names[i])
+		}
+	}
+	// Monotone decreasing capability and power down the list.
+	for i := 1; i < len(types); i++ {
+		if types[i].PeakIPC >= types[i-1].PeakIPC {
+			t.Errorf("PeakIPC not decreasing at %s", types[i].Name)
+		}
+		if types[i].PeakPowerW >= types[i-1].PeakPowerW {
+			t.Errorf("PeakPowerW not decreasing at %s", types[i].Name)
+		}
+	}
+}
+
+func TestCoreTypeValidateRejectsBadConfigs(t *testing.T) {
+	mk := func(mod func(*CoreType)) error {
+		ct := BigCore()
+		mod(&ct)
+		return ct.Validate()
+	}
+	cases := []struct {
+		name string
+		mod  func(*CoreType)
+	}{
+		{"empty name", func(c *CoreType) { c.Name = "" }},
+		{"zero issue", func(c *CoreType) { c.IssueWidth = 0 }},
+		{"huge issue", func(c *CoreType) { c.IssueWidth = 32 }},
+		{"zero LQ", func(c *CoreType) { c.LQSize = 0 }},
+		{"zero ROB", func(c *CoreType) { c.ROBSize = 0 }},
+		{"few regs", func(c *CoreType) { c.IntRegs = 4 }},
+		{"zero L1I", func(c *CoreType) { c.L1IKB = 0 }},
+		{"zero freq", func(c *CoreType) { c.FreqMHz = 0 }},
+		{"zero volt", func(c *CoreType) { c.VoltageV = 0 }},
+		{"ipc above width", func(c *CoreType) { c.PeakIPC = 9 }},
+		{"zero power", func(c *CoreType) { c.PeakPowerW = 0 }},
+		{"zero area", func(c *CoreType) { c.AreaMM2 = 0 }},
+	}
+	for _, c := range cases {
+		if err := mk(c.mod); err == nil {
+			t.Errorf("%s: invalid config accepted", c.name)
+		}
+	}
+	if err := mk(func(*CoreType) {}); err != nil {
+		t.Errorf("unmodified Big core rejected: %v", err)
+	}
+}
+
+func TestFreqHz(t *testing.T) {
+	h := HugeCore()
+	if h.FreqHz() != 2e9 {
+		t.Fatalf("FreqHz = %g", h.FreqHz())
+	}
+}
+
+func TestQuadHMP(t *testing.T) {
+	p := QuadHMP()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCores() != 4 || p.NumTypes() != 4 {
+		t.Fatalf("quad HMP has %d cores, %d types", p.NumCores(), p.NumTypes())
+	}
+	// Every core a distinct type.
+	for i := 0; i < 4; i++ {
+		if p.TypeID(CoreID(i)) != CoreTypeID(i) {
+			t.Fatalf("core %d has type %d", i, p.TypeID(CoreID(i)))
+		}
+	}
+	if p.Type(0).Name != "Huge" || p.Type(3).Name != "Small" {
+		t.Fatal("type mapping wrong")
+	}
+}
+
+func TestOctaBigLittle(t *testing.T) {
+	p := OctaBigLittle()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCores() != 8 || p.NumTypes() != 2 {
+		t.Fatalf("octa big.LITTLE: %d cores, %d types", p.NumCores(), p.NumTypes())
+	}
+	bigs := p.CoresOfType(0)
+	littles := p.CoresOfType(1)
+	if len(bigs) != 4 || len(littles) != 4 {
+		t.Fatalf("cluster sizes %d/%d", len(bigs), len(littles))
+	}
+	if p.Type(0).PeakIPC <= p.Type(7).PeakIPC {
+		t.Fatal("big core should out-IPC little core")
+	}
+	if p.Type(0).PeakPowerW <= p.Type(7).PeakPowerW {
+		t.Fatal("big core should out-consume little core")
+	}
+}
+
+func TestScalingHMP(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 128} {
+		p, err := ScalingHMP(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if p.NumCores() != n {
+			t.Fatalf("n=%d: got %d cores", n, p.NumCores())
+		}
+	}
+	if _, err := ScalingHMP(0); err == nil {
+		t.Fatal("ScalingHMP(0) accepted")
+	}
+}
+
+func TestScalingHMPTilesTypes(t *testing.T) {
+	p, err := ScalingHMP(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := p.TypeCounts()
+	for tid, n := range counts {
+		if n != 2 {
+			t.Fatalf("type %d count = %d, want 2", tid, n)
+		}
+	}
+}
+
+func TestHomogeneousPlatform(t *testing.T) {
+	p, err := HomogeneousPlatform(MediumCore(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTypes() != 1 || p.NumCores() != 6 {
+		t.Fatalf("%d types, %d cores", p.NumTypes(), p.NumCores())
+	}
+	if _, err := HomogeneousPlatform(MediumCore(), 0); err == nil {
+		t.Fatal("zero-core platform accepted")
+	}
+}
+
+func TestCustomPlatform(t *testing.T) {
+	p, err := CustomPlatform("test",
+		TypeCount{Type: BigCore(), Count: 2},
+		TypeCount{Type: SmallCore(), Count: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCores() != 5 || p.NumTypes() != 2 {
+		t.Fatalf("%d cores, %d types", p.NumCores(), p.NumTypes())
+	}
+	if len(p.CoresOfType(1)) != 3 {
+		t.Fatal("small cluster wrong size")
+	}
+	if _, err := CustomPlatform("bad"); err == nil {
+		t.Fatal("empty CustomPlatform accepted")
+	}
+	if _, err := CustomPlatform("bad", TypeCount{Type: BigCore(), Count: 0}); err == nil {
+		t.Fatal("zero count accepted")
+	}
+}
+
+func TestPlatformValidateCatchesCorruption(t *testing.T) {
+	p := QuadHMP()
+	p.Cores[2].Type = 99
+	if err := p.Validate(); err == nil {
+		t.Fatal("dangling type reference accepted")
+	}
+	p = QuadHMP()
+	p.Cores[1].ID = 5
+	if err := p.Validate(); err == nil {
+		t.Fatal("non-dense core ids accepted")
+	}
+	p = QuadHMP()
+	p.Types[1].Name = p.Types[0].Name
+	if err := p.Validate(); err == nil {
+		t.Fatal("duplicate type names accepted")
+	}
+	if err := (&Platform{}).Validate(); err == nil {
+		t.Fatal("empty platform accepted")
+	}
+	if err := (&Platform{Types: Table2Types()}).Validate(); err == nil {
+		t.Fatal("coreless platform accepted")
+	}
+}
+
+func TestTotalArea(t *testing.T) {
+	p := QuadHMP()
+	want := 11.99 + 5.08 + 3.04 + 2.27
+	if got := p.TotalAreaMM2(); got != want {
+		t.Fatalf("TotalAreaMM2 = %g, want %g", got, want)
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	s := QuadHMP().String()
+	for _, frag := range []string{"quad-hmp", "1xHuge", "1xSmall"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestL2Validation(t *testing.T) {
+	ct := BigCore()
+	ct.L2KB = ct.L1DKB - 1
+	if err := ct.Validate(); err == nil {
+		t.Fatal("L2 smaller than L1D accepted")
+	}
+	// Table 2 constructors derive 16x L1D.
+	for _, c := range Table2Types() {
+		if c.L2KB != 16*c.L1DKB {
+			t.Fatalf("%s L2 = %dKB, want %d", c.Name, c.L2KB, 16*c.L1DKB)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package arch
+
+import "fmt"
+
+// Section 3 of the paper: "even if the cores are identical in terms of
+// microarchitecture but associated with different nominal frequencies,
+// they can be considered as distinct core types." This file builds such
+// frequency-differentiated platforms, letting SmartBalance exploit DVFS
+// operating points with the same machinery it uses for architectural
+// heterogeneity.
+
+// OperatingPoint is one DVFS voltage/frequency pair.
+type OperatingPoint struct {
+	FreqMHz  float64
+	VoltageV float64
+}
+
+// Validate checks the operating point's domain.
+func (op OperatingPoint) Validate() error {
+	if op.FreqMHz <= 0 {
+		return fmt.Errorf("arch: non-positive frequency %g", op.FreqMHz)
+	}
+	if op.VoltageV <= 0 {
+		return fmt.Errorf("arch: non-positive voltage %g", op.VoltageV)
+	}
+	return nil
+}
+
+// DVFSType derives a distinct core type from base running at the given
+// operating point: the micro-architecture is unchanged, while peak
+// power rescales with V²·F for the dynamic share and V for leakage
+// (matching the power model's scaling laws). The leakage share of the
+// base peak power is taken as leakFraction (use
+// powermodel.LeakageFraction for consistency with the power model).
+func DVFSType(base CoreType, op OperatingPoint, leakFraction float64) (CoreType, error) {
+	if err := base.Validate(); err != nil {
+		return CoreType{}, err
+	}
+	if err := op.Validate(); err != nil {
+		return CoreType{}, err
+	}
+	if leakFraction < 0 || leakFraction >= 1 {
+		return CoreType{}, fmt.Errorf("arch: leak fraction %g outside [0,1)", leakFraction)
+	}
+	ct := base
+	vr := op.VoltageV / base.VoltageV
+	fr := op.FreqMHz / base.FreqMHz
+	leak := leakFraction * base.PeakPowerW
+	dyn := base.PeakPowerW - leak
+	ct.FreqMHz = op.FreqMHz
+	ct.VoltageV = op.VoltageV
+	ct.PeakPowerW = dyn*vr*vr*fr + leak*vr
+	ct.Name = fmt.Sprintf("%s@%.0fMHz", base.Name, op.FreqMHz)
+	if err := ct.Validate(); err != nil {
+		return CoreType{}, err
+	}
+	return ct, nil
+}
+
+// DVFSPlatform builds a platform of coresPerPoint cores at each
+// operating point of the same base micro-architecture — an
+// "aggressively heterogeneous" MPSoC made purely of DVFS diversity.
+func DVFSPlatform(base CoreType, points []OperatingPoint, coresPerPoint int, leakFraction float64) (*Platform, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("arch: DVFSPlatform needs at least one operating point")
+	}
+	if coresPerPoint < 1 {
+		return nil, fmt.Errorf("arch: DVFSPlatform needs >= 1 core per point, got %d", coresPerPoint)
+	}
+	groups := make([]TypeCount, 0, len(points))
+	for _, op := range points {
+		ct, err := DVFSType(base, op, leakFraction)
+		if err != nil {
+			return nil, err
+		}
+		groups = append(groups, TypeCount{Type: ct, Count: coresPerPoint})
+	}
+	return CustomPlatform(fmt.Sprintf("dvfs-%s-%dpt", base.Name, len(points)), groups...)
+}

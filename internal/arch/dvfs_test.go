@@ -1,0 +1,84 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDVFSTypeScaling(t *testing.T) {
+	base := BigCore() // 1500 MHz @ 0.8 V, 1.41 W peak
+	const leakFrac = 0.22
+	// Same point: identical power.
+	same, err := DVFSType(base, OperatingPoint{FreqMHz: base.FreqMHz, VoltageV: base.VoltageV}, leakFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(same.PeakPowerW-base.PeakPowerW) > 1e-12 {
+		t.Fatalf("identity point changed power: %g", same.PeakPowerW)
+	}
+	// Half frequency at equal voltage: dynamic halves, leak unchanged.
+	half, err := DVFSType(base, OperatingPoint{FreqMHz: base.FreqMHz / 2, VoltageV: base.VoltageV}, leakFrac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDyn := (1 - leakFrac) * base.PeakPowerW / 2
+	wantLeak := leakFrac * base.PeakPowerW
+	if math.Abs(half.PeakPowerW-(wantDyn+wantLeak)) > 1e-9 {
+		t.Fatalf("half-frequency power %g, want %g", half.PeakPowerW, wantDyn+wantLeak)
+	}
+	// Micro-architecture unchanged; name and frequency differentiated.
+	if half.IssueWidth != base.IssueWidth || half.ROBSize != base.ROBSize || half.PeakIPC != base.PeakIPC {
+		t.Fatal("DVFS type changed the micro-architecture")
+	}
+	if half.Name == base.Name {
+		t.Fatal("DVFS type name not differentiated")
+	}
+}
+
+func TestDVFSTypeValidation(t *testing.T) {
+	base := BigCore()
+	if _, err := DVFSType(base, OperatingPoint{FreqMHz: 0, VoltageV: 1}, 0.2); err == nil {
+		t.Fatal("zero frequency accepted")
+	}
+	if _, err := DVFSType(base, OperatingPoint{FreqMHz: 100, VoltageV: 0}, 0.2); err == nil {
+		t.Fatal("zero voltage accepted")
+	}
+	if _, err := DVFSType(base, OperatingPoint{FreqMHz: 100, VoltageV: 0.5}, 1.2); err == nil {
+		t.Fatal("bad leak fraction accepted")
+	}
+	bad := base
+	bad.PeakPowerW = 0
+	if _, err := DVFSType(bad, OperatingPoint{FreqMHz: 100, VoltageV: 0.5}, 0.2); err == nil {
+		t.Fatal("invalid base accepted")
+	}
+}
+
+func TestDVFSPlatform(t *testing.T) {
+	points := []OperatingPoint{
+		{FreqMHz: 1500, VoltageV: 0.80},
+		{FreqMHz: 1000, VoltageV: 0.70},
+		{FreqMHz: 500, VoltageV: 0.60},
+	}
+	p, err := DVFSPlatform(BigCore(), points, 2, 0.22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumTypes() != 3 || p.NumCores() != 6 {
+		t.Fatalf("%d types, %d cores", p.NumTypes(), p.NumCores())
+	}
+	// Power strictly decreasing with the operating point.
+	for i := 1; i < p.NumTypes(); i++ {
+		if p.Types[i].PeakPowerW >= p.Types[i-1].PeakPowerW {
+			t.Fatalf("power not decreasing across points: %v", p.Types[i].PeakPowerW)
+		}
+	}
+	if _, err := DVFSPlatform(BigCore(), nil, 2, 0.22); err == nil {
+		t.Fatal("empty point list accepted")
+	}
+	if _, err := DVFSPlatform(BigCore(), points, 0, 0.22); err == nil {
+		t.Fatal("zero cores per point accepted")
+	}
+}

@@ -1,0 +1,177 @@
+package arch
+
+import "fmt"
+
+// The four core types of the paper's Table 2, estimated there with Gem5
+// and McPAT for a 22 nm node from an Alpha 21264 baseline. These exact
+// values anchor the analytical performance and power models.
+
+// HugeCore returns the "Huge" column of Table 2.
+func HugeCore() CoreType {
+	return CoreType{
+		Name:       "Huge",
+		IssueWidth: 8,
+		LQSize:     32, SQSize: 32,
+		IQSize:  64,
+		ROBSize: 192,
+		IntRegs: 256, FloatRegs: 256,
+		L1IKB: 64, L1DKB: 64, L2KB: 1024,
+		FreqMHz:  2000,
+		VoltageV: 1.0,
+		PeakIPC:  4.18, PeakPowerW: 8.62, AreaMM2: 11.99,
+	}
+}
+
+// BigCore returns the "Big" column of Table 2.
+func BigCore() CoreType {
+	return CoreType{
+		Name:       "Big",
+		IssueWidth: 4,
+		LQSize:     16, SQSize: 16,
+		IQSize:  32,
+		ROBSize: 128,
+		IntRegs: 128, FloatRegs: 128,
+		L1IKB: 32, L1DKB: 32, L2KB: 512,
+		FreqMHz:  1500,
+		VoltageV: 0.8,
+		PeakIPC:  2.60, PeakPowerW: 1.41, AreaMM2: 5.08,
+	}
+}
+
+// MediumCore returns the "Medium" column of Table 2.
+func MediumCore() CoreType {
+	return CoreType{
+		Name:       "Medium",
+		IssueWidth: 2,
+		LQSize:     8, SQSize: 8,
+		IQSize:  16,
+		ROBSize: 64,
+		IntRegs: 64, FloatRegs: 64,
+		L1IKB: 16, L1DKB: 16, L2KB: 256,
+		FreqMHz:  1000,
+		VoltageV: 0.7,
+		PeakIPC:  1.31, PeakPowerW: 0.53, AreaMM2: 3.04,
+	}
+}
+
+// SmallCore returns the "Small" column of Table 2.
+func SmallCore() CoreType {
+	return CoreType{
+		Name:       "Small",
+		IssueWidth: 1,
+		LQSize:     8, SQSize: 8,
+		IQSize:  16,
+		ROBSize: 64,
+		IntRegs: 64, FloatRegs: 64,
+		L1IKB: 16, L1DKB: 16, L2KB: 256,
+		FreqMHz:  500,
+		VoltageV: 0.6,
+		PeakIPC:  0.91, PeakPowerW: 0.095, AreaMM2: 2.27,
+	}
+}
+
+// Table2Types returns the four core types in Table 2 order
+// (Huge, Big, Medium, Small).
+func Table2Types() []CoreType {
+	return []CoreType{HugeCore(), BigCore(), MediumCore(), SmallCore()}
+}
+
+// QuadHMP returns the paper's primary evaluation platform: a 4-core
+// aggressively heterogeneous MPSoC with one core of each Table 2 type.
+func QuadHMP() *Platform {
+	p := &Platform{Name: "quad-hmp", Types: Table2Types()}
+	for i := 0; i < 4; i++ {
+		p.Cores = append(p.Cores, Core{ID: CoreID(i), Type: CoreTypeID(i)})
+	}
+	return p
+}
+
+// BigLittleTypes returns the two core types of the octa-core
+// big.LITTLE platform used in the GTS comparison (Section 6.1):
+// A15-class "big" and A7-class "little" cores. Parameters follow the
+// Big and Small columns of Table 2 with frequencies representative of
+// the Exynos big.LITTLE parts (1.6 GHz / 1.2 GHz).
+func BigLittleTypes() []CoreType {
+	big := BigCore()
+	big.Name = "big"
+	big.FreqMHz = 1600
+	big.PeakPowerW = 1.55 // scaled with frequency from the Big anchor
+	little := SmallCore()
+	little.Name = "little"
+	little.FreqMHz = 1200
+	little.IssueWidth = 2 // A7 is partial dual-issue
+	little.PeakIPC = 1.05
+	little.PeakPowerW = 0.28
+	return []CoreType{big, little}
+}
+
+// OctaBigLittle returns the octa-core big.LITTLE HMP of Section 6.1:
+// four big cores followed by four little cores.
+func OctaBigLittle() *Platform {
+	p := &Platform{Name: "octa-biglittle", Types: BigLittleTypes()}
+	for i := 0; i < 8; i++ {
+		t := CoreTypeID(0)
+		if i >= 4 {
+			t = CoreTypeID(1)
+		}
+		p.Cores = append(p.Cores, Core{ID: CoreID(i), Type: t})
+	}
+	return p
+}
+
+// ScalingHMP builds an n-core heterogeneous platform for the Fig. 7
+// scalability analysis by tiling the Table 2 quad (Huge, Big, Medium,
+// Small, Huge, ...). n must be at least 1.
+func ScalingHMP(n int) (*Platform, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("arch: ScalingHMP needs n >= 1, got %d", n)
+	}
+	p := &Platform{Name: fmt.Sprintf("scaling-hmp-%d", n), Types: Table2Types()}
+	for i := 0; i < n; i++ {
+		p.Cores = append(p.Cores, Core{ID: CoreID(i), Type: CoreTypeID(i % 4)})
+	}
+	return p, nil
+}
+
+// HomogeneousPlatform builds an n-core platform of a single core type;
+// useful as a control in tests and ablations.
+func HomogeneousPlatform(ct CoreType, n int) (*Platform, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("arch: HomogeneousPlatform needs n >= 1, got %d", n)
+	}
+	p := &Platform{Name: fmt.Sprintf("homogeneous-%s-%d", ct.Name, n), Types: []CoreType{ct}}
+	for i := 0; i < n; i++ {
+		p.Cores = append(p.Cores, Core{ID: CoreID(i), Type: 0})
+	}
+	return p, nil
+}
+
+// CustomPlatform assembles a platform from (type, count) pairs in order.
+type TypeCount struct {
+	Type  CoreType
+	Count int
+}
+
+// CustomPlatform builds a platform with the given name from typed core
+// groups. Counts must be positive.
+func CustomPlatform(name string, groups ...TypeCount) (*Platform, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("arch: CustomPlatform %q with no groups", name)
+	}
+	p := &Platform{Name: name}
+	id := 0
+	for gi, g := range groups {
+		if g.Count < 1 {
+			return nil, fmt.Errorf("arch: CustomPlatform %q group %d: non-positive count", name, gi)
+		}
+		p.Types = append(p.Types, g.Type)
+		for i := 0; i < g.Count; i++ {
+			p.Cores = append(p.Cores, Core{ID: CoreID(id), Type: CoreTypeID(gi)})
+			id++
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,332 @@
+package balancer
+
+import (
+	"testing"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/kernel"
+	"smartbalance/internal/machine"
+	"smartbalance/internal/workload"
+)
+
+func newKernel(t *testing.T, plat *arch.Platform, b kernel.Balancer) *kernel.Kernel {
+	t.Helper()
+	m, err := machine.New(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(m, b, kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func busySpec(name string) *workload.ThreadSpec {
+	return &workload.ThreadSpec{
+		Name:      name,
+		Benchmark: "busy",
+		Phases: []workload.Phase{{
+			Name: "spin", Instructions: 40e6, ILP: 2, MemShare: 0.3, BranchShare: 0.1,
+			WorkingSetIKB: 8, WorkingSetDKB: 64, BranchEntropy: 0.4, MLP: 2,
+			TLBPressureI: 0.1, TLBPressureD: 0.2,
+		}},
+	}
+}
+
+func idleSpec(name string) *workload.ThreadSpec {
+	s := busySpec(name)
+	s.Phases[0].Instructions = 2e6
+	s.Phases[0].SleepAfterNs = 50e6 // mostly asleep
+	return s
+}
+
+func spawnN(t *testing.T, k *kernel.Kernel, spec func(string) *workload.ThreadSpec, n int) []kernel.ThreadID {
+	t.Helper()
+	ids := make([]kernel.ThreadID, n)
+	for i := 0; i < n; i++ {
+		id, err := k.Spawn(spec("t"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return ids
+}
+
+func TestVanillaEqualisesRunnableCounts(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), Vanilla{})
+	spawnN(t, k, busySpec, 8)
+	if err := k.Run(600e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Eight always-runnable equal-weight tasks on four cores: each core
+	// should host exactly two.
+	for c := 0; c < 4; c++ {
+		if got := k.RunqueueLen(arch.CoreID(c)); got != 2 {
+			t.Fatalf("core %d has %d runnable tasks, want 2", c, got)
+		}
+	}
+}
+
+func TestVanillaIsCapabilityBlind(t *testing.T) {
+	// With 4 equal tasks on the quad HMP, vanilla gives each core one
+	// task, including the Small core — leaving performance on the table,
+	// which is the paper's premise.
+	k := newKernel(t, arch.QuadHMP(), Vanilla{})
+	spawnN(t, k, busySpec, 4)
+	if err := k.Run(600e6); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		if got := k.RunqueueLen(arch.CoreID(c)); got != 1 {
+			t.Fatalf("core %d has %d tasks, want 1", c, got)
+		}
+	}
+	s := k.Stats()
+	// Every core including Small must have executed work.
+	for i := range s.Cores {
+		if s.Cores[i].Instr == 0 {
+			t.Fatalf("core %d (%s) idle under vanilla with 4 tasks", i, s.Cores[i].TypeName)
+		}
+	}
+}
+
+func TestVanillaSingleCoreNoop(t *testing.T) {
+	plat, _ := arch.HomogeneousPlatform(arch.BigCore(), 1)
+	k := newKernel(t, plat, Vanilla{})
+	spawnN(t, k, busySpec, 3)
+	if err := k.Run(200e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGTSRequiresTwoTypes(t *testing.T) {
+	if _, err := NewGTS(arch.QuadHMP()); err == nil {
+		t.Fatal("GTS accepted a 4-type platform")
+	}
+	homog, _ := arch.HomogeneousPlatform(arch.BigCore(), 4)
+	if _, err := NewGTS(homog); err == nil {
+		t.Fatal("GTS accepted a 1-type platform")
+	}
+	if _, err := NewGTS(arch.OctaBigLittle()); err != nil {
+		t.Fatalf("GTS rejected big.LITTLE: %v", err)
+	}
+}
+
+func TestGTSThresholdValidation(t *testing.T) {
+	g := &GTS{UpThreshold: 0.2, DownThreshold: 0.5}
+	if err := g.bind(arch.OctaBigLittle()); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+}
+
+func TestGTSMigratesBusyTasksToBigCores(t *testing.T) {
+	plat := arch.OctaBigLittle()
+	g, err := NewGTS(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newKernel(t, plat, g)
+	busy := spawnN(t, k, busySpec, 3)
+	idle := spawnN(t, k, idleSpec, 3)
+	if err := k.Run(900e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	isBig := func(c arch.CoreID) bool { return plat.TypeID(c) == 0 }
+	for _, id := range busy {
+		if !isBig(k.Task(id).Core()) {
+			t.Fatalf("busy task %d on little core %d", id, k.Task(id).Core())
+		}
+	}
+	for _, id := range idle {
+		if isBig(k.Task(id).Core()) {
+			t.Fatalf("idle task %d on big core %d", id, k.Task(id).Core())
+		}
+	}
+}
+
+func TestGTSSpreadsWithinCluster(t *testing.T) {
+	plat := arch.OctaBigLittle()
+	g, _ := NewGTS(plat)
+	k := newKernel(t, plat, g)
+	spawnN(t, k, busySpec, 4) // all busy -> all on the 4 big cores
+	if err := k.Run(900e6); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[arch.CoreID]int{}
+	for _, task := range k.ActiveTasks() {
+		seen[task.Core()]++
+	}
+	for c, n := range seen {
+		if plat.TypeID(c) != 0 {
+			t.Fatalf("busy task left on little core %d", c)
+		}
+		if n != 1 {
+			t.Fatalf("core %d hosts %d tasks; cluster not spread", c, n)
+		}
+	}
+}
+
+func TestIKSConstruction(t *testing.T) {
+	if _, err := NewIKS(arch.QuadHMP()); err == nil {
+		t.Fatal("IKS accepted 4-type platform")
+	}
+	ik, err := NewIKS(arch.OctaBigLittle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ik.pairs) != 4 {
+		t.Fatalf("%d pairs", len(ik.pairs))
+	}
+	// Unequal clusters rejected.
+	p, _ := arch.CustomPlatform("odd",
+		arch.TypeCount{Type: arch.BigCore(), Count: 2},
+		arch.TypeCount{Type: arch.SmallCore(), Count: 3})
+	if _, err := NewIKS(p); err == nil {
+		t.Fatal("IKS accepted unequal clusters")
+	}
+}
+
+func TestIKSSwitchesClusters(t *testing.T) {
+	plat := arch.OctaBigLittle()
+	ik, err := NewIKS(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := newKernel(t, plat, ik)
+	spawnN(t, k, busySpec, 4)
+	if err := k.Run(900e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Busy tasks saturate their virtual cores: pairs should be switched
+	// to big, so the active cores are big ones.
+	bigInstr, littleInstr := uint64(0), uint64(0)
+	s := k.Stats()
+	for i := range s.Cores {
+		if plat.TypeID(s.Cores[i].Core) == 0 {
+			bigInstr += s.Cores[i].Instr
+		} else {
+			littleInstr += s.Cores[i].Instr
+		}
+	}
+	if bigInstr <= littleInstr {
+		t.Fatalf("IKS did not switch to big: big %d, little %d", bigInstr, littleInstr)
+	}
+}
+
+func TestIKSIdleWorkloadStaysLittle(t *testing.T) {
+	plat := arch.OctaBigLittle()
+	ik, _ := NewIKS(plat)
+	k := newKernel(t, plat, ik)
+	spawnN(t, k, idleSpec, 4)
+	if err := k.Run(900e6); err != nil {
+		t.Fatal(err)
+	}
+	s := k.Stats()
+	bigInstr, littleInstr := uint64(0), uint64(0)
+	for i := range s.Cores {
+		if plat.TypeID(s.Cores[i].Core) == 0 {
+			bigInstr += s.Cores[i].Instr
+		} else {
+			littleInstr += s.Cores[i].Instr
+		}
+	}
+	if littleInstr <= bigInstr {
+		t.Fatalf("idle workload should stay on little: big %d, little %d", bigInstr, littleInstr)
+	}
+}
+
+func TestStaticPins(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), Static{Assign: func(id kernel.ThreadID) arch.CoreID {
+		return arch.CoreID(2)
+	}})
+	ids := spawnN(t, k, busySpec, 3)
+	if err := k.Run(200e6); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if k.Task(id).Core() != 2 {
+			t.Fatalf("task %d on core %d, want 2", id, k.Task(id).Core())
+		}
+	}
+	// Nil assign pins to 0.
+	k2 := newKernel(t, arch.QuadHMP(), Static{})
+	ids2 := spawnN(t, k2, busySpec, 2)
+	if err := k2.Run(200e6); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids2 {
+		if k2.Task(id).Core() != 0 {
+			t.Fatal("nil Assign should pin to core 0")
+		}
+	}
+}
+
+func TestRandomUsesManyCores(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), NewRandom(5))
+	spawnN(t, k, busySpec, 6)
+	if err := k.Run(900e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := k.Stats()
+	coresUsed := 0
+	for i := range s.Cores {
+		if s.Cores[i].Instr > 0 {
+			coresUsed++
+		}
+	}
+	if coresUsed < 3 {
+		t.Fatalf("random balancer used only %d cores", coresUsed)
+	}
+	if s.Migrations == 0 {
+		t.Fatal("random balancer never migrated")
+	}
+}
+
+func TestPinnedNeverMigrates(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), Pinned{})
+	spawnN(t, k, busySpec, 8)
+	if err := k.Run(600e6); err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Stats().Migrations; got != 0 {
+		t.Fatalf("pinned balancer migrated %d times", got)
+	}
+}
+
+func TestBalancerNames(t *testing.T) {
+	plat := arch.OctaBigLittle()
+	g, _ := NewGTS(plat)
+	ik, _ := NewIKS(plat)
+	for _, c := range []struct {
+		b    kernel.Balancer
+		want string
+	}{
+		{Vanilla{}, "vanilla-linux"},
+		{g, "arm-gts"},
+		{ik, "linaro-iks"},
+		{Static{}, "static"},
+		{NewRandom(1), "random"},
+		{Pinned{}, "pinned"},
+	} {
+		if c.b.Name() != c.want {
+			t.Errorf("Name() = %q, want %q", c.b.Name(), c.want)
+		}
+	}
+}

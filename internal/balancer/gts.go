@@ -1,0 +1,152 @@
+package balancer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/kernel"
+)
+
+// GTS reproduces ARM's Global Task Scheduling (big.LITTLE MP) policy:
+// every task is individually eligible for either a big or a little
+// core, selected by comparing its tracked utilisation against fixed
+// up/down-migration thresholds — "the policy makes a fixed utilization
+// threshold-based binary decision to either select a big or a little
+// core". Its structural limitations, which the paper exploits, are
+// inherited: exactly two core classes, utilisation as the only signal,
+// and no awareness of per-thread IPC or power.
+type GTS struct {
+	// UpThreshold is the utilisation above which a task migrates to the
+	// big cluster; DownThreshold the level below which it returns to a
+	// little core. The gap provides hysteresis.
+	UpThreshold   float64
+	DownThreshold float64
+
+	big, little []arch.CoreID
+	initialized bool
+}
+
+// NewGTS creates a GTS balancer with ARM's stock thresholds and
+// validates that the platform is a two-class big.LITTLE.
+func NewGTS(p *arch.Platform) (*GTS, error) {
+	g := &GTS{UpThreshold: 0.60, DownThreshold: 0.25}
+	if err := g.bind(p); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// bind classifies the platform's cores into big and little clusters.
+func (g *GTS) bind(p *arch.Platform) error {
+	if p.NumTypes() != 2 {
+		return fmt.Errorf("balancer: GTS requires exactly 2 core types, platform has %d", p.NumTypes())
+	}
+	if g.UpThreshold <= g.DownThreshold || g.UpThreshold > 1 || g.DownThreshold < 0 {
+		return errors.New("balancer: GTS thresholds must satisfy 0 <= down < up <= 1")
+	}
+	bigType := arch.CoreTypeID(0)
+	if p.Types[1].PeakIPC*p.Types[1].FreqMHz > p.Types[0].PeakIPC*p.Types[0].FreqMHz {
+		bigType = 1
+	}
+	for _, c := range p.Cores {
+		if c.Type == bigType {
+			g.big = append(g.big, c.ID)
+		} else {
+			g.little = append(g.little, c.ID)
+		}
+	}
+	if len(g.big) == 0 || len(g.little) == 0 {
+		return errors.New("balancer: GTS needs at least one core of each class")
+	}
+	g.initialized = true
+	return nil
+}
+
+// Name implements kernel.Balancer.
+func (g *GTS) Name() string { return "arm-gts" }
+
+// Rebalance implements kernel.Balancer.
+func (g *GTS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+	if !g.initialized {
+		if err := g.bind(k.Platform()); err != nil {
+			return
+		}
+	}
+	isBig := make(map[arch.CoreID]bool, len(g.big))
+	for _, c := range g.big {
+		isBig[c] = true
+	}
+	// Decide each task's class by its tracked utilisation, then place it
+	// on the least-loaded core of that class.
+	type placement struct {
+		t   *kernel.Task
+		big bool
+	}
+	var plan []placement
+	for _, t := range k.ActiveTasks() {
+		// GTS thresholds act on the PELT tracked load (runnable
+		// fraction), not instantaneous utilisation.
+		u := t.TrackedLoad()
+		onBig := isBig[t.Core()]
+		switch {
+		case u >= g.UpThreshold:
+			plan = append(plan, placement{t, true})
+		case u <= g.DownThreshold:
+			plan = append(plan, placement{t, false})
+		default:
+			plan = append(plan, placement{t, onBig}) // hysteresis: stay
+		}
+	}
+	// Stable placement: sort by descending tracked load so heavy tasks
+	// claim their class first, then least-loaded fill.
+	sort.SliceStable(plan, func(i, j int) bool {
+		return plan[i].t.TrackedLoad() > plan[j].t.TrackedLoad()
+	})
+	// Per-class quotas keep clusters internally balanced (stock CFS does
+	// this within a cluster; our kernel delegates it to the balancer).
+	nBig, nLittle := 0, 0
+	for _, p := range plan {
+		if p.big {
+			nBig++
+		} else {
+			nLittle++
+		}
+	}
+	quotaBig := ceilDiv(nBig, len(g.big))
+	quotaLittle := ceilDiv(nLittle, len(g.little))
+	count := make(map[arch.CoreID]int, k.NumCores())
+	pick := func(cluster []arch.CoreID) arch.CoreID {
+		best := cluster[0]
+		for _, c := range cluster[1:] {
+			if count[c] < count[best] {
+				best = c
+			}
+		}
+		return best
+	}
+	for _, p := range plan {
+		cluster, quota := g.little, quotaLittle
+		if p.big {
+			cluster, quota = g.big, quotaBig
+		}
+		dst := pick(cluster)
+		// Sticky placement: stay on the current core when it is in the
+		// right class and under quota, avoiding migration churn.
+		if cur := p.t.Core(); isBig[cur] == p.big && count[cur] < quota {
+			dst = cur
+		}
+		count[dst]++
+		_ = k.Migrate(p.t.ID, dst)
+	}
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

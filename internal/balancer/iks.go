@@ -1,0 +1,115 @@
+package balancer
+
+import (
+	"fmt"
+	"sort"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/kernel"
+)
+
+// IKS reproduces the Linaro In-Kernel Switcher: big and little cores
+// are paired into virtual cores, and at any moment each pair exposes
+// only one of its two physical cores, selected by the pair's aggregate
+// load with hysteresis. Coarser than GTS — a whole virtual core
+// switches at once — which is exactly the limitation GTS (and
+// SmartBalance) improve on.
+type IKS struct {
+	// UpThreshold/DownThreshold act on the pair's aggregate utilisation.
+	UpThreshold   float64
+	DownThreshold float64
+
+	pairs   [][2]arch.CoreID // [big, little] per virtual core
+	onBig   []bool
+	isValid bool
+}
+
+// NewIKS pairs the platform's big and little cores. The platform must
+// have two core types with equal counts.
+func NewIKS(p *arch.Platform) (*IKS, error) {
+	if p.NumTypes() != 2 {
+		return nil, fmt.Errorf("balancer: IKS requires exactly 2 core types, got %d", p.NumTypes())
+	}
+	bigType := arch.CoreTypeID(0)
+	if p.Types[1].PeakIPC*p.Types[1].FreqMHz > p.Types[0].PeakIPC*p.Types[0].FreqMHz {
+		bigType = 1
+	}
+	bigs := p.CoresOfType(bigType)
+	littles := p.CoresOfType(1 - bigType)
+	if len(bigs) != len(littles) || len(bigs) == 0 {
+		return nil, fmt.Errorf("balancer: IKS needs equal big/little counts, got %d/%d", len(bigs), len(littles))
+	}
+	iks := &IKS{UpThreshold: 0.7, DownThreshold: 0.3, isValid: true}
+	for i := range bigs {
+		iks.pairs = append(iks.pairs, [2]arch.CoreID{bigs[i], littles[i]})
+	}
+	iks.onBig = make([]bool, len(iks.pairs))
+	return iks, nil
+}
+
+// Name implements kernel.Balancer.
+func (i *IKS) Name() string { return "linaro-iks" }
+
+// Rebalance implements kernel.Balancer.
+func (i *IKS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+	if !i.isValid {
+		return
+	}
+	// Map each physical core to its virtual pair.
+	pairOf := make(map[arch.CoreID]int, 2*len(i.pairs))
+	for pi, pr := range i.pairs {
+		pairOf[pr[0]] = pi
+		pairOf[pr[1]] = pi
+	}
+	// Aggregate utilisation per virtual core, and collect its tasks.
+	util := make([]float64, len(i.pairs))
+	tasks := make([][]*kernel.Task, len(i.pairs))
+	var unassigned []*kernel.Task
+	for _, t := range k.ActiveTasks() {
+		pi, ok := pairOf[t.Core()]
+		if !ok {
+			unassigned = append(unassigned, t)
+			continue
+		}
+		util[pi] += t.TrackedLoad()
+		tasks[pi] = append(tasks[pi], t)
+	}
+	// Switch each pair's active side with hysteresis.
+	for pi := range i.pairs {
+		switch {
+		case util[pi] >= i.UpThreshold:
+			i.onBig[pi] = true
+		case util[pi] <= i.DownThreshold:
+			i.onBig[pi] = false
+		}
+		active := i.activeCore(pi)
+		for _, t := range tasks[pi] {
+			_ = k.Migrate(t.ID, active)
+		}
+	}
+	// Distribute strays (spawned on a core we have no mapping for —
+	// cannot happen on a valid platform, defensive) and then equalise
+	// virtual-core populations so one pair doesn't hold everything.
+	i.spread(k, unassigned)
+}
+
+// activeCore returns the physical core a virtual core currently exposes.
+func (i *IKS) activeCore(pi int) arch.CoreID {
+	if i.onBig[pi] {
+		return i.pairs[pi][0]
+	}
+	return i.pairs[pi][1]
+}
+
+// spread places stray tasks round-robin over active cores, lightest
+// first.
+func (i *IKS) spread(k *kernel.Kernel, strays []*kernel.Task) {
+	if len(strays) == 0 {
+		return
+	}
+	sort.SliceStable(strays, func(a, b int) bool { return strays[a].ID < strays[b].ID })
+	for n, t := range strays {
+		_ = k.Migrate(t.ID, i.activeCore(n%len(i.pairs)))
+	}
+}

@@ -1,0 +1,65 @@
+package balancer
+
+import (
+	"smartbalance/internal/arch"
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/kernel"
+	"smartbalance/internal/rng"
+)
+
+// Static pins every task to a fixed core chosen by a user-supplied
+// assignment function of the task id. Useful for tests, oracle
+// comparisons, and the Fig. 8 synthetic cases.
+type Static struct {
+	// Assign maps a task id to its core. A nil Assign pins everything
+	// to core 0.
+	Assign func(id kernel.ThreadID) arch.CoreID
+}
+
+// Name implements kernel.Balancer.
+func (Static) Name() string { return "static" }
+
+// Rebalance implements kernel.Balancer.
+func (s Static) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+	for _, t := range k.ActiveTasks() {
+		dst := arch.CoreID(0)
+		if s.Assign != nil {
+			dst = s.Assign(t.ID)
+		}
+		_ = k.Migrate(t.ID, dst)
+	}
+}
+
+// Random reassigns every task to a uniformly random core each epoch — a
+// chaos baseline that bounds how bad placement can get while still
+// using all cores.
+type Random struct {
+	r *rng.Rand
+}
+
+// NewRandom creates a Random balancer with its own deterministic stream.
+func NewRandom(seed uint64) *Random {
+	return &Random{r: rng.New(seed)}
+}
+
+// Name implements kernel.Balancer.
+func (*Random) Name() string { return "random" }
+
+// Rebalance implements kernel.Balancer.
+func (b *Random) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+	n := k.NumCores()
+	for _, t := range k.ActiveTasks() {
+		_ = k.Migrate(t.ID, arch.CoreID(b.r.Intn(n)))
+	}
+}
+
+// Pinned keeps tasks wherever fork placement put them (no balancing at
+// all); the degenerate control.
+type Pinned struct{}
+
+// Name implements kernel.Balancer.
+func (Pinned) Name() string { return "pinned" }
+
+// Rebalance implements kernel.Balancer.
+func (Pinned) Rebalance(*kernel.Kernel, kernel.Time, map[int]*hpc.ThreadEpochSample, []hpc.CoreEpochSample) {
+}

@@ -1,0 +1,86 @@
+// Package balancer implements the baseline load-balancing policies the
+// paper compares SmartBalance against: the vanilla Linux CFS load
+// balancer (capability-blind even distribution, Fig. 1a), ARM's Global
+// Task Scheduling for big.LITTLE (utilisation-threshold binary
+// core-class selection), and the Linaro In-Kernel Switcher (cluster
+// switching). Static and random policies are provided for tests and for
+// the Fig. 8 distance-to-optimal analysis.
+package balancer
+
+import (
+	"sort"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/kernel"
+)
+
+// Vanilla reproduces the stock Linux load balancer's behaviour at epoch
+// granularity: it equalises *load* (summed CFS weight of runnable
+// tasks) across cores, treating every core as equal regardless of its
+// type — "the vanilla Linux kernel load balancer evenly distributes the
+// workload among cores even if the cores have distinct processing
+// capabilities".
+type Vanilla struct{}
+
+// Name implements kernel.Balancer.
+func (Vanilla) Name() string { return "vanilla-linux" }
+
+// Rebalance implements kernel.Balancer. It repeatedly pulls a queued
+// task from the busiest core to the idlest core while doing so reduces
+// the imbalance, exactly like the find_busiest_group/pull path but
+// collapsed to one flat scheduling domain.
+func (Vanilla) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+	n := k.NumCores()
+	if n < 2 {
+		return
+	}
+	// Collect movable (runnable, not currently running) tasks per core.
+	byCore := make([][]*kernel.Task, n)
+	load := make([]int64, n)
+	for _, t := range k.ActiveTasks() {
+		switch t.State() {
+		case kernel.StateRunnable:
+			byCore[t.Core()] = append(byCore[t.Core()], t)
+			load[t.Core()] += t.Weight()
+		case kernel.StateRunning:
+			load[t.Core()] += t.Weight()
+		}
+	}
+	// Greedy busiest-to-idlest pulls.
+	for iter := 0; iter < 4*n; iter++ {
+		busiest, idlest := 0, 0
+		for c := 1; c < n; c++ {
+			if load[c] > load[busiest] {
+				busiest = c
+			}
+			if load[c] < load[idlest] {
+				idlest = c
+			}
+		}
+		if busiest == idlest || len(byCore[busiest]) == 0 {
+			return
+		}
+		// Pick the lightest queued task whose move shrinks the gap.
+		cands := byCore[busiest]
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Weight() < cands[j].Weight() })
+		moved := false
+		for i, t := range cands {
+			w := t.Weight()
+			if load[busiest]-load[idlest] <= w {
+				continue // moving it would overshoot
+			}
+			if err := k.Migrate(t.ID, arch.CoreID(idlest)); err == nil {
+				load[busiest] -= w
+				load[idlest] += w
+				byCore[busiest] = append(cands[:i], cands[i+1:]...)
+				byCore[idlest] = append(byCore[idlest], t)
+				moved = true
+			}
+			break
+		}
+		if !moved {
+			return
+		}
+	}
+}

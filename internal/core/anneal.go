@@ -1,0 +1,283 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/fixedpt"
+	"smartbalance/internal/rng"
+)
+
+// AnnealConfig carries the tunable input parameters of Algorithm 1:
+// "Max. no. of iterations Opt_max_iter, perturbation schedule
+// Opt_Δperturb, solution acceptance rate Opt_Δaccept, initial
+// perturbation Opt_perturb and acceptance rate Opt_accept."
+type AnnealConfig struct {
+	MaxIter      int
+	Perturb      float64 // initial perturbation magnitude (0,1]
+	DeltaPerturb float64 // multiplicative perturbation decay per iteration
+	Accept       float64 // initial acceptance temperature, relative to |J0|
+	DeltaAccept  float64 // multiplicative acceptance decay per iteration
+	// SwapFraction is the probability a move swaps two threads' cores
+	// instead of reassigning one thread; swaps preserve per-core counts
+	// while reassignments explore different occupancies.
+	SwapFraction float64
+	// UseFloat switches to a floating-point Metropolis rule instead of
+	// the paper's fixed-point rand/e^x implementation (ablation knob).
+	UseFloat bool
+	// Seed drives the optimiser's deterministic randi() stream.
+	Seed uint64
+}
+
+// DefaultAnnealConfig returns the Fig. 8(b)-style parameter set used by
+// the experiments.
+func DefaultAnnealConfig() AnnealConfig {
+	return AnnealConfig{
+		MaxIter:      512,
+		Perturb:      1.0,
+		DeltaPerturb: 0.995,
+		Accept:       0.10,
+		DeltaAccept:  0.99,
+		SwapFraction: 0.5,
+		Seed:         1,
+	}
+}
+
+// Validate checks parameter domains.
+func (c *AnnealConfig) Validate() error {
+	switch {
+	case c.MaxIter < 1:
+		return errors.New("core: anneal MaxIter < 1")
+	case c.Perturb <= 0 || c.Perturb > 1:
+		return errors.New("core: anneal Perturb outside (0,1]")
+	case c.DeltaPerturb <= 0 || c.DeltaPerturb > 1:
+		return errors.New("core: anneal DeltaPerturb outside (0,1]")
+	case c.Accept <= 0:
+		return errors.New("core: anneal Accept must be positive")
+	case c.DeltaAccept <= 0 || c.DeltaAccept > 1:
+		return errors.New("core: anneal DeltaAccept outside (0,1]")
+	case c.SwapFraction < 0 || c.SwapFraction > 1:
+		return errors.New("core: anneal SwapFraction outside [0,1]")
+	}
+	return nil
+}
+
+// AnnealResult reports the optimisation outcome.
+type AnnealResult struct {
+	Allocation Allocation
+	Objective  float64
+	// Iterations actually executed and moves accepted.
+	Iterations int
+	Accepted   int
+}
+
+// Anneal runs Algorithm 1: simulated annealing over allocations with
+// the incremental objective evaluator, a perturbation magnitude that
+// shrinks the move neighbourhood as the schedule cools, and the
+// fixed-point Metropolis acceptance rule
+//
+//	probability = e^(-diff/accept); accept if randi() mod 1/probability == 0
+//
+// using the custom fixed-point rand and e^x implementations.
+func Anneal(prob *Problem, initial Allocation, cfg AnnealConfig) (*AnnealResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eval, err := NewEvaluator(prob, initial)
+	if err != nil {
+		return nil, err
+	}
+	m := prob.NumThreads()
+	n := prob.NumCores()
+	r := rng.New(cfg.Seed)
+
+	// The acceptance temperature is scaled to the objective magnitude so
+	// one parameter set works across problem sizes.
+	scale := math.Abs(eval.Objective())
+	if scale < 1e-6 {
+		scale = 1e-6
+	}
+	accept := cfg.Accept * scale
+	perturb := cfg.Perturb
+
+	best := eval.Allocation()
+	bestScore := eval.Objective()
+	res := &AnnealResult{}
+
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		res.Iterations++
+		// Move generation. The perturbation magnitude bounds how far the
+		// new core index may land from the current one (Algorithm 1's
+		// pos_new = pos + sqrt(perturb)*randi(...)).
+		span := int(math.Sqrt(perturb)*float64(n)) + 1
+		if span > n {
+			span = n
+		}
+		var diff float64
+		var apply func() float64
+		if m >= 2 && r.Float64() < cfg.SwapFraction {
+			i := r.Intn(m)
+			j := r.Intn(m)
+			if i == j {
+				j = (j + 1) % m
+			}
+			// A swap must respect both threads' affinity masks.
+			if !prob.AllowedOn(i, int(eval.alloc[j])) || !prob.AllowedOn(j, int(eval.alloc[i])) {
+				perturb *= cfg.DeltaPerturb
+				accept *= cfg.DeltaAccept
+				continue
+			}
+			diff = eval.SwapDelta(i, j)
+			i2, j2 := i, j
+			apply = func() float64 { return eval.Swap(i2, j2) }
+		} else {
+			i := r.Intn(m)
+			cur := int(eval.alloc[i])
+			off := r.IntRange(-span, span+1)
+			dst := ((cur+off)%n + n) % n
+			if dst == cur {
+				dst = (dst + 1) % n
+			}
+			if !prob.AllowedOn(i, dst) {
+				// Scan forward for the nearest allowed core; give up on
+				// this iteration if the thread is fully pinned.
+				found := false
+				for step := 1; step < n; step++ {
+					cand := (dst + step) % n
+					if cand != cur && prob.AllowedOn(i, cand) {
+						dst, found = cand, true
+						break
+					}
+				}
+				if !found {
+					perturb *= cfg.DeltaPerturb
+					accept *= cfg.DeltaAccept
+					continue
+				}
+			}
+			i2, d2 := i, arch.CoreID(dst)
+			diff = eval.MoveDelta(i, arch.CoreID(dst))
+			apply = func() float64 { return eval.Move(i2, d2) }
+		}
+
+		take := false
+		if diff > 0 {
+			take = true // always accept an improvement
+		} else if accept > 0 {
+			if cfg.UseFloat {
+				take = r.Float64() < math.Exp(diff/accept)
+			} else {
+				take = fixedPointAccept(diff, accept, r)
+			}
+		}
+		if take {
+			apply()
+			res.Accepted++
+			if s := eval.Objective(); s > bestScore {
+				bestScore = s
+				best = eval.Allocation()
+			}
+		}
+		perturb *= cfg.DeltaPerturb
+		accept *= cfg.DeltaAccept
+	}
+	res.Allocation = best
+	res.Objective = bestScore
+	return res, nil
+}
+
+// fixedPointAccept implements the paper's acceptance rule with the
+// custom fixed-point e^x: probability = e^(-|diff|/accept), accepted
+// when randi() mod round(1/probability) == 0.
+func fixedPointAccept(diff, accept float64, r *rng.Rand) bool {
+	x := fixedpt.FromFloat(-diff / accept) // diff <= 0, so x >= 0
+	prob := fixedpt.ExpNeg(x)
+	if prob <= 0 {
+		return false
+	}
+	if prob >= fixedpt.One {
+		return true
+	}
+	inv := uint32(fixedpt.Div(fixedpt.One, prob).Float())
+	if inv <= 1 {
+		return true
+	}
+	return r.Uint32()%inv == 0
+}
+
+// GreedyInitial builds a sensible starting allocation: threads in
+// descending utilisation order are placed on the core with the best
+// marginal objective gain. Used when the previous epoch's allocation is
+// unavailable.
+func GreedyInitial(prob *Problem) (Allocation, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	m, n := prob.NumThreads(), prob.NumCores()
+	alloc := make(Allocation, m)
+	// Start everything on core 0, then greedily relocate.
+	eval, err := NewEvaluator(prob, alloc)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		bestCore := eval.alloc[i]
+		bestDelta := 0.0
+		if !prob.AllowedOn(i, int(bestCore)) {
+			bestDelta = math.Inf(-1) // must move somewhere allowed
+		}
+		for j := 0; j < n; j++ {
+			if !prob.AllowedOn(i, j) {
+				continue
+			}
+			if d := eval.MoveDelta(i, arch.CoreID(j)); d > bestDelta {
+				bestDelta = d
+				bestCore = arch.CoreID(j)
+			}
+		}
+		if bestCore != eval.alloc[i] {
+			eval.Move(i, bestCore)
+		}
+	}
+	return eval.Allocation(), nil
+}
+
+// ScaledMaxIter returns the iteration budget used for a platform scale,
+// matching the paper's Fig. 8(a) strategy: "for larger configurations
+// we limit the number of iterations to avoid excessive overhead,
+// therefore trading off solution quality for scalability."
+func ScaledMaxIter(nCores, nThreads int) int {
+	iter := 64 * nCores * intLog2(nThreads+1)
+	switch {
+	case iter < 256:
+		return 256
+	case iter > 4096:
+		return 4096
+	default:
+		return iter
+	}
+}
+
+func intLog2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return n
+}
+
+// String renders the config compactly for experiment logs.
+func (c AnnealConfig) String() string {
+	mode := "fixed-point"
+	if c.UseFloat {
+		mode = "float"
+	}
+	return fmt.Sprintf("iters=%d perturb=%.2fxΔ%.3f accept=%.2fxΔ%.3f swap=%.2f %s",
+		c.MaxIter, c.Perturb, c.DeltaPerturb, c.Accept, c.DeltaAccept, c.SwapFraction, mode)
+}

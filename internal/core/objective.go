@@ -1,0 +1,475 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"smartbalance/internal/arch"
+)
+
+// ObjectiveMode selects how per-core throughput/power pairs aggregate
+// into the scalar objective J_E of Eq. (10)-(11).
+//
+// The paper states the goal as "maximizing overall energy efficiency
+// (i.e., IPS/Watt or Instructions per Joule)" and formalises it as a
+// weighted sum J_E = Σ ω_j IPS_j/P_j. Read literally, the sum of
+// per-core ratios never rewards emptying (power-gating) an inefficient
+// core — an empty core merely contributes 0 while a populated one adds
+// a positive term — so it cannot reproduce the measured overall-IPS/W
+// gains of Fig. 4. GlobalRatio therefore optimises the overall ratio
+// Σ_j ω_j·IPS_j / Σ_j P_j (with quiescent cores contributing their
+// gated leakage to the denominator), which is the quantity the paper's
+// evaluation actually measures; PerCoreRatioSum retains the literal
+// Eq. (11) form as an ablation.
+type ObjectiveMode int
+
+// Objective modes. Section 4.3: "An objective or a cost function for
+// the allocation problem can be defined in several ways according to
+// the desired optimization goals."
+const (
+	// GlobalRatio maximises overall IPS/Watt (default).
+	GlobalRatio ObjectiveMode = iota
+	// PerCoreRatioSum maximises the literal Eq. (11) weighted sum of
+	// per-core IPS/Watt ratios.
+	PerCoreRatioSum
+	// MaxThroughput maximises aggregate IPS, ignoring power — the
+	// performance-first goal the related work (Becchi, Kumar) pursues.
+	MaxThroughput
+)
+
+// String names the mode.
+func (m ObjectiveMode) String() string {
+	switch m {
+	case GlobalRatio:
+		return "global-ratio"
+	case PerCoreRatioSum:
+		return "per-core-ratio-sum"
+	case MaxThroughput:
+		return "max-throughput"
+	default:
+		return fmt.Sprintf("ObjectiveMode(%d)", int(m))
+	}
+}
+
+// Problem is the allocation-optimisation input assembled by the
+// predict phase: the throughput matrix S(k) (Eq. 2), the power matrix
+// P(k) (Eq. 3), the thread utilisation vector U, per-core idle power,
+// and the objective weights ω_j of Eq. (11).
+type Problem struct {
+	// IPS[i][j] is thread i's (measured or predicted) throughput on
+	// core j, in instructions per second.
+	IPS [][]float64
+	// Power[i][j] is thread i's (measured or predicted) average power
+	// on core j, in watts.
+	Power [][]float64
+	// Util[i] is thread i's runnable fraction of an epoch in [0, 1].
+	Util []float64
+	// IdlePower[j] is core j's power when it has nothing to run
+	// (quiescent-state leakage).
+	IdlePower []float64
+	// Weights are the ω_j of Eq. (11); nil means all ones.
+	Weights []float64
+	// Mode selects the aggregation (zero value: GlobalRatio).
+	Mode ObjectiveMode
+	// Allowed[i][j], when non-nil, restricts thread i to cores with a
+	// true entry — the affinity constraints the paper notes "can easily
+	// be included". nil (or a nil row) means unrestricted.
+	Allowed [][]bool
+}
+
+// AllowedOn reports whether thread i may run on core j.
+func (p *Problem) AllowedOn(i, j int) bool {
+	if p.Allowed == nil || p.Allowed[i] == nil {
+		return true
+	}
+	return j < len(p.Allowed[i]) && p.Allowed[i][j]
+}
+
+// NumThreads returns m.
+func (p *Problem) NumThreads() int { return len(p.IPS) }
+
+// NumCores returns n.
+func (p *Problem) NumCores() int { return len(p.IdlePower) }
+
+// Validate checks the problem's shape and value domains.
+func (p *Problem) Validate() error {
+	m := len(p.IPS)
+	if m == 0 {
+		return errors.New("core: problem with no threads")
+	}
+	n := len(p.IdlePower)
+	if n == 0 {
+		return errors.New("core: problem with no cores")
+	}
+	if len(p.Power) != m || len(p.Util) != m {
+		return errors.New("core: matrix row counts disagree")
+	}
+	for i := 0; i < m; i++ {
+		if len(p.IPS[i]) != n || len(p.Power[i]) != n {
+			return fmt.Errorf("core: thread %d row width != %d cores", i, n)
+		}
+		if p.Util[i] < 0 || p.Util[i] > 1 {
+			return fmt.Errorf("core: thread %d utilisation %g outside [0,1]", i, p.Util[i])
+		}
+		for j := 0; j < n; j++ {
+			if p.IPS[i][j] < 0 || p.Power[i][j] < 0 {
+				return fmt.Errorf("core: negative entry at (%d,%d)", i, j)
+			}
+		}
+	}
+	if p.Weights != nil && len(p.Weights) != n {
+		return errors.New("core: weight vector width != cores")
+	}
+	for j := range p.IdlePower {
+		if p.IdlePower[j] < 0 {
+			return fmt.Errorf("core: negative idle power on core %d", j)
+		}
+	}
+	if p.Allowed != nil {
+		if len(p.Allowed) != m {
+			return errors.New("core: affinity matrix row count != threads")
+		}
+		for i, row := range p.Allowed {
+			if row == nil {
+				continue
+			}
+			if len(row) != n {
+				return fmt.Errorf("core: thread %d affinity row width != cores", i)
+			}
+			any := false
+			for _, ok := range row {
+				if ok {
+					any = true
+					break
+				}
+			}
+			if !any {
+				return fmt.Errorf("core: thread %d has an empty affinity set", i)
+			}
+		}
+	}
+	return nil
+}
+
+// weight returns ω_j.
+func (p *Problem) weight(j int) float64 {
+	if p.Weights == nil {
+		return 1
+	}
+	return p.Weights[j]
+}
+
+// Allocation is the Ψ(k) of Eq. (1), encoded as thread -> core.
+type Allocation []arch.CoreID
+
+// Clone returns a copy.
+func (a Allocation) Clone() Allocation {
+	out := make(Allocation, len(a))
+	copy(out, a)
+	return out
+}
+
+// Valid reports whether every entry addresses one of n cores.
+func (a Allocation) Valid(n int) bool {
+	for _, c := range a {
+		if int(c) < 0 || int(c) >= n {
+			return false
+		}
+	}
+	return true
+}
+
+// coreShare computes, for the threads mapped to one core, each
+// thread's share of core time under CFS time-sharing: fair water-
+// filling of one core-second per second among threads capped by their
+// utilisation demand. utils must be the demands of the threads on this
+// core; the return value is aligned with it.
+func coreShare(utils []float64) []float64 {
+	n := len(utils)
+	shares := make([]float64, n)
+	if n == 0 {
+		return shares
+	}
+	// Sort indices by demand ascending; threads below the fair share
+	// take their demand, releasing capacity to the rest.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return utils[idx[a]] < utils[idx[b]] })
+	capacity := 1.0
+	remaining := n
+	for _, i := range idx {
+		fair := capacity / float64(remaining)
+		s := utils[i]
+		if s > fair {
+			s = fair
+		}
+		shares[i] = s
+		capacity -= s
+		remaining--
+	}
+	return shares
+}
+
+// coreEval computes one core's expected throughput (weighted, in GIPS)
+// and power (W) for the threads mapped to it. An empty core draws its
+// quiescent idle power and produces nothing.
+func (p *Problem) coreEval(j int, threads []int) (gips, power float64) {
+	if len(threads) == 0 {
+		return 0, p.IdlePower[j]
+	}
+	utils := make([]float64, len(threads))
+	for k, i := range threads {
+		utils[k] = p.Util[i]
+	}
+	shares := coreShare(utils)
+	var ips, busy float64
+	for k, i := range threads {
+		s := shares[k]
+		ips += s * p.IPS[i][j]
+		power += s * p.Power[i][j]
+		busy += s
+	}
+	power += (1 - busy) * p.IdlePower[j]
+	return p.weight(j) * ips / 1e9, power
+}
+
+// Evaluator maintains an allocation's objective value with O(changed
+// cores) incremental updates — the paper's "keeping track of previous
+// computations and obtaining a new evaluation only by performing
+// computations induced by the latest swap on Ψ".
+type Evaluator struct {
+	prob   *Problem
+	alloc  Allocation
+	byCore [][]int // thread indices per core
+
+	coreGIPS      []float64
+	corePow       []float64
+	prevPopulated []bool
+	sumGIPS       float64
+	sumPow        float64
+	ratioSum      float64 // Σ ω_j IPS_j/P_j for PerCoreRatioSum mode
+}
+
+// NewEvaluator builds an evaluator for the initial allocation.
+func NewEvaluator(prob *Problem, initial Allocation) (*Evaluator, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initial) != prob.NumThreads() {
+		return nil, errors.New("core: allocation length != thread count")
+	}
+	if !initial.Valid(prob.NumCores()) {
+		return nil, errors.New("core: allocation addresses invalid core")
+	}
+	e := &Evaluator{
+		prob:          prob,
+		alloc:         initial.Clone(),
+		byCore:        make([][]int, prob.NumCores()),
+		coreGIPS:      make([]float64, prob.NumCores()),
+		corePow:       make([]float64, prob.NumCores()),
+		prevPopulated: make([]bool, prob.NumCores()),
+	}
+	for i, c := range e.alloc {
+		e.byCore[c] = append(e.byCore[c], i)
+	}
+	for j := range e.coreGIPS {
+		g, w := prob.coreEval(j, e.byCore[j])
+		e.coreGIPS[j] = g
+		e.corePow[j] = w
+		e.sumGIPS += g
+		e.sumPow += w
+		e.prevPopulated[j] = len(e.byCore[j]) > 0
+		e.ratioSum += ratio(g, w, e.prevPopulated[j])
+	}
+	return e, nil
+}
+
+// ratio is the per-core Eq. (11) term: 0 for an empty core.
+func ratio(gips, pow float64, populated bool) float64 {
+	if !populated || pow <= 0 {
+		return 0
+	}
+	return gips / pow
+}
+
+// Objective returns the current J_E under the problem's mode.
+func (e *Evaluator) Objective() float64 {
+	switch e.prob.Mode {
+	case PerCoreRatioSum:
+		return e.ratioSum
+	case MaxThroughput:
+		return e.sumGIPS
+	default:
+		if e.sumPow <= 0 {
+			return 0
+		}
+		return e.sumGIPS / e.sumPow
+	}
+}
+
+// Allocation returns a copy of the current allocation.
+func (e *Evaluator) Allocation() Allocation { return e.alloc.Clone() }
+
+// objectiveWith computes the objective if cores a and b had the given
+// replacement (gips, pow, populated) values.
+func (e *Evaluator) objectiveWith(a, b int, ga, wa float64, na bool, gb, wb float64, nb bool) float64 {
+	switch e.prob.Mode {
+	case PerCoreRatioSum:
+		s := e.ratioSum
+		s -= ratio(e.coreGIPS[a], e.corePow[a], len(e.byCore[a]) > 0)
+		s -= ratio(e.coreGIPS[b], e.corePow[b], len(e.byCore[b]) > 0)
+		s += ratio(ga, wa, na) + ratio(gb, wb, nb)
+		return s
+	case MaxThroughput:
+		return e.sumGIPS - e.coreGIPS[a] - e.coreGIPS[b] + ga + gb
+	default:
+		g := e.sumGIPS - e.coreGIPS[a] - e.coreGIPS[b] + ga + gb
+		w := e.sumPow - e.corePow[a] - e.corePow[b] + wa + wb
+		if w <= 0 {
+			return 0
+		}
+		return g / w
+	}
+}
+
+// MoveDelta returns the objective change of moving thread i to core
+// dst, without applying it.
+func (e *Evaluator) MoveDelta(i int, dst arch.CoreID) float64 {
+	src := e.alloc[i]
+	if src == dst {
+		return 0
+	}
+	newSrc := removeFrom(e.byCore[src], i)
+	newDst := append(append([]int(nil), e.byCore[dst]...), i)
+	ga, wa := e.prob.coreEval(int(src), newSrc)
+	gb, wb := e.prob.coreEval(int(dst), newDst)
+	return e.objectiveWith(int(src), int(dst), ga, wa, len(newSrc) > 0, gb, wb, true) - e.Objective()
+}
+
+// Move applies the move of thread i to core dst, updating caches, and
+// returns the objective delta.
+func (e *Evaluator) Move(i int, dst arch.CoreID) float64 {
+	src := e.alloc[i]
+	if src == dst {
+		return 0
+	}
+	before := e.Objective()
+	e.byCore[src] = removeFrom(e.byCore[src], i)
+	e.byCore[dst] = append(e.byCore[dst], i)
+	e.alloc[i] = dst
+	e.recompute(int(src))
+	e.recompute(int(dst))
+	return e.Objective() - before
+}
+
+// SwapDelta returns the objective change of swapping the cores of
+// threads i and k without applying it.
+func (e *Evaluator) SwapDelta(i, k int) float64 {
+	ci, ck := e.alloc[i], e.alloc[k]
+	if ci == ck {
+		return 0
+	}
+	newI := append(removeFrom(e.byCore[ci], i), k)
+	newK := append(removeFrom(e.byCore[ck], k), i)
+	ga, wa := e.prob.coreEval(int(ci), newI)
+	gb, wb := e.prob.coreEval(int(ck), newK)
+	return e.objectiveWith(int(ci), int(ck), ga, wa, true, gb, wb, true) - e.Objective()
+}
+
+// Swap applies the swap of threads i and k and returns the delta.
+func (e *Evaluator) Swap(i, k int) float64 {
+	ci, ck := e.alloc[i], e.alloc[k]
+	if ci == ck {
+		return 0
+	}
+	before := e.Objective()
+	e.byCore[ci] = append(removeFrom(e.byCore[ci], i), k)
+	e.byCore[ck] = append(removeFrom(e.byCore[ck], k), i)
+	e.alloc[i], e.alloc[k] = ck, ci
+	e.recompute(int(ci))
+	e.recompute(int(ck))
+	return e.Objective() - before
+}
+
+// recompute refreshes core j's cached contribution after a membership
+// change.
+func (e *Evaluator) recompute(j int) {
+	e.sumGIPS -= e.coreGIPS[j]
+	e.sumPow -= e.corePow[j]
+	e.ratioSum -= ratio(e.coreGIPS[j], e.corePow[j], e.prevPopulated[j])
+	g, w := e.prob.coreEval(j, e.byCore[j])
+	e.coreGIPS[j] = g
+	e.corePow[j] = w
+	e.sumGIPS += g
+	e.sumPow += w
+	pop := len(e.byCore[j]) > 0
+	e.ratioSum += ratio(g, w, pop)
+	e.prevPopulated[j] = pop
+}
+
+// removeFrom returns s without the first occurrence of v. The input
+// slice is not modified (a fresh slice is returned) so delta previews
+// stay side-effect free.
+func removeFrom(s []int, v int) []int {
+	out := make([]int, 0, len(s))
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// EvaluateAllocation computes J_E of an allocation from scratch; the
+// reference implementation the incremental evaluator is tested against,
+// and the scorer used by the brute-force oracle.
+func EvaluateAllocation(prob *Problem, alloc Allocation) (float64, error) {
+	e, err := NewEvaluator(prob, alloc)
+	if err != nil {
+		return 0, err
+	}
+	return e.Objective(), nil
+}
+
+// BruteForceOptimal enumerates all n^m allocations and returns the best
+// one — tractable only for tiny problems, used by the Fig. 8
+// distance-to-optimal analysis and by tests.
+func BruteForceOptimal(prob *Problem) (Allocation, float64, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, 0, err
+	}
+	m, n := prob.NumThreads(), prob.NumCores()
+	total := 1
+	for i := 0; i < m; i++ {
+		total *= n
+		if total > 20_000_000 {
+			return nil, 0, fmt.Errorf("core: brute force infeasible for n=%d m=%d", n, m)
+		}
+	}
+	best := make(Allocation, m)
+	cur := make(Allocation, m)
+	bestScore := -1.0
+enumerate:
+	for idx := 0; idx < total; idx++ {
+		x := idx
+		for i := 0; i < m; i++ {
+			cur[i] = arch.CoreID(x % n)
+			if !prob.AllowedOn(i, int(cur[i])) {
+				continue enumerate
+			}
+			x /= n
+		}
+		score, err := EvaluateAllocation(prob, cur)
+		if err != nil {
+			return nil, 0, err
+		}
+		if score > bestScore {
+			bestScore = score
+			copy(best, cur)
+		}
+	}
+	return best, bestScore, nil
+}

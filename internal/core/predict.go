@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/regress"
+)
+
+// NumFeatures is the width of the predictor feature vector — the ten
+// columns of the paper's Table 4: FR, mr$i, mr$d, I_msh, I_bsh, mr_b,
+// mr_itlb, mr_dtlb, ipc_src, and a constant.
+const NumFeatures = 10
+
+// FeatureNames returns the Table 4 column labels in order.
+func FeatureNames() []string {
+	return []string{"FR", "mr$i", "mr$d", "Imsh", "Ibsh", "mrb", "mritlb", "mrdtlb", "ipc_src", "const"}
+}
+
+// Features assembles the characterisation vector X_ij of Eq. (8) from a
+// measurement on a source core, for prediction onto a destination type
+// with the given frequency ratio FR = F_dst / F_src.
+func Features(m *Measurement, freqRatio float64) []float64 {
+	return []float64{
+		freqRatio,
+		m.MissL1I,
+		m.MissL1D,
+		m.MemShare,
+		m.BranchShare,
+		m.Mispredict,
+		m.MissITLB,
+		m.MissDTLB,
+		m.IPC,
+		1,
+	}
+}
+
+// PowerFit is the per-core-type affine performance-power relationship
+// of Eq. (9): p = Alpha1*ipc + Alpha0, obtained from offline profiling.
+type PowerFit struct {
+	Alpha1 float64
+	Alpha0 float64
+}
+
+// Predict evaluates the fit.
+func (f PowerFit) Predict(ipc float64) float64 {
+	p := f.Alpha1*ipc + f.Alpha0
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// Predictor holds the trained coefficient matrix Θ for every ordered
+// pair of distinct core types (the paper's Table 4) plus the per-type
+// power fits.
+type Predictor struct {
+	types []arch.CoreType
+	// theta[src][dst] is the linear model predicting ipc on dst from a
+	// measurement on src; nil on the diagonal (measured directly).
+	theta [][]*regress.Model
+	power []PowerFit
+}
+
+// NewPredictor allocates an untrained predictor for the given core-type
+// set.
+func NewPredictor(types []arch.CoreType) (*Predictor, error) {
+	if len(types) == 0 {
+		return nil, errors.New("core: predictor needs at least one core type")
+	}
+	q := len(types)
+	p := &Predictor{
+		types: types,
+		theta: make([][]*regress.Model, q),
+		power: make([]PowerFit, q),
+	}
+	for i := range p.theta {
+		p.theta[i] = make([]*regress.Model, q)
+	}
+	return p, nil
+}
+
+// NumTypes returns the core-type count q.
+func (p *Predictor) NumTypes() int { return len(p.types) }
+
+// Type returns core type tid.
+func (p *Predictor) Type(tid arch.CoreTypeID) *arch.CoreType { return &p.types[tid] }
+
+// SetModel installs a trained Θ row for the (src, dst) pair.
+func (p *Predictor) SetModel(src, dst arch.CoreTypeID, m *regress.Model) error {
+	if src == dst {
+		return errors.New("core: diagonal predictor entries are measured, not modelled")
+	}
+	if len(m.Coef) != NumFeatures {
+		return fmt.Errorf("core: model has %d coefficients, want %d", len(m.Coef), NumFeatures)
+	}
+	p.theta[src][dst] = m
+	return nil
+}
+
+// Model returns the Θ row for (src, dst), or nil.
+func (p *Predictor) Model(src, dst arch.CoreTypeID) *regress.Model { return p.theta[src][dst] }
+
+// SetPowerFit installs the Eq. (9) fit for a core type.
+func (p *Predictor) SetPowerFit(tid arch.CoreTypeID, f PowerFit) { p.power[tid] = f }
+
+// PowerFitFor returns the Eq. (9) fit of a core type.
+func (p *Predictor) PowerFitFor(tid arch.CoreTypeID) PowerFit { return p.power[tid] }
+
+// Trained reports whether every off-diagonal Θ row and every power fit
+// is present.
+func (p *Predictor) Trained() bool {
+	for s := range p.theta {
+		for d := range p.theta[s] {
+			if s != d && p.theta[s][d] == nil {
+				return false
+			}
+		}
+	}
+	for _, f := range p.power {
+		if f.Alpha0 == 0 && f.Alpha1 == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PredictIPC predicts the thread's IPC on destination type dst from its
+// measurement on m.SrcType (Eq. 8). For dst == src the measured IPC is
+// returned unchanged. Predictions are clamped to the destination's
+// physical range (0, PeakIPC].
+func (p *Predictor) PredictIPC(m *Measurement, dst arch.CoreTypeID) (float64, error) {
+	if !m.Valid {
+		return 0, errors.New("core: prediction from invalid measurement")
+	}
+	if dst == m.SrcType {
+		return m.IPC, nil
+	}
+	model := p.theta[m.SrcType][dst]
+	if model == nil {
+		return 0, fmt.Errorf("core: no model for %s->%s",
+			p.types[m.SrcType].Name, p.types[dst].Name)
+	}
+	fr := p.types[dst].FreqMHz / p.types[m.SrcType].FreqMHz
+	ipc := model.Predict(Features(m, fr))
+	if ipc < 0.01 {
+		ipc = 0.01
+	}
+	if cap := p.types[dst].PeakIPC; ipc > cap {
+		ipc = cap
+	}
+	return ipc, nil
+}
+
+// PredictIPS converts a predicted IPC into instructions per second on
+// the destination type: ips_hat = ipc_hat * F_dst.
+func (p *Predictor) PredictIPS(m *Measurement, dst arch.CoreTypeID) (float64, error) {
+	ipc, err := p.PredictIPC(m, dst)
+	if err != nil {
+		return 0, err
+	}
+	return ipc * p.types[dst].FreqHz(), nil
+}
+
+// PredictPower predicts the thread's average power on destination type
+// dst (Eq. 9), using the measured power directly when dst == src.
+func (p *Predictor) PredictPower(m *Measurement, dst arch.CoreTypeID) (float64, error) {
+	if !m.Valid {
+		return 0, errors.New("core: prediction from invalid measurement")
+	}
+	if dst == m.SrcType {
+		return m.PowerW, nil
+	}
+	ipc, err := p.PredictIPC(m, dst)
+	if err != nil {
+		return 0, err
+	}
+	return p.power[dst].Predict(ipc), nil
+}

@@ -1,0 +1,85 @@
+// Package core implements SmartBalance itself: the closed-loop
+// sense-predict-balance load balancer of the paper.
+//
+// Each epoch the controller (1) senses per-thread hardware counters and
+// power collected at context-switch granularity, (2) estimates each
+// thread's throughput and power contribution on the core it ran on
+// (Eq. 4-7), (3) predicts its throughput and power on every *other*
+// core type with a trained linear model (Eq. 8-9), assembling the
+// throughput matrix S(k) and power matrix P(k), and (4) runs a
+// fixed-point simulated-annealing optimisation (Algorithm 1) of the
+// energy-efficiency objective J_E (Eq. 10-11) to choose the next
+// epoch's allocation, applied through the kernel's migration interface.
+package core
+
+import (
+	"smartbalance/internal/arch"
+	"smartbalance/internal/hpc"
+)
+
+// Measurement is the estimation-phase output for one thread: its sensed
+// behaviour on the core it (predominantly) executed on during the
+// epoch. These are the ips_ij(k) and p_ij(k) of Eq. (4) and (5),
+// together with the workload-characterisation counters of Section 4.1
+// that feed the cross-core predictor.
+type Measurement struct {
+	// Core is the core the thread ran on; SrcType its type.
+	Core    arch.CoreID
+	SrcType arch.CoreTypeID
+
+	// IPC and IPS are the measured throughput; PowerW the measured
+	// average power attributable to the thread while it ran.
+	IPC    float64
+	IPS    float64
+	PowerW float64
+
+	// Workload characterisation rates (the predictor features).
+	MissL1I     float64 // mr$i: L1I misses per instruction
+	MissL1D     float64 // mr$d: L1D misses per memory access
+	MemShare    float64 // I_msh
+	BranchShare float64 // I_bsh
+	Mispredict  float64 // mr_b: mispredicts per branch
+	MissITLB    float64 // mr_itlb
+	MissDTLB    float64 // mr_dtlb
+
+	// Util is the thread's runnable fraction of the epoch, the U vector
+	// of Algorithm 1's inputs.
+	Util float64
+
+	// Valid marks a measurement backed by at least one sampled slice.
+	Valid bool
+}
+
+// Sense converts one thread's epoch counter sample into a Measurement,
+// implementing the estimation step of Section 4.2.1: per-thread
+// averages over the L scheduling periods of the epoch. typeOf maps a
+// core id to its type. ok is false when the thread never ran during the
+// epoch (it slept throughout), in which case the caller falls back to
+// its last known measurement.
+func Sense(sample *hpc.ThreadEpochSample, util float64, typeOf func(arch.CoreID) arch.CoreTypeID) (Measurement, bool) {
+	if sample == nil {
+		return Measurement{}, false
+	}
+	coreInt, counters, ok := sample.DominantCore()
+	if !ok || counters.Instructions == 0 || counters.RunNs <= 0 {
+		return Measurement{}, false
+	}
+	core := arch.CoreID(coreInt)
+	m := Measurement{
+		Core:        core,
+		SrcType:     typeOf(core),
+		IPC:         counters.IPC(),
+		IPS:         counters.IPS(),
+		PowerW:      counters.PowerW(),
+		MissL1I:     counters.MissRateL1I(),
+		MissL1D:     counters.MissRateL1D(),
+		MemShare:    counters.MemShare(),
+		BranchShare: counters.BranchShare(),
+		Mispredict:  counters.MispredictRate(),
+		MissITLB:    counters.MissRateITLB(),
+		MissDTLB:    counters.MissRateDTLB(),
+		Util:        util,
+		Valid:       true,
+	}
+	return m, true
+}

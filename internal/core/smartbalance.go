@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/kernel"
+)
+
+// Config parameterises the SmartBalance controller.
+type Config struct {
+	// Anneal configures the Algorithm 1 optimiser. MaxIter <= 0 selects
+	// the scaled budget of Fig. 8(a) automatically.
+	Anneal AnnealConfig
+	// Weights are the per-core objective weights ω_j (nil = all ones).
+	Weights []float64
+	// Objective selects the optimisation goal (zero value: overall
+	// IPS/Watt; see ObjectiveMode).
+	Objective ObjectiveMode
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config {
+	return Config{Anneal: DefaultAnnealConfig()}
+}
+
+// PhaseOverhead accumulates the wall-clock cost of each SmartBalance
+// phase across epochs — the measurement behind the paper's Fig. 7.
+type PhaseOverhead struct {
+	Sense    time.Duration
+	Predict  time.Duration
+	Optimize time.Duration
+	Migrate  time.Duration
+	// Epochs is the number of balancer invocations measured; Migrations
+	// the number of thread moves requested.
+	Epochs     int
+	Migrations int
+}
+
+// Total returns the summed per-epoch overhead.
+func (o *PhaseOverhead) Total() time.Duration {
+	return o.Sense + o.Predict + o.Optimize + o.Migrate
+}
+
+// PerEpoch returns the mean overhead per balancer invocation.
+func (o *PhaseOverhead) PerEpoch() time.Duration {
+	if o.Epochs == 0 {
+		return 0
+	}
+	return o.Total() / time.Duration(o.Epochs)
+}
+
+// SmartBalance is the closed-loop balancer: a kernel.Balancer whose
+// Rebalance runs the sense, estimate/predict, optimise, and migrate
+// phases at every epoch boundary (Fig. 2).
+type SmartBalance struct {
+	pred *Predictor
+	cfg  Config
+
+	// lastMeasure retains each thread's most recent valid measurement
+	// so threads that slept through an epoch keep informed predictions.
+	lastMeasure map[kernel.ThreadID]Measurement
+
+	overhead PhaseOverhead
+	epochs   int
+}
+
+// New constructs a SmartBalance controller around a trained predictor.
+func New(pred *Predictor, cfg Config) (*SmartBalance, error) {
+	if pred == nil {
+		return nil, errors.New("core: nil predictor")
+	}
+	if !pred.Trained() {
+		return nil, errors.New("core: predictor is not fully trained")
+	}
+	if err := cfg.Anneal.Validate(); cfg.Anneal.MaxIter > 0 && err != nil {
+		return nil, err
+	}
+	return &SmartBalance{
+		pred:        pred,
+		cfg:         cfg,
+		lastMeasure: make(map[kernel.ThreadID]Measurement),
+	}, nil
+}
+
+// Name implements kernel.Balancer.
+func (s *SmartBalance) Name() string { return "smartbalance" }
+
+// SetWeights replaces the per-core objective weights ω_j (Eq. 11)
+// before the next epoch — the tuning knob the paper describes for
+// giving "preference to certain cores or core types" (used, e.g., by
+// the thermal-aware wrapper). nil restores uniform weights.
+func (s *SmartBalance) SetWeights(w []float64) { s.cfg.Weights = w }
+
+// Overhead returns the accumulated per-phase wall-clock costs.
+func (s *SmartBalance) Overhead() PhaseOverhead { return s.overhead }
+
+// Rebalance implements kernel.Balancer: one full
+// sense-predict-balance iteration.
+func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
+	threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample) {
+	plat := k.Platform()
+	if plat.NumTypes() != s.pred.NumTypes() {
+		// Mis-paired predictor/platform: refuse to act rather than act
+		// on nonsense predictions.
+		return
+	}
+	s.epochs++
+	s.overhead.Epochs++
+	epochNs := k.Config().EpochNs
+	typeOf := func(c arch.CoreID) arch.CoreTypeID { return plat.TypeID(c) }
+
+	// ---- Phase 1: sensing & measurement (Section 4.1, Eq. 4-7). ----
+	t0 := time.Now()
+	tasks := k.ActiveTasks()
+	if len(tasks) == 0 {
+		s.overhead.Sense += time.Since(t0)
+		return
+	}
+	var optTasks []*kernel.Task
+	var meas []Measurement
+	for _, task := range tasks {
+		if task.IsKernelThread() {
+			// Section 5.1: the user-level threads dominate, so kernel
+			// threads are left where the scheduler put them.
+			continue
+		}
+		util := task.Utilization(epochNs)
+		m, ok := Sense(threads[int(task.ID)], util, typeOf)
+		if !ok {
+			// No sample this epoch (the thread slept throughout): fall
+			// back to its last known characterisation with fresh
+			// utilisation.
+			if last, seen := s.lastMeasure[task.ID]; seen {
+				m = last
+				m.Util = util
+				ok = true
+			}
+		}
+		if !ok {
+			// Never measured (e.g. spawned at the very end of the
+			// epoch): leave it where it is this round.
+			continue
+		}
+		s.lastMeasure[task.ID] = m
+		optTasks = append(optTasks, task)
+		meas = append(meas, m)
+	}
+	// Drop measurements of exited threads.
+	if len(s.lastMeasure) > 2*len(tasks)+16 {
+		alive := make(map[kernel.ThreadID]bool, len(tasks))
+		for _, task := range tasks {
+			alive[task.ID] = true
+		}
+		for id := range s.lastMeasure {
+			if !alive[id] {
+				delete(s.lastMeasure, id)
+			}
+		}
+	}
+	s.overhead.Sense += time.Since(t0)
+	if len(optTasks) == 0 {
+		return
+	}
+
+	// ---- Phase 2: prediction — fill S(k) and P(k) (Section 4.2.2). ----
+	t1 := time.Now()
+	prob, err := s.BuildProblem(plat, k, meas)
+	if err != nil {
+		s.overhead.Predict += time.Since(t1)
+		return
+	}
+	prob.Allowed = affinityMatrix(optTasks, plat.NumCores())
+	s.overhead.Predict += time.Since(t1)
+
+	// ---- Phase 3: balance — Algorithm 1 over allocations. ----
+	t2 := time.Now()
+	initial := make(Allocation, len(optTasks))
+	for i, task := range optTasks {
+		initial[i] = task.Core()
+	}
+	acfg := s.cfg.Anneal
+	if acfg.MaxIter <= 0 {
+		acfg = DefaultAnnealConfig()
+		acfg.MaxIter = ScaledMaxIter(plat.NumCores(), len(optTasks))
+	}
+	acfg.Seed ^= uint64(s.epochs) * 0x9E3779B97F4A7C15
+	result, err := Anneal(prob, initial, acfg)
+	s.overhead.Optimize += time.Since(t2)
+	if err != nil {
+		return
+	}
+
+	// ---- Phase 4: apply Ψ via migration (set_cpus_allowed_ptr). ----
+	t3 := time.Now()
+	for i, task := range optTasks {
+		dst := result.Allocation[i]
+		if dst != task.Core() {
+			if err := k.Migrate(task.ID, dst); err == nil {
+				s.overhead.Migrations++
+			}
+		}
+	}
+	s.overhead.Migrate += time.Since(t3)
+}
+
+// BuildProblem assembles the optimisation input from the epoch's
+// measurements: S(k) and P(k) rows per thread (measured on the source
+// type, predicted elsewhere), the utilisation vector, and per-core idle
+// power.
+func (s *SmartBalance) BuildProblem(plat *arch.Platform, k *kernel.Kernel, meas []Measurement) (*Problem, error) {
+	n := plat.NumCores()
+	prob := &Problem{
+		IPS:       make([][]float64, len(meas)),
+		Power:     make([][]float64, len(meas)),
+		Util:      make([]float64, len(meas)),
+		IdlePower: make([]float64, n),
+		Weights:   s.cfg.Weights,
+		Mode:      s.cfg.Objective,
+	}
+	pm := k.Machine().PowerModels()
+	for j := 0; j < n; j++ {
+		prob.IdlePower[j] = pm.ForType(plat.TypeID(arch.CoreID(j))).SleepW()
+	}
+	// Predict once per (thread, type), then expand to cores.
+	q := plat.NumTypes()
+	for i := range meas {
+		m := &meas[i]
+		ipsByType := make([]float64, q)
+		powByType := make([]float64, q)
+		for tid := 0; tid < q; tid++ {
+			ips, err := s.pred.PredictIPS(m, arch.CoreTypeID(tid))
+			if err != nil {
+				return nil, fmt.Errorf("core: predict ips: %w", err)
+			}
+			p, err := s.pred.PredictPower(m, arch.CoreTypeID(tid))
+			if err != nil {
+				return nil, fmt.Errorf("core: predict power: %w", err)
+			}
+			ipsByType[tid] = ips
+			powByType[tid] = p
+		}
+		prob.IPS[i] = make([]float64, n)
+		prob.Power[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			tid := plat.TypeID(arch.CoreID(j))
+			prob.IPS[i][j] = ipsByType[tid]
+			prob.Power[i][j] = powByType[tid]
+		}
+		prob.Util[i] = m.Util
+	}
+	return prob, nil
+}
+
+// affinityMatrix extracts the tasks' CPU-affinity masks, or nil when no
+// task is restricted.
+func affinityMatrix(tasks []*kernel.Task, n int) [][]bool {
+	any := false
+	for _, t := range tasks {
+		if t.AllowedMask() != nil {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := make([][]bool, len(tasks))
+	for i, t := range tasks {
+		mask := t.AllowedMask()
+		if mask == nil {
+			continue // nil row = unrestricted
+		}
+		// Masks come sized to the platform; defensive resize.
+		row := make([]bool, n)
+		copy(row, mask)
+		out[i] = row
+	}
+	return out
+}
+
+// OracleProblem builds the same optimisation input but with exact
+// model-evaluated entries instead of predictions — the
+// prediction-vs-oracle ablation.
+func OracleProblem(plat *arch.Platform, k *kernel.Kernel, tasks []*kernel.Task, weights []float64) (*Problem, error) {
+	n := plat.NumCores()
+	epochNs := k.Config().EpochNs
+	prob := &Problem{
+		IPS:       make([][]float64, len(tasks)),
+		Power:     make([][]float64, len(tasks)),
+		Util:      make([]float64, len(tasks)),
+		IdlePower: make([]float64, n),
+		Weights:   weights,
+	}
+	pm := k.Machine().PowerModels()
+	for j := 0; j < n; j++ {
+		prob.IdlePower[j] = pm.ForType(plat.TypeID(arch.CoreID(j))).SleepW()
+	}
+	for i, task := range tasks {
+		prob.IPS[i] = make([]float64, n)
+		prob.Power[i] = make([]float64, n)
+		st := k.Machine()
+		ts := task.MachineState()
+		for j := 0; j < n; j++ {
+			tid := plat.TypeID(arch.CoreID(j))
+			met := st.SteadyMetrics(ts, tid)
+			ct := plat.Type(arch.CoreID(j))
+			prob.IPS[i][j] = met.IPS(ct)
+			prob.Power[i][j] = pm.ForType(tid).BusyPower(met.IPC, ts.CurrentPhase())
+		}
+		prob.Util[i] = task.Utilization(epochNs)
+	}
+	prob.Allowed = affinityMatrix(tasks, n)
+	return prob, nil
+}

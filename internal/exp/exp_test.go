@@ -1,0 +1,313 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"smartbalance/internal/core"
+)
+
+// quickOpts keeps test runtime low while still exercising every runner
+// end to end.
+func quickOpts() Options {
+	return Options{
+		Seed:         1,
+		DurationNs:   400e6,
+		ThreadCounts: []int{2},
+		Quick:        true,
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	o := Options{DurationNs: 1, ThreadCounts: []int{1}}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Seed == 0 {
+		t.Fatal("zero seed not defaulted")
+	}
+	bad := []Options{
+		{DurationNs: 0, ThreadCounts: []int{1}},
+		{DurationNs: 1},
+		{DurationNs: 1, ThreadCounts: []int{0}},
+	}
+	for i, b := range bad {
+		if err := b.validate(); err == nil {
+			t.Errorf("bad options %d accepted", i)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"T1", "T2", "T3", "T4", "F4a", "F4b", "F5", "F6", "F7", "F8",
+		"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries", len(reg))
+	}
+	for i, id := range want {
+		if reg[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, reg[i].ID, id)
+		}
+		if RunnerFor(id) == nil {
+			t.Fatalf("RunnerFor(%s) nil", id)
+		}
+	}
+	if RunnerFor("F99") != nil {
+		t.Fatal("unknown id resolved")
+	}
+}
+
+func TestTableCoreConfigs(t *testing.T) {
+	res, err := TableCoreConfigs(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "T2" || res.Table.NumRows() != 12 {
+		t.Fatalf("T2: %d rows", res.Table.NumRows())
+	}
+	if res.Headline["calibration-rel-error"] > 1e-6 {
+		t.Fatalf("power calibration off by %g", res.Headline["calibration-rel-error"])
+	}
+	out := res.Table.String()
+	for _, frag := range []string{"Huge", "Small", "8.62", "0.91"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("T2 output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTableBenchmarkMixes(t *testing.T) {
+	res, err := TableBenchmarkMixes(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 6 {
+		t.Fatalf("T3 rows = %d", res.Table.NumRows())
+	}
+	if !strings.Contains(res.Table.String(), "x264H-crew + x264H-bow") {
+		t.Fatal("Mix1 contents wrong")
+	}
+}
+
+func TestTablePredictorCoefficients(t *testing.T) {
+	res, err := TablePredictorCoefficients(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 12 {
+		t.Fatalf("T4 rows = %d, want 12 ordered type pairs", res.Table.NumRows())
+	}
+	out := res.Table.String()
+	for _, frag := range []string{"Huge->Big", "Small->Medium", "ipc_src", "const"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("T4 missing %q", frag)
+		}
+	}
+}
+
+func TestFigure4a(t *testing.T) {
+	res, err := Figure4a(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() == 0 {
+		t.Fatal("F4a empty")
+	}
+	// Quick mode runs only the high-throughput IMB subset for 400ms,
+	// where gains are smallest (full runs average ~1.9x); the shape
+	// check is just "SmartBalance wins".
+	gain := res.Headline["geomean-gain"]
+	if gain < 1.05 {
+		t.Fatalf("F4a geomean gain %.2fx; paper shape (>1x) lost", gain)
+	}
+}
+
+func TestFigure4b(t *testing.T) {
+	res, err := Figure4b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.Headline["geomean-gain"]
+	if gain < 1.2 {
+		t.Fatalf("F4b geomean gain %.2fx; paper shape (>1.2x) lost", gain)
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	res, err := Figure5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := res.Headline["geomean-gain-vs-gts"]
+	if gain < 1.05 {
+		t.Fatalf("F5 gain vs GTS %.2fx; paper shape (>1.05x) lost", gain)
+	}
+	if !strings.Contains(res.Table.String(), "1.00") {
+		t.Fatal("GTS normalization column missing")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	res, err := Figure6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perf := res.Headline["mean-perf-error-pct"]
+	power := res.Headline["mean-power-error-pct"]
+	if perf <= 0 || perf > 15 {
+		t.Fatalf("F6 perf error %.2f%% outside (0,15]", perf)
+	}
+	if power <= 0 || power > 15 {
+		t.Fatalf("F6 power error %.2f%% outside (0,15]", power)
+	}
+	if !strings.Contains(res.Table.String(), "AVERAGE") {
+		t.Fatal("average row missing")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	res, err := Figure7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 3 { // quick: first three scenarios
+		t.Fatalf("F7 rows = %d", res.Table.NumRows())
+	}
+	if res.Headline["quad-core-epoch-fraction"] <= 0 {
+		t.Fatal("quad-core fraction missing")
+	}
+	if res.Headline["quad-core-epoch-fraction"] > 0.05 {
+		t.Fatalf("quad-core overhead %.2f%% of epoch", 100*res.Headline["quad-core-epoch-fraction"])
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	res, err := Figure8(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 3 {
+		t.Fatalf("F8 rows = %d", res.Table.NumRows())
+	}
+	if res.Headline["worst-distance-pct"] > 10 {
+		t.Fatalf("distance to optimal %.2f%% too large", res.Headline["worst-distance-pct"])
+	}
+}
+
+func TestPlantedProblemOptimality(t *testing.T) {
+	prob, planted := plantedProblem(5, 3, 9)
+	if err := prob.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plantedScore, err := core.EvaluateAllocation(prob, planted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bfScore, err := core.BruteForceOptimal(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bfScore > plantedScore+1e-9 {
+		t.Fatalf("planted %g beaten by %v scoring %g", plantedScore, best, bfScore)
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	opts := quickOpts()
+	t3, err := TableBenchmarkMixes(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, []*Result{t3, nil}, opts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"# SmartBalance reproduction report",
+		"## T3 — PARSEC benchmark mixes",
+		"**Paper:**",
+		"**Measured:** mixes = 6",
+		"Mix6",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTableRelatedWork(t *testing.T) {
+	res, err := TableRelatedWork(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 7 {
+		t.Fatalf("T1 rows = %d", res.Table.NumRows())
+	}
+	if res.Headline["structural-checks"] != 5 {
+		t.Fatalf("only %.0f/5 structural checks hold", res.Headline["structural-checks"])
+	}
+	out := res.Table.String()
+	for _, frag := range []string{"SmartBalance", "ARM GTS 2013", "Linaro IKS 2013", "core.SmartBalance"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("T1 missing %q", frag)
+		}
+	}
+}
+
+func TestFigureBarsPopulated(t *testing.T) {
+	res, err := Figure5(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bars == nil || !res.Bars.Valid() {
+		t.Fatal("F5 bar chart missing")
+	}
+	if len(res.Bars.Labels) != res.Table.NumRows() {
+		t.Fatalf("bars %d entries vs table %d rows", len(res.Bars.Labels), res.Table.NumRows())
+	}
+	if res.Bars.Baseline != 1 {
+		t.Fatal("F5 baseline should be GTS = 1.0")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	res, err := Replicate("T2", quickOpts(), []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "T2-replicated" {
+		t.Fatalf("ID = %q", res.ID)
+	}
+	// T2's calibration error is 0 for every seed: mean 0, std 0.
+	if res.Headline["calibration-rel-error-mean"] != 0 || res.Headline["calibration-rel-error-std"] != 0 {
+		t.Fatalf("replicated T2 headlines: %v", res.Headline)
+	}
+	if res.Table.NumRows() == 0 {
+		t.Fatal("no aggregated rows")
+	}
+	if _, err := Replicate("nope", quickOpts(), []uint64{1, 2}); err == nil {
+		t.Fatal("unknown artefact accepted")
+	}
+	if _, err := Replicate("T2", quickOpts(), []uint64{1}); err == nil {
+		t.Fatal("single seed accepted")
+	}
+}
+
+func TestReplicateStability(t *testing.T) {
+	// The F5 gain must be stable across seeds: std well below the mean
+	// effect size (otherwise the headline comparisons are seed noise).
+	res, err := Replicate("F5", quickOpts(), []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.Headline["geomean-gain-vs-gts-mean"]
+	std := res.Headline["geomean-gain-vs-gts-std"]
+	if mean <= 1 {
+		t.Fatalf("replicated F5 gain mean %.3f", mean)
+	}
+	if std > 0.2*(mean-1) {
+		t.Fatalf("F5 gain unstable across seeds: mean %.3f, std %.3f", mean, std)
+	}
+}

@@ -1,0 +1,149 @@
+package exp
+
+import (
+	"fmt"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/balancer"
+	"smartbalance/internal/kernel"
+	"smartbalance/internal/stats"
+	"smartbalance/internal/tablefmt"
+	"smartbalance/internal/workload"
+)
+
+// Figure4a regenerates Fig. 4(a): SmartBalance energy-efficiency gain
+// over the vanilla Linux balancer on the 4-type HMP for the nine
+// interactive microbenchmark configurations at each thread count.
+// Paper headline: 50.02% average improvement.
+func Figure4a(opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	plat := arch.QuadHMP()
+	smart, err := trainedSmartBalanceFactory(arch.Table2Types(), opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	vanilla := func(*arch.Platform) (kernel.Balancer, error) { return balancer.Vanilla{}, nil }
+
+	cfgs := workload.IMBConfigs()
+	if opts.Quick {
+		cfgs = cfgs[:3]
+	}
+	tb := tablefmt.New("Figure 4(a): energy-efficiency gain vs vanilla Linux (IMB)",
+		"IMB config", "threads", "vanilla IPS/W", "smartbalance IPS/W", "gain")
+	bars := &tablefmt.Bars{Title: "Fig 4(a): EE gain over vanilla (bars)", Unit: "x", Baseline: 1}
+	var gains []float64
+	for _, cfg := range cfgs {
+		tl, il := cfg[0], cfg[1]
+		name := workload.IMBName(tl, il)
+		for _, tc := range opts.ThreadCounts {
+			tc := tc
+			mk := func() ([]workload.ThreadSpec, error) {
+				return workload.IMB(tl, il, tc, opts.Seed)
+			}
+			gain, baseEE, testEE, err := eeGain(plat, vanilla, smart, mk, opts.DurationNs, opts.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("F4a %s/%d: %w", name, tc, err)
+			}
+			gains = append(gains, gain)
+			tb.AddRow(name, fmt.Sprintf("%d", tc),
+				tablefmt.FormatFloat(baseEE), tablefmt.FormatFloat(testEE),
+				fmt.Sprintf("%.2fx", gain))
+			bars.Labels = append(bars.Labels, fmt.Sprintf("%s/%d", name, tc))
+			bars.Values = append(bars.Values, gain)
+		}
+	}
+	mean, err := stats.GeoMean(gains)
+	if err != nil {
+		return nil, err
+	}
+	minG, _ := stats.Min(gains)
+	tb.AddNote("geometric-mean gain %.2fx (paper: ~1.50x average); minimum %.2fx", mean, minG)
+	return &Result{
+		ID:       "F4a",
+		Bars:     bars,
+		Title:    "Energy-efficiency gain vs vanilla Linux, interactive microbenchmarks",
+		Table:    tb,
+		Headline: map[string]float64{"geomean-gain": mean, "min-gain": minG},
+		PaperClaim: "SmartBalance performs 50.02% better than vanilla on average " +
+			"with the interactive benchmarks",
+	}, nil
+}
+
+// figure4bWorkloads returns the Fig. 4(b) workload list: PARSEC
+// benchmarks plus the Table 3 mixes.
+func figure4bWorkloads(quick bool) []string {
+	benches := []string{
+		"blackscholes", "bodytrack", "canneal", "streamcluster", "swaptions",
+		"x264H-crew", "x264L-bow",
+	}
+	if quick {
+		return []string{"swaptions", "canneal", "Mix1"}
+	}
+	return append(benches, workload.MixNames()...)
+}
+
+// Figure4b regenerates Fig. 4(b): SmartBalance vs vanilla on PARSEC
+// benchmarks and their mixes. Paper headline: 52% average improvement,
+// over 50% across all benchmarks.
+func Figure4b(opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	plat := arch.QuadHMP()
+	smart, err := trainedSmartBalanceFactory(arch.Table2Types(), opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	vanilla := func(*arch.Platform) (kernel.Balancer, error) { return balancer.Vanilla{}, nil }
+
+	isMix := func(name string) bool {
+		for _, m := range workload.MixNames() {
+			if m == name {
+				return true
+			}
+		}
+		return false
+	}
+	tb := tablefmt.New("Figure 4(b): energy-efficiency gain vs vanilla Linux (PARSEC + mixes)",
+		"workload", "threads", "vanilla IPS/W", "smartbalance IPS/W", "gain")
+	bars := &tablefmt.Bars{Title: "Fig 4(b): EE gain over vanilla (bars)", Unit: "x", Baseline: 1}
+	var gains []float64
+	for _, name := range figure4bWorkloads(opts.Quick) {
+		for _, tc := range opts.ThreadCounts {
+			name, tc := name, tc
+			mk := func() ([]workload.ThreadSpec, error) {
+				if isMix(name) {
+					return workload.Mix(name, tc, opts.Seed)
+				}
+				return workload.Benchmark(name, tc, opts.Seed)
+			}
+			gain, baseEE, testEE, err := eeGain(plat, vanilla, smart, mk, opts.DurationNs, opts.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("F4b %s/%d: %w", name, tc, err)
+			}
+			gains = append(gains, gain)
+			tb.AddRow(name, fmt.Sprintf("%d", tc),
+				tablefmt.FormatFloat(baseEE), tablefmt.FormatFloat(testEE),
+				fmt.Sprintf("%.2fx", gain))
+			bars.Labels = append(bars.Labels, fmt.Sprintf("%s/%d", name, tc))
+			bars.Values = append(bars.Values, gain)
+		}
+	}
+	mean, err := stats.GeoMean(gains)
+	if err != nil {
+		return nil, err
+	}
+	minG, _ := stats.Min(gains)
+	tb.AddNote("geometric-mean gain %.2fx (paper: ~1.52x average); minimum %.2fx", mean, minG)
+	return &Result{
+		ID:       "F4b",
+		Bars:     bars,
+		Title:    "Energy-efficiency gain vs vanilla Linux, PARSEC and mixes",
+		Table:    tb,
+		Headline: map[string]float64{"geomean-gain": mean, "min-gain": minG},
+		PaperClaim: "52% better than vanilla with PARSEC benchmarks and mixes; " +
+			"over 50% across all benchmarks",
+	}, nil
+}

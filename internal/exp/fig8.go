@@ -1,0 +1,151 @@
+package exp
+
+import (
+	"fmt"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/core"
+	"smartbalance/internal/rng"
+	"smartbalance/internal/tablefmt"
+)
+
+// plantedProblem constructs a synthetic allocation problem whose
+// optimal solution is known by construction — the paper's Fig. 8 "the
+// distance to optimal is obtained by running our optimization algorithm
+// for synthetic cases whose optimal solution is known."
+//
+// Construction: every thread has one designated core where it is 10x
+// faster and 10x more power-efficient than anywhere else; utilisations
+// are small enough (1/m) that no core can saturate under any
+// allocation, and idle powers are uniform. Under the global-ratio
+// objective the designated allocation then strictly maximises the
+// numerator and minimises the denominator simultaneously, so it is the
+// unique optimum.
+func plantedProblem(m, n int, seed uint64) (*core.Problem, core.Allocation) {
+	r := rng.New(seed)
+	prob := &core.Problem{
+		IPS:       make([][]float64, m),
+		Power:     make([][]float64, m),
+		Util:      make([]float64, m),
+		IdlePower: make([]float64, n),
+	}
+	for j := 0; j < n; j++ {
+		prob.IdlePower[j] = 0.02
+	}
+	opt := make(core.Allocation, m)
+	for i := 0; i < m; i++ {
+		home := i % n
+		opt[i] = arch.CoreID(home)
+		base := (1 + r.Float64()) * 1e9
+		pow := 0.2 + r.Float64()
+		prob.IPS[i] = make([]float64, n)
+		prob.Power[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if j == home {
+				prob.IPS[i][j] = base * 10
+				prob.Power[i][j] = pow
+			} else {
+				prob.IPS[i][j] = base
+				prob.Power[i][j] = pow * 10
+			}
+		}
+		prob.Util[i] = 1 / float64(m)
+	}
+	return prob, opt
+}
+
+// Figure8 regenerates Fig. 8: (a) the iteration budget per scalability
+// scenario and the resulting distance to the known optimum, and (b) the
+// remaining optimisation parameters. On brute-forceable scales the
+// planted optimum is cross-checked exhaustively.
+func Figure8(opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	scenarios := core.ScalabilityScenarios()
+	if opts.Quick {
+		scenarios = scenarios[:3]
+	}
+	tb := tablefmt.New("Figure 8(a): Opt_max_iter per scenario and distance to optimal",
+		"cores", "threads", "max iterations", "cold-start dist %", "warm-start dist %")
+	var worst float64
+	for _, sp := range scenarios {
+		prob, planted := plantedProblem(sp.Threads, sp.Cores, opts.Seed+uint64(sp.Cores))
+		optScore, err := core.EvaluateAllocation(prob, planted)
+		if err != nil {
+			return nil, err
+		}
+		// Exhaustive cross-check where feasible.
+		if pow := intPow(sp.Cores, sp.Threads); pow > 0 && pow <= 100_000 {
+			_, bfScore, err := core.BruteForceOptimal(prob)
+			if err != nil {
+				return nil, err
+			}
+			if bfScore > optScore+1e-9 {
+				return nil, fmt.Errorf("F8: planted optimum is not optimal at %dc/%dt (%g > %g)",
+					sp.Cores, sp.Threads, bfScore, optScore)
+			}
+		}
+		cfg := core.DefaultAnnealConfig()
+		cfg.MaxIter = core.ScaledMaxIter(sp.Cores, sp.Threads)
+		cfg.Seed = opts.Seed
+		dist := func(initial core.Allocation) (float64, error) {
+			res, err := core.Anneal(prob, initial, cfg)
+			if err != nil {
+				return 0, err
+			}
+			d := (optScore - res.Objective) / optScore * 100
+			if d < 0 {
+				d = 0
+			}
+			return d, nil
+		}
+		// Cold start: everything on core 0 (an adversarial state the
+		// controller never sees — it shows the capped budget's limit).
+		cold, err := dist(make(core.Allocation, sp.Threads))
+		if err != nil {
+			return nil, err
+		}
+		// Warm start: greedy initialisation, standing in for the
+		// controller's real starting point (the previous epoch's
+		// allocation).
+		warmInit, err := core.GreedyInitial(prob)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := dist(warmInit)
+		if err != nil {
+			return nil, err
+		}
+		if warm > worst {
+			worst = warm
+		}
+		tb.AddRow(fmt.Sprintf("%d", sp.Cores), fmt.Sprintf("%d", sp.Threads),
+			fmt.Sprintf("%d", cfg.MaxIter), fmt.Sprintf("%.2f", cold), fmt.Sprintf("%.2f", warm))
+	}
+	tb.AddNote("warm start = greedy initialisation, the analogue of SmartBalance re-optimising from the previous epoch's allocation")
+	cfg := core.DefaultAnnealConfig()
+	tb.AddNote("Fig 8(b) parameters: initial perturbation %.2f (decay %.3f), "+
+		"acceptance %.2f (decay %.3f), swap fraction %.2f, fixed-point rand/e^x",
+		cfg.Perturb, cfg.DeltaPerturb, cfg.Accept, cfg.DeltaAccept, cfg.SwapFraction)
+	return &Result{
+		ID:       "F8",
+		Title:    "Optimiser iteration budget and distance to optimal",
+		Table:    tb,
+		Headline: map[string]float64{"worst-distance-pct": worst},
+		PaperClaim: "iteration caps trade solution quality for scalability; distance " +
+			"to optimal stays small for capped budgets",
+	}, nil
+}
+
+// intPow returns base^exp, or -1 on overflow past 1e9.
+func intPow(base, exp int) int {
+	v := 1
+	for i := 0; i < exp; i++ {
+		v *= base
+		if v > 1_000_000_000 {
+			return -1
+		}
+	}
+	return v
+}

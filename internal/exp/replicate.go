@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"smartbalance/internal/stats"
+	"smartbalance/internal/tablefmt"
+)
+
+// Replicate runs an artefact across several seeds and aggregates every
+// headline metric (mean, standard deviation, min, max) — the
+// replication study backing any single-seed number smartbench reports.
+// seeds must contain at least two distinct values.
+func Replicate(id string, opts Options, seeds []uint64) (*Result, error) {
+	runner := RunnerFor(id)
+	if runner == nil {
+		return nil, fmt.Errorf("exp: unknown artefact %q", id)
+	}
+	if len(seeds) < 2 {
+		return nil, fmt.Errorf("exp: replication needs >= 2 seeds, got %d", len(seeds))
+	}
+	samples := map[string][]float64{}
+	var title string
+	for _, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		res, err := runner(o)
+		if err != nil {
+			return nil, fmt.Errorf("exp: replicate %s seed %d: %w", id, seed, err)
+		}
+		title = res.Title
+		for k, v := range res.Headline {
+			samples[k] = append(samples[k], v)
+		}
+	}
+	keys := make([]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tb := tablefmt.New(fmt.Sprintf("Replication of %s over %d seeds", id, len(seeds)),
+		"headline metric", "mean", "std", "min", "max", "n")
+	headline := map[string]float64{}
+	for _, k := range keys {
+		sm, err := stats.Summarize(samples[k])
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(k,
+			tablefmt.FormatFloat(sm.Mean), tablefmt.FormatFloat(sm.Std),
+			tablefmt.FormatFloat(sm.Min), tablefmt.FormatFloat(sm.Max),
+			fmt.Sprintf("%d", sm.N))
+		headline[k+"-mean"] = sm.Mean
+		headline[k+"-std"] = sm.Std
+	}
+	tb.AddNote("seeds: %v", seeds)
+	return &Result{
+		ID:         id + "-replicated",
+		Title:      title + " (seed replication)",
+		Table:      tb,
+		Headline:   headline,
+		PaperClaim: "replication: single-seed numbers must be stable across seeds",
+	}, nil
+}

@@ -1,0 +1,253 @@
+// Package hpc models the on-chip sensing infrastructure of the paper's
+// Section 4.1: per-thread hardware performance counters sampled at
+// every context switch (cycle, instruction, and performance-degradation
+// event counters) and per-core power sensors. A Bank accumulates
+// samples over one SmartBalance epoch and yields the measurements the
+// estimation phase consumes.
+//
+// Real sensors are imperfect; the Bank optionally injects multiplicative
+// Gaussian noise into the power readings (the counters themselves are
+// exact in hardware). This keeps the Fig. 6 prediction-error evaluation
+// honest.
+package hpc
+
+import (
+	"fmt"
+
+	"smartbalance/internal/rng"
+)
+
+// Counters is the set of raw per-thread counter deltas collected during
+// one scheduled slice: exactly the counters listed in Section 4.1.
+type Counters struct {
+	RunNs              int64  // execution time on the core
+	Instructions       uint64 // I_total
+	MemInstructions    uint64 // I_mem (committed loads + stores)
+	BranchInstructions uint64 // I_branch
+	CyclesBusy         uint64 // cyBusy
+	CyclesIdle         uint64 // cyIdle (stalls)
+	L1IMisses          uint64
+	L1DMisses          uint64
+	BranchMispredicts  uint64
+	ITLBMisses         uint64
+	DTLBMisses         uint64
+	EnergyJ            float64 // from the per-core power sensor
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.RunNs += o.RunNs
+	c.Instructions += o.Instructions
+	c.MemInstructions += o.MemInstructions
+	c.BranchInstructions += o.BranchInstructions
+	c.CyclesBusy += o.CyclesBusy
+	c.CyclesIdle += o.CyclesIdle
+	c.L1IMisses += o.L1IMisses
+	c.L1DMisses += o.L1DMisses
+	c.BranchMispredicts += o.BranchMispredicts
+	c.ITLBMisses += o.ITLBMisses
+	c.DTLBMisses += o.DTLBMisses
+	c.EnergyJ += o.EnergyJ
+}
+
+// Derived per-thread quantities (Section 4.1's rates). All are guarded
+// against zero denominators.
+
+// IPS returns instructions per second over the accumulated run time.
+func (c *Counters) IPS() float64 {
+	if c.RunNs <= 0 {
+		return 0
+	}
+	return float64(c.Instructions) / (float64(c.RunNs) * 1e-9)
+}
+
+// IPC returns instructions per non-sleep cycle.
+func (c *Counters) IPC() float64 {
+	tot := c.CyclesBusy + c.CyclesIdle
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(tot)
+}
+
+// PowerW returns average power over the accumulated run time.
+func (c *Counters) PowerW() float64 {
+	if c.RunNs <= 0 {
+		return 0
+	}
+	return c.EnergyJ / (float64(c.RunNs) * 1e-9)
+}
+
+// MemShare returns I_msh = I_mem / I_total.
+func (c *Counters) MemShare() float64 { return ratio(c.MemInstructions, c.Instructions) }
+
+// BranchShare returns I_bsh = I_branch / I_total.
+func (c *Counters) BranchShare() float64 { return ratio(c.BranchInstructions, c.Instructions) }
+
+// MissRateL1I returns L1I misses per instruction.
+func (c *Counters) MissRateL1I() float64 { return ratio(c.L1IMisses, c.Instructions) }
+
+// MissRateL1D returns L1D misses per memory access.
+func (c *Counters) MissRateL1D() float64 { return ratio(c.L1DMisses, c.MemInstructions) }
+
+// MispredictRate returns mispredictions per branch.
+func (c *Counters) MispredictRate() float64 { return ratio(c.BranchMispredicts, c.BranchInstructions) }
+
+// MissRateITLB returns ITLB misses per instruction.
+func (c *Counters) MissRateITLB() float64 { return ratio(c.ITLBMisses, c.Instructions) }
+
+// MissRateDTLB returns DTLB misses per memory access.
+func (c *Counters) MissRateDTLB() float64 { return ratio(c.DTLBMisses, c.MemInstructions) }
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Noise configures sensor imperfection.
+type Noise struct {
+	// PowerSigma is the relative standard deviation of the power-sensor
+	// reading (e.g. 0.02 for 2%). Zero disables noise.
+	PowerSigma float64
+}
+
+// ThreadEpochSample is the per-thread measurement of one epoch: counters
+// accumulated per core the thread ran on (threads can migrate
+// mid-epoch under balancers that act asynchronously).
+type ThreadEpochSample struct {
+	// PerCore maps core id -> accumulated counters on that core.
+	PerCore map[int]*Counters
+}
+
+// Total returns all counters summed across cores.
+func (s *ThreadEpochSample) Total() Counters {
+	var t Counters
+	for _, c := range s.PerCore {
+		t.Add(c)
+	}
+	return t
+}
+
+// DominantCore returns the core the thread spent most run time on
+// during the epoch and the counters accumulated there. ok is false when
+// the thread never ran.
+func (s *ThreadEpochSample) DominantCore() (core int, c *Counters, ok bool) {
+	best := int64(-1)
+	for id, cc := range s.PerCore {
+		if cc.RunNs > best {
+			best = cc.RunNs
+			core, c, ok = id, cc, true
+		}
+	}
+	return core, c, ok
+}
+
+// CoreEpochSample aggregates a core's view of one epoch.
+type CoreEpochSample struct {
+	BusyNs  int64 // time executing threads
+	SleepNs int64 // time in the quiescent state
+	Agg     Counters
+	// SleepEnergyJ is the energy burnt while power-gated.
+	SleepEnergyJ float64
+}
+
+// PowerW returns the core's average power over the epoch window
+// (busy + sleep time).
+func (c *CoreEpochSample) PowerW() float64 {
+	tot := c.BusyNs + c.SleepNs
+	if tot <= 0 {
+		return 0
+	}
+	return (c.Agg.EnergyJ + c.SleepEnergyJ) / (float64(tot) * 1e-9)
+}
+
+// Bank accumulates samples for one epoch across all cores and threads.
+type Bank struct {
+	numCores int
+	noise    Noise
+	r        *rng.Rand
+
+	threads map[int]*ThreadEpochSample
+	cores   []CoreEpochSample
+}
+
+// NewBank creates a counter bank for numCores cores.
+func NewBank(numCores int, noise Noise, seed uint64) (*Bank, error) {
+	if numCores < 1 {
+		return nil, fmt.Errorf("hpc: need at least one core, got %d", numCores)
+	}
+	if noise.PowerSigma < 0 || noise.PowerSigma > 0.5 {
+		return nil, fmt.Errorf("hpc: power sigma %g outside [0, 0.5]", noise.PowerSigma)
+	}
+	return &Bank{
+		numCores: numCores,
+		noise:    noise,
+		r:        rng.New(seed),
+		threads:  make(map[int]*ThreadEpochSample),
+		cores:    make([]CoreEpochSample, numCores),
+	}, nil
+}
+
+// RecordSlice records the counter deltas of one scheduled slice of
+// thread tid on core core, applying power-sensor noise. Called by the
+// kernel at every context switch (the granularity of Linux's
+// schedule(), as in Section 5.1).
+func (b *Bank) RecordSlice(tid, core int, c Counters) error {
+	if core < 0 || core >= b.numCores {
+		return fmt.Errorf("hpc: core %d out of range [0,%d)", core, b.numCores)
+	}
+	if c.RunNs < 0 {
+		return fmt.Errorf("hpc: negative run time %d", c.RunNs)
+	}
+	if b.noise.PowerSigma > 0 {
+		c.EnergyJ *= 1 + b.noise.PowerSigma*b.r.NormFloat64()
+		if c.EnergyJ < 0 {
+			c.EnergyJ = 0
+		}
+	}
+	ts := b.threads[tid]
+	if ts == nil {
+		ts = &ThreadEpochSample{PerCore: make(map[int]*Counters)}
+		b.threads[tid] = ts
+	}
+	cc := ts.PerCore[core]
+	if cc == nil {
+		cc = &Counters{}
+		ts.PerCore[core] = cc
+	}
+	cc.Add(&c)
+
+	cs := &b.cores[core]
+	cs.BusyNs += c.RunNs
+	cs.Agg.Add(&c)
+	return nil
+}
+
+// RecordSleep accounts quiescent time (and its residual leakage energy)
+// on a core.
+func (b *Bank) RecordSleep(core int, ns int64, energyJ float64) error {
+	if core < 0 || core >= b.numCores {
+		return fmt.Errorf("hpc: core %d out of range [0,%d)", core, b.numCores)
+	}
+	if ns < 0 {
+		return fmt.Errorf("hpc: negative sleep %d", ns)
+	}
+	b.cores[core].SleepNs += ns
+	b.cores[core].SleepEnergyJ += energyJ
+	return nil
+}
+
+// Snapshot returns the accumulated epoch samples and resets the bank
+// for the next epoch. The returned maps/slices are owned by the caller.
+func (b *Bank) Snapshot() (map[int]*ThreadEpochSample, []CoreEpochSample) {
+	threads := b.threads
+	cores := b.cores
+	b.threads = make(map[int]*ThreadEpochSample)
+	b.cores = make([]CoreEpochSample, b.numCores)
+	return threads, cores
+}
+
+// NumCores returns the bank's core count.
+func (b *Bank) NumCores() int { return b.numCores }

@@ -1,0 +1,225 @@
+package hpc
+
+import (
+	"math"
+	"testing"
+)
+
+func sampleCounters() Counters {
+	return Counters{
+		RunNs:              1e6,
+		Instructions:       2e6,
+		MemInstructions:    6e5,
+		BranchInstructions: 2e5,
+		CyclesBusy:         1e6,
+		CyclesIdle:         5e5,
+		L1IMisses:          1000,
+		L1DMisses:          30000,
+		BranchMispredicts:  4000,
+		ITLBMisses:         200,
+		DTLBMisses:         1200,
+		EnergyJ:            1.41e-3,
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := sampleCounters()
+	b := sampleCounters()
+	a.Add(&b)
+	if a.Instructions != 4e6 || a.RunNs != 2e6 || a.EnergyJ != 2.82e-3 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestDerivedRates(t *testing.T) {
+	c := sampleCounters()
+	if got := c.IPS(); math.Abs(got-2e9) > 1 {
+		t.Fatalf("IPS = %g", got)
+	}
+	if got := c.IPC(); math.Abs(got-2e6/1.5e6) > 1e-9 {
+		t.Fatalf("IPC = %g", got)
+	}
+	if got := c.PowerW(); math.Abs(got-1.41) > 1e-9 {
+		t.Fatalf("PowerW = %g", got)
+	}
+	if got := c.MemShare(); got != 0.3 {
+		t.Fatalf("MemShare = %g", got)
+	}
+	if got := c.BranchShare(); got != 0.1 {
+		t.Fatalf("BranchShare = %g", got)
+	}
+	if got := c.MissRateL1D(); got != 0.05 {
+		t.Fatalf("MissRateL1D = %g", got)
+	}
+	if got := c.MispredictRate(); got != 0.02 {
+		t.Fatalf("MispredictRate = %g", got)
+	}
+	if got := c.MissRateL1I(); got != 1000.0/2e6 {
+		t.Fatalf("MissRateL1I = %g", got)
+	}
+	if got := c.MissRateITLB(); got != 200.0/2e6 {
+		t.Fatalf("MissRateITLB = %g", got)
+	}
+	if got := c.MissRateDTLB(); got != 1200.0/6e5 {
+		t.Fatalf("MissRateDTLB = %g", got)
+	}
+}
+
+func TestDerivedRatesZeroSafe(t *testing.T) {
+	var c Counters
+	for name, f := range map[string]func() float64{
+		"IPS": c.IPS, "IPC": c.IPC, "PowerW": c.PowerW,
+		"MemShare": c.MemShare, "MissRateL1D": c.MissRateL1D,
+		"MispredictRate": c.MispredictRate,
+	} {
+		if v := f(); v != 0 {
+			t.Errorf("%s on zero counters = %g", name, v)
+		}
+	}
+}
+
+func TestNewBankValidation(t *testing.T) {
+	if _, err := NewBank(0, Noise{}, 1); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewBank(4, Noise{PowerSigma: -0.1}, 1); err == nil {
+		t.Fatal("negative sigma accepted")
+	}
+	if _, err := NewBank(4, Noise{PowerSigma: 0.9}, 1); err == nil {
+		t.Fatal("huge sigma accepted")
+	}
+}
+
+func TestRecordAndSnapshot(t *testing.T) {
+	b, err := NewBank(2, Noise{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RecordSlice(7, 0, sampleCounters()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RecordSlice(7, 0, sampleCounters()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RecordSlice(8, 1, sampleCounters()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RecordSleep(1, 5e5, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	threads, cores := b.Snapshot()
+	if len(threads) != 2 {
+		t.Fatalf("%d threads", len(threads))
+	}
+	t7 := threads[7].Total()
+	if t7.Instructions != 4e6 {
+		t.Fatalf("thread 7 instructions %d", t7.Instructions)
+	}
+	if cores[0].BusyNs != 2e6 || cores[1].BusyNs != 1e6 {
+		t.Fatalf("core busy %d/%d", cores[0].BusyNs, cores[1].BusyNs)
+	}
+	if cores[1].SleepNs != 5e5 || cores[1].SleepEnergyJ != 1e-6 {
+		t.Fatal("sleep not recorded")
+	}
+	// Snapshot resets.
+	threads2, cores2 := b.Snapshot()
+	if len(threads2) != 0 || cores2[0].BusyNs != 0 {
+		t.Fatal("Snapshot did not reset the bank")
+	}
+}
+
+func TestRecordSliceValidation(t *testing.T) {
+	b, _ := NewBank(2, Noise{}, 1)
+	if err := b.RecordSlice(1, 5, sampleCounters()); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+	if err := b.RecordSlice(1, -1, sampleCounters()); err == nil {
+		t.Fatal("negative core accepted")
+	}
+	c := sampleCounters()
+	c.RunNs = -1
+	if err := b.RecordSlice(1, 0, c); err == nil {
+		t.Fatal("negative run time accepted")
+	}
+	if err := b.RecordSleep(9, 1, 0); err == nil {
+		t.Fatal("sleep on bad core accepted")
+	}
+	if err := b.RecordSleep(0, -1, 0); err == nil {
+		t.Fatal("negative sleep accepted")
+	}
+}
+
+func TestDominantCore(t *testing.T) {
+	b, _ := NewBank(3, Noise{}, 1)
+	short := sampleCounters()
+	short.RunNs = 1e5
+	long := sampleCounters()
+	long.RunNs = 9e5
+	_ = b.RecordSlice(1, 0, short)
+	_ = b.RecordSlice(1, 2, long)
+	threads, _ := b.Snapshot()
+	core, c, ok := threads[1].DominantCore()
+	if !ok || core != 2 {
+		t.Fatalf("dominant core = %d, ok=%v", core, ok)
+	}
+	if c.RunNs != 9e5 {
+		t.Fatalf("dominant counters RunNs = %d", c.RunNs)
+	}
+	empty := &ThreadEpochSample{PerCore: map[int]*Counters{}}
+	if _, _, ok := empty.DominantCore(); ok {
+		t.Fatal("empty sample should report !ok")
+	}
+}
+
+func TestPowerNoiseApplied(t *testing.T) {
+	clean, _ := NewBank(1, Noise{}, 1)
+	noisy, _ := NewBank(1, Noise{PowerSigma: 0.05}, 1)
+	var cleanE, noisyE float64
+	n := 500
+	for i := 0; i < n; i++ {
+		_ = clean.RecordSlice(1, 0, sampleCounters())
+		_ = noisy.RecordSlice(1, 0, sampleCounters())
+	}
+	tc, _ := clean.Snapshot()
+	tn, _ := noisy.Snapshot()
+	cleanE = tc[1].Total().EnergyJ
+	noisyE = tn[1].Total().EnergyJ
+	if math.Abs(cleanE-float64(n)*1.41e-3) > 1e-9 {
+		t.Fatalf("clean energy %g", cleanE)
+	}
+	if noisyE == cleanE {
+		t.Fatal("noise had no effect")
+	}
+	// Unbiased: the mean should stay within ~1% over 500 samples at 5%.
+	if math.Abs(noisyE-cleanE)/cleanE > 0.01 {
+		t.Fatalf("noise bias too large: %g vs %g", noisyE, cleanE)
+	}
+}
+
+func TestNoiseDeterministicUnderSeed(t *testing.T) {
+	a, _ := NewBank(1, Noise{PowerSigma: 0.05}, 42)
+	b, _ := NewBank(1, Noise{PowerSigma: 0.05}, 42)
+	_ = a.RecordSlice(1, 0, sampleCounters())
+	_ = b.RecordSlice(1, 0, sampleCounters())
+	ta, _ := a.Snapshot()
+	tb, _ := b.Snapshot()
+	if ta[1].Total().EnergyJ != tb[1].Total().EnergyJ {
+		t.Fatal("same seed produced different noise")
+	}
+}
+
+func TestCoreEpochPower(t *testing.T) {
+	c := CoreEpochSample{
+		BusyNs:       5e8,
+		SleepNs:      5e8,
+		Agg:          Counters{EnergyJ: 1.0},
+		SleepEnergyJ: 0.01,
+	}
+	if got := c.PowerW(); math.Abs(got-1.01) > 1e-12 {
+		t.Fatalf("core power %g, want 1.01", got)
+	}
+	var zero CoreEpochSample
+	if zero.PowerW() != 0 {
+		t.Fatal("zero-window power should be 0")
+	}
+}

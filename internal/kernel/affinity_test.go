@@ -1,0 +1,131 @@
+package kernel
+
+import (
+	"testing"
+
+	"smartbalance/internal/arch"
+)
+
+func TestSetAffinityValidation(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), &noopBalancer{})
+	id, _ := k.Spawn(busySpec("a"))
+	if err := k.SetAffinity(99, []arch.CoreID{0}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+	if err := k.SetAffinity(id, nil); err == nil {
+		t.Fatal("empty affinity accepted")
+	}
+	if err := k.SetAffinity(id, []arch.CoreID{9}); err == nil {
+		t.Fatal("out-of-range core accepted")
+	}
+}
+
+func TestSetAffinityMovesTaskOffDisallowedCore(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), &noopBalancer{})
+	id, _ := k.Spawn(busySpec("a"))
+	cur := k.Task(id).Core()
+	other := arch.CoreID((int(cur) + 1) % 4)
+	if err := k.SetAffinity(id, []arch.CoreID{other}); err != nil {
+		t.Fatal(err)
+	}
+	if k.Task(id).Core() != other {
+		t.Fatalf("task stayed on disallowed core %d", k.Task(id).Core())
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateRespectsAffinity(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), &noopBalancer{})
+	id, _ := k.Spawn(busySpec("a"))
+	if err := k.SetAffinity(id, []arch.CoreID{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Migrate(id, 3); err == nil {
+		t.Fatal("migration outside the mask accepted")
+	}
+	if err := k.Migrate(id, 2); err != nil {
+		t.Fatalf("migration inside the mask rejected: %v", err)
+	}
+	task := k.Task(id)
+	if !task.AllowedOn(1) || task.AllowedOn(3) {
+		t.Fatal("AllowedOn wrong")
+	}
+	mask := task.AllowedMask()
+	if mask == nil || mask[0] || !mask[2] {
+		t.Fatalf("AllowedMask wrong: %v", mask)
+	}
+}
+
+func TestAffinityPinsUnderLoad(t *testing.T) {
+	// A task pinned to the Small core must never run elsewhere even
+	// under a chaotic balancer that tries to move everything.
+	k := newKernel(t, arch.QuadHMP(), spreadBalancer{})
+	pinned, _ := k.Spawn(busySpec("pinned"))
+	for i := 0; i < 3; i++ {
+		_, _ = k.Spawn(busySpec("free"))
+	}
+	if err := k.SetAffinity(pinned, []arch.CoreID{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(600e6); err != nil {
+		t.Fatal(err)
+	}
+	task := k.Task(pinned)
+	if task.Core() != 3 {
+		t.Fatalf("pinned task ended on core %d", task.Core())
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearAffinity(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), &noopBalancer{})
+	id, _ := k.Spawn(busySpec("a"))
+	if err := k.SetAffinity(id, []arch.CoreID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.ClearAffinity(id); err != nil {
+		t.Fatal(err)
+	}
+	if k.Task(id).AllowedMask() != nil {
+		t.Fatal("mask survived ClearAffinity")
+	}
+	if err := k.Migrate(id, 3); err != nil {
+		t.Fatalf("migration after clear rejected: %v", err)
+	}
+	if err := k.ClearAffinity(99); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestAffinityCancelsPendingMigration(t *testing.T) {
+	plat, _ := arch.HomogeneousPlatform(arch.BigCore(), 3)
+	k := newKernel(t, plat, &noopBalancer{})
+	id, _ := k.Spawn(busySpec("a"))
+	if err := k.Run(5e6); err != nil { // task now running
+		t.Fatal(err)
+	}
+	if k.Task(id).State() == StateRunning {
+		// Request a migration, then forbid the destination before the
+		// context switch applies it.
+		if err := k.Migrate(id, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetAffinity(id, []arch.CoreID{k.Task(id).Core()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(100e6); err != nil {
+		t.Fatal(err)
+	}
+	task := k.Task(id)
+	if !task.AllowedOn(task.Core()) {
+		t.Fatalf("task ended on disallowed core %d", task.Core())
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

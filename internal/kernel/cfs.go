@@ -1,0 +1,117 @@
+package kernel
+
+import "smartbalance/internal/arch"
+
+// This file implements the per-core CFS mechanics: weighted virtual
+// runtime, timeslice computation, enqueue/dequeue with sleeper
+// fairness, and next-task selection. The runqueues are small (tens of
+// tasks), so a slice with linear minimum search stands in for the
+// kernel's red-black tree without changing behaviour.
+
+// minVruntime returns the smallest vruntime among a core's runnable
+// tasks (including current), or 0 when idle.
+func (k *Kernel) minVruntime(c arch.CoreID) int64 {
+	cr := &k.cores[c]
+	var min int64
+	have := false
+	consider := func(t *Task) {
+		if t == nil {
+			return
+		}
+		if !have || t.vruntime < min {
+			min = t.vruntime
+			have = true
+		}
+	}
+	consider(cr.current)
+	for _, t := range cr.runq {
+		consider(t)
+	}
+	return min
+}
+
+// enqueue places a runnable task on core c's runqueue, applying the
+// sleeper-fairness rule: a task that slept (or is new, or migrated in)
+// resumes at no less than min_vruntime - latency/2, so it gets a modest
+// wakeup advantage without starving the queue.
+func (k *Kernel) enqueue(t *Task, c arch.CoreID) {
+	cr := &k.cores[c]
+	floor := k.minVruntime(c) - k.cfg.SchedLatencyNs/2
+	if t.vruntime < floor {
+		t.vruntime = floor
+	}
+	t.core = c
+	t.taskState = StateRunnable
+	cr.runq = append(cr.runq, t)
+}
+
+// dequeue removes a runnable task from its core's runqueue.
+func (k *Kernel) dequeue(t *Task) {
+	cr := &k.cores[t.core]
+	for i, q := range cr.runq {
+		if q == t {
+			cr.runq = append(cr.runq[:i], cr.runq[i+1:]...)
+			return
+		}
+	}
+}
+
+// pickNext removes and returns the runnable task with the smallest
+// vruntime, or nil when the queue is empty.
+func (k *Kernel) pickNext(c arch.CoreID) *Task {
+	cr := &k.cores[c]
+	if len(cr.runq) == 0 {
+		return nil
+	}
+	best := 0
+	for i := 1; i < len(cr.runq); i++ {
+		if cr.runq[i].vruntime < cr.runq[best].vruntime {
+			best = i
+		}
+	}
+	t := cr.runq[best]
+	cr.runq = append(cr.runq[:best], cr.runq[best+1:]...)
+	return t
+}
+
+// timeslice computes the CFS timeslice for task t on core c:
+// period * weight / total_weight, with the period stretched when many
+// tasks are runnable, floored at the minimum granularity. t may already
+// be accounted on the core (as current or queued) or not yet; both are
+// handled without double counting.
+func (k *Kernel) timeslice(t *Task, c arch.CoreID) int64 {
+	cr := &k.cores[c]
+	nr := k.RunqueueLen(c)
+	total := k.CoreLoad(c)
+	counted := cr.current == t
+	if !counted {
+		for _, q := range cr.runq {
+			if q == t {
+				counted = true
+				break
+			}
+		}
+	}
+	if !counted {
+		nr++
+		total += t.weight
+	}
+	period := k.cfg.SchedLatencyNs
+	if minPeriod := int64(nr) * k.cfg.MinGranularityNs; minPeriod > period {
+		period = minPeriod
+	}
+	if total <= 0 {
+		total = t.weight
+	}
+	slice := period * t.weight / total
+	if slice < k.cfg.MinGranularityNs {
+		slice = k.cfg.MinGranularityNs
+	}
+	return slice
+}
+
+// chargeVruntime advances a task's virtual runtime after running for
+// durNs of wall execution time.
+func (t *Task) chargeVruntime(durNs int64) {
+	t.vruntime += durNs * nice0Load / t.weight
+}

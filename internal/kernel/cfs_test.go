@@ -1,0 +1,123 @@
+package kernel
+
+import (
+	"testing"
+
+	"smartbalance/internal/arch"
+)
+
+// Unit tests for the CFS mechanics: timeslice computation, vruntime
+// charging, sleeper fairness, and min-vruntime tracking.
+
+func TestTimesliceSingleTask(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), &noopBalancer{})
+	id, _ := k.Spawn(busySpec("solo"))
+	task := k.Task(id)
+	// A lone nice-0 task gets the whole latency window.
+	slice := k.timeslice(task, task.Core())
+	if slice != k.cfg.SchedLatencyNs {
+		t.Fatalf("solo timeslice %d, want %d", slice, k.cfg.SchedLatencyNs)
+	}
+}
+
+func TestTimesliceSharedProportionally(t *testing.T) {
+	plat, _ := arch.HomogeneousPlatform(arch.BigCore(), 1)
+	k := newKernel(t, plat, &noopBalancer{})
+	a, _ := k.Spawn(busySpec("a"))
+	_, _ = k.Spawn(busySpec("b"))
+	ta := k.Task(a)
+	slice := k.timeslice(ta, 0)
+	if slice != k.cfg.SchedLatencyNs/2 {
+		t.Fatalf("two equal tasks: slice %d, want %d", slice, k.cfg.SchedLatencyNs/2)
+	}
+}
+
+func TestTimesliceWeighted(t *testing.T) {
+	plat, _ := arch.HomogeneousPlatform(arch.BigCore(), 1)
+	k := newKernel(t, plat, &noopBalancer{})
+	hi := busySpec("hi")
+	hi.Nice = -5
+	lo := busySpec("lo")
+	lo.Nice = 5
+	a, _ := k.Spawn(hi)
+	b, _ := k.Spawn(lo)
+	sa := k.timeslice(k.Task(a), 0)
+	sb := k.timeslice(k.Task(b), 0)
+	if sa <= sb {
+		t.Fatalf("higher-weight task got slice %d <= %d", sa, sb)
+	}
+	// The low-weight task is still floored at the minimum granularity.
+	if sb < k.cfg.MinGranularityNs {
+		t.Fatalf("slice %d below min granularity", sb)
+	}
+}
+
+func TestTimeslicePeriodStretchesWithLoad(t *testing.T) {
+	plat, _ := arch.HomogeneousPlatform(arch.BigCore(), 1)
+	k := newKernel(t, plat, &noopBalancer{})
+	var last ThreadID
+	// Enough tasks that nr*min_gran exceeds the latency window.
+	n := int(k.cfg.SchedLatencyNs/k.cfg.MinGranularityNs) + 4
+	for i := 0; i < n; i++ {
+		last, _ = k.Spawn(busySpec("x"))
+	}
+	slice := k.timeslice(k.Task(last), 0)
+	if slice != k.cfg.MinGranularityNs {
+		t.Fatalf("overloaded queue slice %d, want min granularity %d", slice, k.cfg.MinGranularityNs)
+	}
+}
+
+func TestChargeVruntimeWeighting(t *testing.T) {
+	heavy := &Task{weight: 2048}
+	light := &Task{weight: 512}
+	heavy.chargeVruntime(1e6)
+	light.chargeVruntime(1e6)
+	// Heavier tasks accrue vruntime more slowly (factor weight/1024).
+	if heavy.vruntime*4 != light.vruntime {
+		t.Fatalf("vruntime ratio wrong: heavy %d, light %d", heavy.vruntime, light.vruntime)
+	}
+}
+
+func TestSleeperFairnessFloor(t *testing.T) {
+	plat, _ := arch.HomogeneousPlatform(arch.BigCore(), 1)
+	k := newKernel(t, plat, &noopBalancer{})
+	// Run one task long enough to build up vruntime.
+	_, _ = k.Spawn(busySpec("runner"))
+	if err := k.Run(300e6); err != nil {
+		t.Fatal(err)
+	}
+	// A newcomer must start near min_vruntime - latency/2, not at 0
+	// (which would let it monopolise the core for a long time).
+	id, _ := k.Spawn(busySpec("newcomer"))
+	nc := k.Task(id)
+	floor := k.minVruntime(0) - k.cfg.SchedLatencyNs/2 - 1
+	if nc.vruntime < floor {
+		t.Fatalf("newcomer vruntime %d below sleeper-fairness floor %d", nc.vruntime, floor)
+	}
+}
+
+func TestPickNextLowestVruntime(t *testing.T) {
+	plat, _ := arch.HomogeneousPlatform(arch.BigCore(), 1)
+	k := newKernel(t, plat, &noopBalancer{})
+	a, _ := k.Spawn(busySpec("a"))
+	b, _ := k.Spawn(busySpec("b"))
+	c, _ := k.Spawn(busySpec("c"))
+	k.Task(a).vruntime = 300
+	k.Task(b).vruntime = 100
+	k.Task(c).vruntime = 200
+	picked := k.pickNext(0)
+	if picked == nil || picked.ID != b {
+		t.Fatalf("picked %v, want task %d", picked, b)
+	}
+	// b removed from the queue.
+	if got := k.RunqueueLen(0); got != 2 {
+		t.Fatalf("queue length after pick: %d", got)
+	}
+}
+
+func TestMinVruntimeIdleCore(t *testing.T) {
+	k := newKernel(t, arch.QuadHMP(), &noopBalancer{})
+	if k.minVruntime(2) != 0 {
+		t.Fatal("idle core min vruntime should be 0")
+	}
+}

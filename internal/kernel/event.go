@@ -1,0 +1,74 @@
+package kernel
+
+import (
+	"container/heap"
+
+	"smartbalance/internal/arch"
+)
+
+// eventKind enumerates discrete-event types.
+type eventKind int
+
+const (
+	evSliceEnd eventKind = iota // a core's current timeslice expires
+	evWakeup                    // a sleeping task becomes runnable
+)
+
+// event is one entry of the simulation event queue. Ordering is by time
+// then by insertion sequence, which makes the simulation fully
+// deterministic.
+type event struct {
+	at   Time
+	seq  uint64
+	kind eventKind
+
+	core     arch.CoreID // evSliceEnd target
+	sliceSeq uint64      // staleness guard for evSliceEnd
+	task     ThreadID    // evWakeup target
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// push schedules an event; seq assignment keeps ordering deterministic.
+func (k *Kernel) push(e event) {
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, e)
+}
+
+// pop removes and returns the earliest event; ok is false when empty.
+func (k *Kernel) pop() (event, bool) {
+	if len(k.events) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(&k.events).(event), true
+}
+
+// peekTime returns the time of the earliest pending event.
+func (k *Kernel) peekTime() (Time, bool) {
+	if len(k.events) == 0 {
+		return 0, false
+	}
+	return k.events[0].at, true
+}

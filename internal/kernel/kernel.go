@@ -1,0 +1,560 @@
+// Package kernel is the reproduction's substitute for the Linux 2.6.x
+// scheduling subsystem the paper modifies: a discrete-event simulator of
+// per-core CFS (completely fair scheduler) runqueues with nice-weighted
+// timeslices and virtual runtimes, task fork/sleep/wakeup/exit, counter
+// sampling at schedule() granularity, thread migration via an
+// allowed-CPU assignment, and a pluggable load-balancer hook invoked
+// once per SmartBalance epoch — the reimplemented rebalance_domains() of
+// Section 5.1.
+//
+// Within a core, scheduling is plain CFS exactly as the paper keeps it
+// ("we use the standard Linux CFS to perform scheduling of the threads
+// allocated to the same core"); all policy differences between the
+// vanilla kernel, ARM GTS, and SmartBalance live behind the Balancer
+// interface.
+//
+// # Fidelity notes
+//
+// Deliberate simplifications relative to a real Linux kernel, none of
+// which change what the balancers can observe or decide:
+//
+//   - No wakeup preemption: a woken task waits for the running slice to
+//     end (at most one timeslice) instead of preempting immediately.
+//   - No wake-time idle stealing (select_idle_sibling): a waking task
+//     returns to its assigned core; cross-core movement is the
+//     balancers' job, at epoch granularity.
+//   - One flat scheduling domain: the vanilla balancer balances across
+//     all cores directly rather than through a domain hierarchy.
+//   - Migration cost is modelled as a fixed cold-cache stall charged to
+//     the first slice on the new core.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/machine"
+	"smartbalance/internal/pelt"
+	"smartbalance/internal/rng"
+	"smartbalance/internal/workload"
+)
+
+// Time is simulated time in nanoseconds.
+type Time = int64
+
+// ThreadID identifies a task within one kernel instance.
+type ThreadID int
+
+// TaskState enumerates the lifecycle states of a task.
+type TaskState int
+
+// Task lifecycle states.
+const (
+	StateRunnable TaskState = iota // on a runqueue, waiting for the CPU
+	StateRunning                   // currently executing a slice
+	StateSleeping                  // blocked in a sleep/wait period
+	StateFinished                  // exited
+)
+
+// String returns the state name.
+func (s TaskState) String() string {
+	switch s {
+	case StateRunnable:
+		return "runnable"
+	case StateRunning:
+		return "running"
+	case StateSleeping:
+		return "sleeping"
+	case StateFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("TaskState(%d)", int(s))
+	}
+}
+
+// nice0Load is Linux's NICE_0_LOAD: the weight of a nice-0 task.
+const nice0Load = 1024
+
+// WeightForNice returns the CFS load weight for a nice level, following
+// the kernel's ~1.25x-per-level rule.
+func WeightForNice(nice int) int64 {
+	w := 1024 * math.Pow(1.25, float64(-nice))
+	if w < 15 {
+		w = 15
+	}
+	return int64(w)
+}
+
+// Task is the kernel's task entity ("processes and threads are all
+// treated as a task entity and scheduled independently").
+type Task struct {
+	ID    ThreadID
+	Spec  *workload.ThreadSpec
+	state *machine.ThreadState
+
+	taskState TaskState
+	core      arch.CoreID // runqueue the task belongs (or will return) to
+	weight    int64
+	vruntime  int64 // weighted virtual runtime, ns-scaled
+
+	// pendingCore, when >= 0, is a migration requested while the task
+	// was running; applied at the next context switch — the
+	// set_cpus_allowed_ptr() path of Section 5.1.
+	pendingCore arch.CoreID
+
+	// migrationDebt is stall time charged before the first slice on a
+	// new core (cold caches after migration).
+	migrationDebt int64
+
+	// Lifetime statistics.
+	spawnedAt    Time
+	finishedAt   Time
+	totalRunNs   int64
+	totalInstr   uint64
+	totalEnergyJ float64
+	migrations   int
+
+	// epochRunNs is run time within the current epoch; epochRunnableNs
+	// additionally counts time spent waiting on a runqueue. The latter
+	// is the utilisation (tracked-load) signal GTS-style balancers
+	// consume; both reset at each epoch tick.
+	epochRunNs      int64
+	epochRunnableNs int64
+	runnableSince   Time
+
+	// pelt tracks the Linux-style decayed runnable/running averages —
+	// the signal GTS-class balancers consume.
+	pelt pelt.Tracker
+
+	// allowed is the CPU-affinity mask (nil = every core allowed). Set
+	// via Kernel.SetAffinity; Migrate refuses disallowed destinations.
+	allowed []bool
+}
+
+// State returns the task's lifecycle state.
+func (t *Task) State() TaskState { return t.taskState }
+
+// Core returns the core the task is currently assigned to.
+func (t *Task) Core() arch.CoreID { return t.core }
+
+// Weight returns the CFS load weight.
+func (t *Task) Weight() int64 { return t.weight }
+
+// TotalInstructions returns the instructions retired so far.
+func (t *Task) TotalInstructions() uint64 { return t.totalInstr }
+
+// TotalRunNs returns the accumulated execution time.
+func (t *Task) TotalRunNs() int64 { return t.totalRunNs }
+
+// Migrations returns how many times the task has changed cores.
+func (t *Task) Migrations() int { return t.migrations }
+
+// EpochRunNs returns the execution time accumulated since the last
+// epoch tick.
+func (t *Task) EpochRunNs() int64 { return t.epochRunNs }
+
+// EpochRunnableNs returns the time the task has been runnable (running
+// or queued) since the last epoch tick — the utilisation signal
+// GTS-style balancers consume. It is flushed by the kernel just before
+// each balancer invocation.
+func (t *Task) EpochRunnableNs() int64 { return t.epochRunnableNs }
+
+// TrackedLoad returns the PELT-style decayed *runnable* fraction in
+// [0, 1] — Linux's load_avg_ratio, the quantity ARM GTS thresholds act
+// on. Fresh as of the last epoch boundary or state change.
+func (t *Task) TrackedLoad() float64 { return t.pelt.Load() }
+
+// TrackedUtilization returns the PELT-style decayed *running* fraction
+// in [0, 1].
+func (t *Task) TrackedUtilization() float64 { return t.pelt.Utilization() }
+
+// Utilization returns the runnable fraction of the elapsed epoch in
+// [0, 1], given the epoch length.
+func (t *Task) Utilization(epochNs int64) float64 {
+	if epochNs <= 0 {
+		return 0
+	}
+	u := float64(t.epochRunnableNs) / float64(epochNs)
+	if u > 1 {
+		u = 1
+	}
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// Benchmark returns the owning benchmark name.
+func (t *Task) Benchmark() string { return t.Spec.Benchmark }
+
+// IsKernelThread reports whether the task was marked as an OS-internal
+// thread at fork (Section 5.1's sched_fork() marking).
+func (t *Task) IsKernelThread() bool { return t.Spec.KernelThread }
+
+// MachineState exposes the task's execution-model state. Oracle-mode
+// experiments use it to read exact per-core behaviour; policy code must
+// treat it as read-only.
+func (t *Task) MachineState() *machine.ThreadState { return t.state }
+
+// AllowedOn reports whether the task's affinity mask permits core c.
+func (t *Task) AllowedOn(c arch.CoreID) bool {
+	if t.allowed == nil {
+		return true
+	}
+	return int(c) < len(t.allowed) && t.allowed[int(c)]
+}
+
+// AllowedMask returns a copy of the affinity mask, or nil when every
+// core is allowed.
+func (t *Task) AllowedMask() []bool {
+	if t.allowed == nil {
+		return nil
+	}
+	return append([]bool(nil), t.allowed...)
+}
+
+// SetAffinity restricts the task to the given cores (the
+// sched_setaffinity / cpuset analogue). The set must be non-empty and
+// valid; if the task currently sits on a now-disallowed core it is
+// migrated to the first allowed one.
+func (k *Kernel) SetAffinity(id ThreadID, cores []arch.CoreID) error {
+	t, ok := k.tasks[id]
+	if !ok {
+		return fmt.Errorf("kernel: affinity for unknown task %d", id)
+	}
+	if t.taskState == StateFinished {
+		return fmt.Errorf("kernel: affinity for finished task %d", id)
+	}
+	if len(cores) == 0 {
+		return errors.New("kernel: empty affinity set")
+	}
+	mask := make([]bool, len(k.cores))
+	first := arch.CoreID(-1)
+	for _, c := range cores {
+		if int(c) < 0 || int(c) >= len(k.cores) {
+			return fmt.Errorf("kernel: affinity core %d out of range", c)
+		}
+		if !mask[c] && first < 0 {
+			first = c
+		}
+		mask[c] = true
+	}
+	t.allowed = mask
+	// Cancel a pending migration that the new mask forbids.
+	if t.pendingCore >= 0 && !t.AllowedOn(t.pendingCore) {
+		t.pendingCore = -1
+	}
+	if !t.AllowedOn(t.core) {
+		return k.Migrate(id, first)
+	}
+	return nil
+}
+
+// ClearAffinity removes the task's affinity restriction.
+func (k *Kernel) ClearAffinity(id ThreadID) error {
+	t, ok := k.tasks[id]
+	if !ok {
+		return fmt.Errorf("kernel: affinity for unknown task %d", id)
+	}
+	t.allowed = nil
+	return nil
+}
+
+// Config parameterises a kernel instance.
+type Config struct {
+	// SchedLatencyNs is the CFS target latency: every runnable task runs
+	// once within this window when few tasks are present.
+	SchedLatencyNs int64
+	// MinGranularityNs is the smallest timeslice CFS will hand out.
+	MinGranularityNs int64
+	// EpochNs is the SmartBalance epoch T_Epoch covering L CFS periods
+	// (60 ms in the paper's evaluation).
+	EpochNs int64
+	// MigrationPenaltyNs is stall time charged to a task's first slice
+	// on a new core (cold-cache effect).
+	MigrationPenaltyNs int64
+	// Noise configures the power sensors.
+	Noise hpc.Noise
+	// Seed drives all kernel-internal randomness (initial placement).
+	Seed uint64
+}
+
+// DefaultConfig returns the configuration used across the paper's
+// experiments.
+func DefaultConfig() Config {
+	return Config{
+		SchedLatencyNs:     12e6,  // 12 ms CFS latency
+		MinGranularityNs:   1.5e6, // 1.5 ms minimum slice
+		EpochNs:            60e6,  // 60 ms SmartBalance epoch (Section 6.3)
+		MigrationPenaltyNs: 50e3,  // 50 us cold-cache penalty
+		Seed:               1,
+	}
+}
+
+// Validate checks configuration sanity.
+func (c *Config) Validate() error {
+	switch {
+	case c.SchedLatencyNs <= 0:
+		return errors.New("kernel: non-positive sched latency")
+	case c.MinGranularityNs <= 0 || c.MinGranularityNs > c.SchedLatencyNs:
+		return errors.New("kernel: min granularity outside (0, sched latency]")
+	case c.EpochNs < c.SchedLatencyNs:
+		return errors.New("kernel: epoch shorter than one CFS period")
+	case c.MigrationPenaltyNs < 0:
+		return errors.New("kernel: negative migration penalty")
+	}
+	return nil
+}
+
+// Balancer is the load-balancing policy hook: the reimplementation
+// point of Linux's rebalance_domains(). It is called once per epoch
+// with the epoch's sensed per-thread and per-core samples and may call
+// Kernel.Migrate to move tasks.
+type Balancer interface {
+	// Name identifies the policy in results tables.
+	Name() string
+	// Rebalance runs at an epoch boundary. threads maps ThreadID (as
+	// int) to the counters sampled during the elapsed epoch; cores holds
+	// the per-core aggregates.
+	Rebalance(k *Kernel, now Time, threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample)
+}
+
+// coreRun is the per-core scheduling state.
+type coreRun struct {
+	id      arch.CoreID
+	runq    []*Task // runnable tasks (current excluded)
+	current *Task
+	// sliceSeq invalidates stale slice-end events after idling.
+	sliceSeq uint64
+	// pending is the precomputed outcome of the in-flight slice,
+	// consumed at its end event.
+	pending    machine.SliceResult
+	sleeping   bool
+	sleepStart Time
+
+	// Cumulative accounting.
+	busyNs   int64
+	sleepNs  int64
+	instr    uint64
+	energyJ  float64
+	switches int64
+}
+
+// Kernel is one simulated OS instance bound to a machine and a
+// balancing policy.
+type Kernel struct {
+	mach     *machine.Machine
+	plat     *arch.Platform
+	balancer Balancer
+	cfg      Config
+
+	now    Time
+	events eventQueue
+	seq    uint64
+
+	cores  []coreRun
+	tasks  map[ThreadID]*Task
+	order  []ThreadID // spawn order, for deterministic iteration
+	nextID ThreadID
+
+	bank *hpc.Bank
+	r    *rng.Rand
+
+	epochs     int
+	migrations int
+
+	// horizon caps slice lengths so no event crosses the end of Run;
+	// nextEpoch is the time of the next balancer tick.
+	horizon   Time
+	nextEpoch Time
+
+	// observer, when set, receives scheduling trace events.
+	observer Observer
+}
+
+// New constructs a kernel over machine m with the given balancing
+// policy and configuration.
+func New(m *machine.Machine, b Balancer, cfg Config) (*Kernel, error) {
+	if m == nil {
+		return nil, errors.New("kernel: nil machine")
+	}
+	if b == nil {
+		return nil, errors.New("kernel: nil balancer")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	plat := m.Platform()
+	bank, err := hpc.NewBank(plat.NumCores(), cfg.Noise, cfg.Seed^0xB4153)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kernel{
+		mach:     m,
+		plat:     plat,
+		balancer: b,
+		cfg:      cfg,
+		cores:    make([]coreRun, plat.NumCores()),
+		tasks:    make(map[ThreadID]*Task),
+		bank:     bank,
+		r:        rng.New(cfg.Seed),
+	}
+	for i := range k.cores {
+		k.cores[i] = coreRun{id: arch.CoreID(i), sleeping: true}
+	}
+	return k, nil
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Platform returns the underlying platform.
+func (k *Kernel) Platform() *arch.Platform { return k.plat }
+
+// Machine returns the underlying machine model.
+func (k *Kernel) Machine() *machine.Machine { return k.mach }
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() Config { return k.cfg }
+
+// Task returns the task with the given id, or nil.
+func (k *Kernel) Task(id ThreadID) *Task { return k.tasks[id] }
+
+// Tasks returns all tasks in spawn order.
+func (k *Kernel) Tasks() []*Task {
+	out := make([]*Task, 0, len(k.order))
+	for _, id := range k.order {
+		out = append(out, k.tasks[id])
+	}
+	return out
+}
+
+// ActiveTasks returns all non-finished tasks in spawn order — "the set
+// of threads to be optimized contains all threads active at the
+// beginning of each SmartBalance epoch".
+func (k *Kernel) ActiveTasks() []*Task {
+	var out []*Task
+	for _, id := range k.order {
+		if t := k.tasks[id]; t.taskState != StateFinished {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// NumCores returns the platform core count.
+func (k *Kernel) NumCores() int { return len(k.cores) }
+
+// RunqueueLen returns the number of runnable tasks on a core, counting
+// the one currently executing.
+func (k *Kernel) RunqueueLen(c arch.CoreID) int {
+	cr := &k.cores[c]
+	n := len(cr.runq)
+	if cr.current != nil {
+		n++
+	}
+	return n
+}
+
+// CoreLoad returns the summed CFS weight of the runnable tasks on a
+// core (the vanilla balancer's load metric).
+func (k *Kernel) CoreLoad(c arch.CoreID) int64 {
+	cr := &k.cores[c]
+	var w int64
+	for _, t := range cr.runq {
+		w += t.weight
+	}
+	if cr.current != nil {
+		w += cr.current.weight
+	}
+	return w
+}
+
+// Spawn creates a task from spec at the current simulated time
+// (sched_fork analogue). Initial placement goes to the core with the
+// fewest runnable tasks, ties broken by id — mirroring fork balancing.
+func (k *Kernel) Spawn(spec *workload.ThreadSpec) (ThreadID, error) {
+	st, err := k.mach.NewThreadState(spec)
+	if err != nil {
+		return 0, err
+	}
+	id := k.nextID
+	k.nextID++
+	best := arch.CoreID(0)
+	bestLen := math.MaxInt
+	for i := range k.cores {
+		if l := k.RunqueueLen(arch.CoreID(i)); l < bestLen {
+			bestLen = l
+			best = arch.CoreID(i)
+		}
+	}
+	t := &Task{
+		ID:            id,
+		Spec:          spec,
+		state:         st,
+		taskState:     StateRunnable,
+		core:          best,
+		weight:        WeightForNice(spec.Nice),
+		pendingCore:   -1,
+		spawnedAt:     k.now,
+		runnableSince: k.now,
+	}
+	k.tasks[id] = t
+	k.order = append(k.order, id)
+	t.pelt.Transition(k.now, true, false)
+	k.emit(TraceEvent{At: k.now, Kind: TraceSpawn, Core: best, Thread: id})
+	k.enqueue(t, best)
+	k.kick(best)
+	return id, nil
+}
+
+// Migrate moves a task to the destination core. Runnable tasks move
+// immediately; the currently running task is marked and moved at its
+// next context switch; sleeping tasks wake up on the new core. This is
+// the simulator's set_cpus_allowed_ptr().
+func (k *Kernel) Migrate(id ThreadID, dst arch.CoreID) error {
+	t, ok := k.tasks[id]
+	if !ok {
+		return fmt.Errorf("kernel: migrate unknown task %d", id)
+	}
+	if int(dst) < 0 || int(dst) >= len(k.cores) {
+		return fmt.Errorf("kernel: migrate to invalid core %d", dst)
+	}
+	if !t.AllowedOn(dst) {
+		return fmt.Errorf("kernel: core %d not in task %d's affinity mask", dst, id)
+	}
+	switch t.taskState {
+	case StateFinished:
+		return fmt.Errorf("kernel: migrate finished task %d", id)
+	case StateRunning:
+		if t.core != dst {
+			t.pendingCore = dst
+		}
+		return nil
+	case StateSleeping:
+		if t.core != dst {
+			t.core = dst
+			t.migrations++
+			k.migrations++
+			t.migrationDebt = k.cfg.MigrationPenaltyNs
+			k.emit(TraceEvent{At: k.now, Kind: TraceMigrate, Core: dst, Thread: id})
+		}
+		return nil
+	case StateRunnable:
+		if t.core == dst {
+			return nil
+		}
+		k.dequeue(t)
+		t.migrations++
+		k.migrations++
+		t.migrationDebt = k.cfg.MigrationPenaltyNs
+		k.emit(TraceEvent{At: k.now, Kind: TraceMigrate, Core: dst, Thread: id})
+		k.enqueue(t, dst)
+		k.kick(dst)
+		return nil
+	}
+	return fmt.Errorf("kernel: task %d in unexpected state %v", id, t.taskState)
+}

@@ -1,0 +1,211 @@
+package kernel
+
+import (
+	"testing"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/machine"
+	"smartbalance/internal/rng"
+	"smartbalance/internal/workload"
+)
+
+// chaosBalancer performs random migrations every epoch — an adversarial
+// policy for invariant stress testing.
+type chaosBalancer struct {
+	r *rng.Rand
+}
+
+func (c *chaosBalancer) Name() string { return "chaos" }
+func (c *chaosBalancer) Rebalance(k *Kernel, _ Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+	n := k.NumCores()
+	for _, t := range k.ActiveTasks() {
+		if c.r.Float64() < 0.7 {
+			_ = k.Migrate(t.ID, arch.CoreID(c.r.Intn(n)))
+		}
+	}
+}
+
+// TestKernelStressInvariants interleaves spawns, migrations, finite and
+// interactive workloads, and chaotic balancing, checking the scheduler
+// invariants and accounting identities after every step.
+func TestKernelStressInvariants(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		seed := seed
+		r := rng.New(seed)
+		m, err := machine.New(arch.QuadHMP())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		k, err := New(m, &chaosBalancer{r: rng.New(seed ^ 0xC0)}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mkSpec := func(i int) *workload.ThreadSpec {
+			spec := &workload.ThreadSpec{
+				Name:      "stress",
+				Benchmark: "stress",
+				Phases: []workload.Phase{{
+					Name:          "p",
+					Instructions:  uint64(1e5 + r.Intn(5e7)),
+					ILP:           0.8 + r.Float64()*3,
+					MemShare:      r.Float64() * 0.5,
+					BranchShare:   r.Float64() * 0.2,
+					WorkingSetIKB: 1 + r.Float64()*64,
+					WorkingSetDKB: 1 + r.Float64()*1024,
+					BranchEntropy: r.Float64(),
+					MLP:           1 + r.Float64()*3,
+				}},
+			}
+			if r.Float64() < 0.4 {
+				spec.Phases[0].SleepAfterNs = int64(r.Intn(30e6))
+			}
+			if r.Float64() < 0.3 {
+				spec.Repeats = 1 + r.Intn(3) // finite: will exit
+			}
+			_ = i
+			return spec
+		}
+
+		now := Time(0)
+		for step := 0; step < 30; step++ {
+			// Random batch of spawns.
+			for i := 0; i < 1+r.Intn(3); i++ {
+				if _, err := k.Spawn(mkSpec(step)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Random direct migrations (on top of the chaos balancer).
+			for _, task := range k.ActiveTasks() {
+				if r.Float64() < 0.2 {
+					if err := k.Migrate(task.ID, arch.CoreID(r.Intn(4))); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			now += Time(5e6 + r.Intn(40e6))
+			if err := k.Run(now); err != nil {
+				t.Fatal(err)
+			}
+			if err := k.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			// Accounting identities.
+			s := k.Stats()
+			var taskInstr uint64
+			var taskRun int64
+			for _, ts := range s.Tasks {
+				taskInstr += ts.Instr
+				taskRun += ts.RunNs
+			}
+			var coreInstr uint64
+			var coreBusy int64
+			for _, cs := range s.Cores {
+				coreInstr += cs.Instr
+				coreBusy += cs.BusyNs
+				if cs.BusyNs+cs.SleepNs > s.SpanNs+1 {
+					t.Fatalf("seed %d step %d: core %d accounted %dns of %dns span",
+						seed, step, cs.Core, cs.BusyNs+cs.SleepNs, s.SpanNs)
+				}
+			}
+			if taskInstr != coreInstr || taskRun != coreBusy {
+				t.Fatalf("seed %d step %d: accounting mismatch (%d/%d instr, %d/%d ns)",
+					seed, step, taskInstr, coreInstr, taskRun, coreBusy)
+			}
+		}
+	}
+}
+
+// TestKernelFinishedTasksStayFinished verifies finite tasks retire
+// exactly their instruction budget under chaotic migration.
+func TestKernelFinishedTasksStayFinished(t *testing.T) {
+	m, err := machine.New(arch.QuadHMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := New(m, &chaosBalancer{r: rng.New(3)}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const instr = 20e6
+	var ids []ThreadID
+	for i := 0; i < 6; i++ {
+		spec := &workload.ThreadSpec{
+			Name:      "finite",
+			Benchmark: "finite",
+			Phases: []workload.Phase{{
+				Name: "p", Instructions: instr, ILP: 2, MemShare: 0.3, BranchShare: 0.1,
+				WorkingSetIKB: 8, WorkingSetDKB: 64, BranchEntropy: 0.4, MLP: 2,
+			}},
+			Repeats: 1,
+		}
+		id, err := k.Spawn(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := k.Run(5e9); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		task := k.Task(id)
+		if task.State() != StateFinished {
+			t.Fatalf("task %d state %v after 5s", id, task.State())
+		}
+		if task.TotalInstructions() != instr {
+			t.Fatalf("task %d retired %d instructions, want %d", id, task.TotalInstructions(), uint64(instr))
+		}
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelManyCores exercises the event loop at the Fig. 7 upper
+// scale.
+func TestKernelManyCores(t *testing.T) {
+	plat, err := arch.ScalingHMP(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := machine.New(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := New(m, &chaosBalancer{r: rng.New(5)}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := workload.IMB(workload.Medium, workload.Medium, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if _, err := k.Spawn(&specs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(300e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := k.Stats()
+	if s.TotalInstructions() == 0 {
+		t.Fatal("no work at scale")
+	}
+	busyCores := 0
+	for i := range s.Cores {
+		if s.Cores[i].Instr > 0 {
+			busyCores++
+		}
+	}
+	if busyCores < 32 {
+		t.Fatalf("only %d/64 cores ever ran work", busyCores)
+	}
+}

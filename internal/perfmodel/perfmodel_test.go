@@ -1,0 +1,346 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/rng"
+	"smartbalance/internal/workload"
+)
+
+func computePhase() workload.Phase {
+	return workload.Phase{
+		Name: "compute", Instructions: 1e7, ILP: 3.6, MemShare: 0.22, BranchShare: 0.07,
+		WorkingSetIKB: 5, WorkingSetDKB: 20, BranchEntropy: 0.12, MLP: 2.8,
+		TLBPressureI: 0.04, TLBPressureD: 0.08,
+	}
+}
+
+func memoryPhase() workload.Phase {
+	return workload.Phase{
+		Name: "memory", Instructions: 1e7, ILP: 1.3, MemShare: 0.42, BranchShare: 0.16,
+		WorkingSetIKB: 8, WorkingSetDKB: 2048, BranchEntropy: 0.65, MLP: 1.8,
+		TLBPressureI: 0.1, TLBPressureD: 0.7,
+	}
+}
+
+func TestIPCWithinPhysicalBounds(t *testing.T) {
+	for _, ct := range arch.Table2Types() {
+		ct := ct
+		for _, ph := range []workload.Phase{computePhase(), memoryPhase()} {
+			m := Evaluate(&ph, &ct)
+			if m.IPC <= 0 || m.IPC > ct.PeakIPC {
+				t.Errorf("%s/%s: IPC %.3f outside (0, %.2f]", ct.Name, ph.Name, m.IPC, ct.PeakIPC)
+			}
+			if m.BusyFrac <= 0 || m.BusyFrac > 1 {
+				t.Errorf("%s/%s: BusyFrac %.3f outside (0,1]", ct.Name, ph.Name, m.BusyFrac)
+			}
+		}
+	}
+}
+
+func TestBiggerCoresWinOnComputeBoundCode(t *testing.T) {
+	ph := computePhase()
+	types := arch.Table2Types()
+	prev := 0.0
+	for i := len(types) - 1; i >= 0; i-- { // Small .. Huge
+		m := Evaluate(&ph, &types[i])
+		ips := m.IPS(&types[i])
+		if ips <= prev {
+			t.Fatalf("IPS not increasing with core size at %s: %.3g <= %.3g", types[i].Name, ips, prev)
+		}
+		prev = ips
+	}
+	// And the spread should be large (the whole point of heterogeneity).
+	huge := Evaluate(&ph, &types[0]).IPS(&types[0])
+	small := Evaluate(&ph, &types[3]).IPS(&types[3])
+	if huge/small < 4 {
+		t.Fatalf("compute-bound Huge/Small IPS ratio %.2f too small", huge/small)
+	}
+}
+
+func TestMemoryBoundCodeClosesTheGap(t *testing.T) {
+	types := arch.Table2Types()
+	huge, small := &types[0], &types[3]
+	comp := computePhase()
+	mem := memoryPhase()
+	ratioCompute := Evaluate(&comp, huge).IPS(huge) / Evaluate(&comp, small).IPS(small)
+	ratioMemory := Evaluate(&mem, huge).IPS(huge) / Evaluate(&mem, small).IPS(small)
+	if ratioMemory >= ratioCompute {
+		t.Fatalf("memory-bound code should narrow Huge/Small ratio: compute %.2f, memory %.2f",
+			ratioCompute, ratioMemory)
+	}
+	if ratioMemory > 6 {
+		t.Fatalf("memory-bound Huge/Small ratio %.2f still too wide for the memory wall", ratioMemory)
+	}
+}
+
+func TestCacheMissRateShape(t *testing.T) {
+	// Fits in cache: tiny. Spills: grows. Saturates below cap.
+	if mr := CacheMissRate(8, 64, 0.3); mr > 0.002 {
+		t.Fatalf("fitting working set miss rate %.4f too high", mr)
+	}
+	small := CacheMissRate(32, 64, 0.3)
+	spill := CacheMissRate(128, 64, 0.3)
+	flood := CacheMissRate(4096, 64, 0.3)
+	if !(small < spill && spill < flood) {
+		t.Fatalf("miss rate not monotone in working set: %g %g %g", small, spill, flood)
+	}
+	if flood > 0.3+l1MissFloor {
+		t.Fatalf("miss rate exceeded cap: %g", flood)
+	}
+	// Continuity at the capacity boundary.
+	below := CacheMissRate(63.99, 64, 0.3)
+	above := CacheMissRate(64.01, 64, 0.3)
+	if above-below > 0.001 {
+		t.Fatalf("discontinuity at capacity: %g -> %g", below, above)
+	}
+	// Degenerate inputs saturate.
+	if CacheMissRate(0, 64, 0.3) != 0.3 || CacheMissRate(8, 0, 0.3) != 0.3 {
+		t.Fatal("degenerate cache sizes should return cap")
+	}
+}
+
+func TestLargerCachesMissLess(t *testing.T) {
+	ph := memoryPhase() // 2 MB working set
+	types := arch.Table2Types()
+	hugeMR := Evaluate(&ph, &types[0]).MissRateL1D
+	smallMR := Evaluate(&ph, &types[3]).MissRateL1D
+	if hugeMR >= smallMR {
+		t.Fatalf("64KB cache should miss less than 16KB: %g vs %g", hugeMR, smallMR)
+	}
+}
+
+func TestMispredictScalesWithEntropyAndCore(t *testing.T) {
+	types := arch.Table2Types()
+	ph := computePhase()
+	ph.BranchEntropy = 1
+	hard := Evaluate(&ph, &types[3]).MispredictRate
+	ph.BranchEntropy = 0
+	easy := Evaluate(&ph, &types[3]).MispredictRate
+	if easy != 0 {
+		t.Fatalf("zero-entropy branches mispredicted: %g", easy)
+	}
+	if hard <= 0 || hard > 0.12 {
+		t.Fatalf("adversarial mispredict rate %g implausible", hard)
+	}
+	// Wider core = better predictor.
+	ph.BranchEntropy = 0.8
+	if Evaluate(&ph, &types[0]).MispredictRate >= Evaluate(&ph, &types[3]).MispredictRate {
+		t.Fatal("Huge core should mispredict less than Small")
+	}
+}
+
+func TestTLBRates(t *testing.T) {
+	ph := memoryPhase()
+	types := arch.Table2Types()
+	m := Evaluate(&ph, &types[3])
+	if m.MissRateITLB <= 0 || m.MissRateDTLB <= 0 {
+		t.Fatal("TLB pressure produced no misses")
+	}
+	ph.TLBPressureI, ph.TLBPressureD = 0, 0
+	m = Evaluate(&ph, &types[3])
+	if m.MissRateITLB != 0 || m.MissRateDTLB != 0 {
+		t.Fatal("zero pressure should produce zero TLB misses")
+	}
+}
+
+func TestILPLimitedByIssueWidth(t *testing.T) {
+	types := arch.Table2Types()
+	small := &types[3] // single-issue
+	lo := computePhase()
+	lo.ILP = 1.0
+	hi := computePhase()
+	hi.ILP = 6.0
+	ipcLo := Evaluate(&lo, small).IPC
+	ipcHi := Evaluate(&hi, small).IPC
+	// On a single-issue core, raising intrinsic ILP beyond 1 buys
+	// (almost) nothing.
+	if ipcHi/ipcLo > 1.35 {
+		t.Fatalf("single-issue core exploited ILP it cannot issue: %.3f vs %.3f", ipcHi, ipcLo)
+	}
+	// On the 8-wide core it buys a lot.
+	huge := &types[0]
+	if Evaluate(&hi, huge).IPC/Evaluate(&lo, huge).IPC < 2 {
+		t.Fatal("wide core failed to exploit ILP")
+	}
+}
+
+func TestMemoryWallScalesWithFrequency(t *testing.T) {
+	// Same microarchitecture at two frequencies: the faster one loses
+	// more IPC to a memory-bound phase.
+	fast := arch.BigCore()
+	slow := arch.BigCore()
+	slow.FreqMHz = 500
+	ph := memoryPhase()
+	ipcFast := Evaluate(&ph, &fast).IPC
+	ipcSlow := Evaluate(&ph, &slow).IPC
+	if ipcFast >= ipcSlow {
+		t.Fatalf("memory wall missing: IPC %.3f @1.5GHz >= %.3f @0.5GHz", ipcFast, ipcSlow)
+	}
+}
+
+func TestMLPReducesMemoryStalls(t *testing.T) {
+	types := arch.Table2Types()
+	big := &types[1]
+	ph := memoryPhase()
+	ph.MLP = 1
+	serial := Evaluate(&ph, big).IPC
+	ph.MLP = 3
+	overlapped := Evaluate(&ph, big).IPC
+	if overlapped <= serial {
+		t.Fatal("MLP should increase IPC on memory-bound code")
+	}
+}
+
+func TestBusyFracHigherOnComputeCode(t *testing.T) {
+	types := arch.Table2Types()
+	comp, mem := computePhase(), memoryPhase()
+	for i := range types {
+		bc := Evaluate(&comp, &types[i]).BusyFrac
+		bm := Evaluate(&mem, &types[i]).BusyFrac
+		if bc <= bm {
+			t.Errorf("%s: compute BusyFrac %.3f <= memory %.3f", types[i].Name, bc, bm)
+		}
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	ph := memoryPhase()
+	ct := arch.BigCore()
+	a := Evaluate(&ph, &ct)
+	b := Evaluate(&ph, &ct)
+	if a != b {
+		t.Fatal("Evaluate is not deterministic")
+	}
+}
+
+func TestEvaluatePropertyBounds(t *testing.T) {
+	// For any valid phase and any Table 2 core, all rates must stay in
+	// their physical ranges.
+	types := arch.Table2Types()
+	f := func(seed uint16) bool {
+		r := rng.New(uint64(seed))
+		ph := workload.Phase{
+			Name:          "rand",
+			Instructions:  1e6,
+			ILP:           0.5 + r.Float64()*5,
+			MemShare:      r.Float64() * 0.5,
+			BranchShare:   r.Float64() * 0.3,
+			WorkingSetIKB: 1 + r.Float64()*100,
+			WorkingSetDKB: 1 + r.Float64()*4000,
+			BranchEntropy: r.Float64(),
+			MLP:           1 + r.Float64()*5,
+			TLBPressureI:  r.Float64(),
+			TLBPressureD:  r.Float64(),
+		}
+		if ph.Validate() != nil {
+			return true // skip invalid combos (mem+branch > 0.95)
+		}
+		for i := range types {
+			m := Evaluate(&ph, &types[i])
+			if m.IPC <= 0 || m.IPC > types[i].PeakIPC+1e-9 {
+				return false
+			}
+			if m.BusyFrac <= 0 || m.BusyFrac > 1 {
+				return false
+			}
+			for _, rate := range []float64{m.MissRateL1I, m.MissRateL1D, m.MispredictRate, m.MissRateITLB, m.MissRateDTLB} {
+				if rate < 0 || rate > 0.5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllBenchmarksHaveDiverseEfficiency(t *testing.T) {
+	// Sanity: across the PARSEC-like suite, the best core type (by raw
+	// IPS) must not be uniformly the same as by IPS-per-peak-watt,
+	// otherwise there is nothing for the balancer to exploit.
+	types := arch.Table2Types()
+	diverse := false
+	for _, name := range workload.Benchmarks() {
+		specs, err := workload.Benchmark(name, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ph := specs[0].Phases[0]
+		bestIPS, bestEff := -1, -1
+		var maxIPS, maxEff float64
+		for i := range types {
+			m := Evaluate(&ph, &types[i])
+			ips := m.IPS(&types[i])
+			eff := ips / types[i].PeakPowerW
+			if ips > maxIPS {
+				maxIPS, bestIPS = ips, i
+			}
+			if eff > maxEff {
+				maxEff, bestEff = eff, i
+			}
+		}
+		if bestIPS != bestEff {
+			diverse = true
+		}
+	}
+	if !diverse {
+		t.Fatal("raw-performance and efficiency rankings coincide on every benchmark; heterogeneity signal missing")
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	ph := memoryPhase()
+	ct := arch.BigCore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(&ph, &ct)
+	}
+}
+
+func TestL2FiltersMemoryTraffic(t *testing.T) {
+	// A working set that spills L1 but fits in L2 must see mostly
+	// L2-latency misses: low conditional L2 miss rate and markedly
+	// higher IPC than a set that spills both levels.
+	ct := arch.BigCore() // 32KB L1D, 512KB L2
+	mid := memoryPhase()
+	mid.WorkingSetDKB = 128 // > L1, << L2
+	big := memoryPhase()
+	big.WorkingSetDKB = 8192 // >> L2
+	mMid := Evaluate(&mid, &ct)
+	mBig := Evaluate(&big, &ct)
+	if mMid.MissRateL2 >= mBig.MissRateL2 {
+		t.Fatalf("L2 conditional miss rate not increasing with working set: %g vs %g",
+			mMid.MissRateL2, mBig.MissRateL2)
+	}
+	if mMid.MissRateL2 > 0.35 {
+		t.Fatalf("L2-resident set still misses L2 at %g", mMid.MissRateL2)
+	}
+	if mMid.IPC <= mBig.IPC {
+		t.Fatalf("L2 residency should raise IPC: %g vs %g", mMid.IPC, mBig.IPC)
+	}
+	// Rates always within [0,1].
+	for _, m := range []Metrics{mMid, mBig} {
+		if m.MissRateL2 < 0 || m.MissRateL2 > 1 {
+			t.Fatalf("MissRateL2 %g outside [0,1]", m.MissRateL2)
+		}
+	}
+}
+
+func TestLargerL2HelpsMidSizeWorkingSets(t *testing.T) {
+	// The Huge core's 1MB L2 vs the Small core's 256KB: for a ~400KB
+	// working set the big L2 must convert most memory misses into L2
+	// hits, widening the large-core advantage beyond pure issue width.
+	types := arch.Table2Types()
+	ph := memoryPhase()
+	ph.WorkingSetDKB = 400
+	huge := Evaluate(&ph, &types[0])
+	small := Evaluate(&ph, &types[3])
+	if huge.MissRateL2 >= small.MissRateL2 {
+		t.Fatalf("1MB L2 should filter more than 256KB: %g vs %g", huge.MissRateL2, small.MissRateL2)
+	}
+}

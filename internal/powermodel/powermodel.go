@@ -1,0 +1,169 @@
+// Package powermodel is the reproduction's substitute for the paper's
+// McPAT integration: an activity-based analytical power model that
+// yields per-core power while executing a given workload phase at a
+// given IPC, plus leakage and a power-gated sleep state.
+//
+// The model is anchored so that each Table 2 core type consumes exactly
+// its PeakPowerW when sustaining its PeakIPC on a reference instruction
+// mix at the nominal voltage/frequency. Between idle-clocking and peak,
+// dynamic power scales with the activity factor (IPC relative to peak)
+// and with the instruction mix (memory operations toggle the caches,
+// branches the predictor). Leakage scales with die area and voltage and
+// persists whenever the core is not power-gated.
+//
+// What the balancers consume is the per-thread average power p_ij of
+// Eq. (3)/(5); this model provides the "power sensor" those numbers are
+// sensed from.
+package powermodel
+
+import (
+	"fmt"
+	"math"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/workload"
+)
+
+// Model constants (properties of the 22 nm substrate, not SmartBalance
+// tunables).
+const (
+	// LeakageFraction is the share of Table 2 peak power that is static
+	// leakage at the nominal operating point.
+	LeakageFraction = 0.22
+	// SleepLeakFraction is the fraction of leakage that survives power
+	// gating in the quiescent (cySleep) state.
+	SleepLeakFraction = 0.12
+	// idleActivity is the dynamic-power floor of a clocked but fully
+	// stalled core relative to peak dynamic power (clock tree, always-on
+	// structures).
+	idleActivity = 0.30
+	// mixMemWeight and mixBranchWeight scale dynamic energy with the
+	// instruction mix around the reference mix.
+	mixMemWeight    = 0.25
+	mixBranchWeight = 0.10
+	// Reference instruction mix for calibration (a typical PARSEC blend).
+	refMemShare    = 0.30
+	refBranchShare = 0.12
+)
+
+// CoreModel holds the calibrated power parameters of one core type.
+type CoreModel struct {
+	ct *arch.CoreType
+	// leakW is static leakage at nominal voltage, in watts.
+	leakW float64
+	// dynPeakW is dynamic power at peak activity on the reference mix.
+	dynPeakW float64
+}
+
+// NewCoreModel calibrates a power model for ct. The calibration
+// invariant is BusyPower(PeakIPC, reference mix) == PeakPowerW.
+func NewCoreModel(ct *arch.CoreType) (*CoreModel, error) {
+	if err := ct.Validate(); err != nil {
+		return nil, fmt.Errorf("powermodel: %w", err)
+	}
+	leak := LeakageFraction * ct.PeakPowerW
+	return &CoreModel{
+		ct:       ct,
+		leakW:    leak,
+		dynPeakW: ct.PeakPowerW - leak,
+	}, nil
+}
+
+// mixFactor scales dynamic energy with instruction mix; 1.0 at the
+// reference mix.
+func mixFactor(memShare, branchShare float64) float64 {
+	return 1 + mixMemWeight*(memShare-refMemShare) + mixBranchWeight*(branchShare-refBranchShare)
+}
+
+// activity maps relative throughput onto the dynamic activity factor:
+// idleActivity at zero IPC (clocked, stalled) rising linearly to 1 at
+// peak IPC.
+func (m *CoreModel) activity(ipc float64) float64 {
+	rel := ipc / m.ct.PeakIPC
+	if rel < 0 {
+		rel = 0
+	}
+	if rel > 1 {
+		rel = 1
+	}
+	return idleActivity + (1-idleActivity)*rel
+}
+
+// LeakW returns the static leakage power of the (non-gated) core.
+func (m *CoreModel) LeakW() float64 { return m.leakW }
+
+// SleepW returns the power of the power-gated quiescent state the
+// kernel enters when a core has no runnable threads (cySleep).
+func (m *CoreModel) SleepW() float64 { return m.leakW * SleepLeakFraction }
+
+// IdleW returns the power of a clocked but architecturally idle core
+// (stalled, spinning in the idle loop before the governor gates it).
+func (m *CoreModel) IdleW() float64 { return m.leakW + m.dynPeakW*idleActivity }
+
+// BusyPower returns the total core power (dynamic + leakage) while
+// retiring the phase's mix at the given IPC.
+func (m *CoreModel) BusyPower(ipc float64, ph *workload.Phase) float64 {
+	return m.leakW + m.dynPeakW*m.activity(ipc)*mixFactor(ph.MemShare, ph.BranchShare)
+}
+
+// EnergyJ integrates BusyPower over durNs nanoseconds.
+func (m *CoreModel) EnergyJ(ipc float64, ph *workload.Phase, durNs int64) float64 {
+	return m.BusyPower(ipc, ph) * float64(durNs) * 1e-9
+}
+
+// VoltageScaled returns a copy of the model recalibrated for operation
+// at a different voltage/frequency point. Dynamic power scales with
+// V^2*F, leakage approximately with V. Used by ablation studies; the
+// paper fixes all cores at their nominal points.
+func (m *CoreModel) VoltageScaled(newVoltage, newFreqMHz float64) (*CoreModel, error) {
+	if newVoltage <= 0 || newFreqMHz <= 0 {
+		return nil, fmt.Errorf("powermodel: invalid operating point V=%g F=%g", newVoltage, newFreqMHz)
+	}
+	ctCopy := *m.ct
+	vr := newVoltage / m.ct.VoltageV
+	fr := newFreqMHz / m.ct.FreqMHz
+	scaledDyn := m.dynPeakW * vr * vr * fr
+	scaledLeak := m.leakW * vr
+	ctCopy.VoltageV = newVoltage
+	ctCopy.FreqMHz = newFreqMHz
+	ctCopy.PeakPowerW = scaledDyn + scaledLeak
+	return &CoreModel{ct: &ctCopy, leakW: scaledLeak, dynPeakW: scaledDyn}, nil
+}
+
+// Platform bundles calibrated models for every core type of a platform,
+// indexed by core-type id.
+type Platform struct {
+	models []*CoreModel
+}
+
+// NewPlatform calibrates all core types of p.
+func NewPlatform(p *arch.Platform) (*Platform, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("powermodel: %w", err)
+	}
+	pm := &Platform{models: make([]*CoreModel, p.NumTypes())}
+	for i := range p.Types {
+		m, err := NewCoreModel(&p.Types[i])
+		if err != nil {
+			return nil, err
+		}
+		pm.models[i] = m
+	}
+	return pm, nil
+}
+
+// ForType returns the model of core-type id tid.
+func (pm *Platform) ForType(tid arch.CoreTypeID) *CoreModel {
+	return pm.models[tid]
+}
+
+// EnergyPerInstruction returns the marginal energy (J) of one
+// instruction of the given phase at the given IPC on this core — a
+// convenient derived quantity for tests and docs.
+func (m *CoreModel) EnergyPerInstruction(ipc float64, ph *workload.Phase) float64 {
+	if ipc <= 0 {
+		return math.Inf(1)
+	}
+	ips := ipc * m.ct.FreqHz()
+	return m.BusyPower(ipc, ph) / ips
+}

@@ -1,0 +1,196 @@
+package powermodel
+
+import (
+	"math"
+	"testing"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/workload"
+)
+
+func refPhase() workload.Phase {
+	return workload.Phase{
+		Name: "ref", Instructions: 1e6, ILP: 2, MemShare: refMemShare, BranchShare: refBranchShare,
+		WorkingSetIKB: 8, WorkingSetDKB: 64, BranchEntropy: 0.3, MLP: 2,
+	}
+}
+
+func TestCalibrationAnchorsToTable2(t *testing.T) {
+	// At peak IPC on the reference mix, power must equal Table 2's peak
+	// power exactly, for every core type.
+	ph := refPhase()
+	for _, ct := range arch.Table2Types() {
+		ct := ct
+		m, err := NewCoreModel(&ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.BusyPower(ct.PeakIPC, &ph)
+		if math.Abs(got-ct.PeakPowerW) > 1e-9 {
+			t.Errorf("%s: BusyPower(peak) = %g, want %g", ct.Name, got, ct.PeakPowerW)
+		}
+	}
+}
+
+func TestNewCoreModelRejectsInvalidType(t *testing.T) {
+	bad := arch.BigCore()
+	bad.PeakPowerW = 0
+	if _, err := NewCoreModel(&bad); err == nil {
+		t.Fatal("invalid core type accepted")
+	}
+}
+
+func TestPowerOrderingAcrossStates(t *testing.T) {
+	ct := arch.BigCore()
+	m, _ := NewCoreModel(&ct)
+	ph := refPhase()
+	sleep := m.SleepW()
+	leak := m.LeakW()
+	idle := m.IdleW()
+	busyLow := m.BusyPower(0.1, &ph)
+	busyPeak := m.BusyPower(ct.PeakIPC, &ph)
+	if !(sleep < leak && leak < idle && idle <= busyLow && busyLow < busyPeak) {
+		t.Fatalf("power states out of order: sleep %.4g leak %.4g idle %.4g low %.4g peak %.4g",
+			sleep, leak, idle, busyLow, busyPeak)
+	}
+}
+
+func TestPowerMonotoneInIPC(t *testing.T) {
+	ct := arch.HugeCore()
+	m, _ := NewCoreModel(&ct)
+	ph := refPhase()
+	prev := 0.0
+	for ipc := 0.0; ipc <= ct.PeakIPC; ipc += 0.1 {
+		p := m.BusyPower(ipc, &ph)
+		if p <= prev {
+			t.Fatalf("power not increasing at ipc=%.2f", ipc)
+		}
+		prev = p
+	}
+	// Above peak IPC the activity clamps.
+	if m.BusyPower(ct.PeakIPC+5, &ph) != m.BusyPower(ct.PeakIPC, &ph) {
+		t.Fatal("activity not clamped above peak")
+	}
+	if m.BusyPower(-1, &ph) != m.BusyPower(0, &ph) {
+		t.Fatal("activity not clamped below zero")
+	}
+}
+
+func TestMixAffectsPower(t *testing.T) {
+	ct := arch.BigCore()
+	m, _ := NewCoreModel(&ct)
+	memHeavy := refPhase()
+	memHeavy.MemShare = 0.5
+	lean := refPhase()
+	lean.MemShare = 0.1
+	if m.BusyPower(1, &memHeavy) <= m.BusyPower(1, &lean) {
+		t.Fatal("memory-heavy mix should draw more power")
+	}
+	branchy := refPhase()
+	branchy.BranchShare = 0.3
+	base := refPhase()
+	if m.BusyPower(1, &branchy) <= m.BusyPower(1, &base) {
+		t.Fatal("branch-heavy mix should draw more power")
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	ct := arch.MediumCore()
+	m, _ := NewCoreModel(&ct)
+	ph := refPhase()
+	p := m.BusyPower(1.0, &ph)
+	e := m.EnergyJ(1.0, &ph, 1e9) // one second
+	if math.Abs(e-p) > 1e-12 {
+		t.Fatalf("1s at %gW should be %gJ, got %g", p, p, e)
+	}
+	if m.EnergyJ(1.0, &ph, 0) != 0 {
+		t.Fatal("zero duration should integrate to zero energy")
+	}
+}
+
+func TestSmallCoreVastlyMoreEfficient(t *testing.T) {
+	// The Table 2 power spread is ~90x between Huge and Small while the
+	// performance spread is ~20x (IPCxF); the small core must therefore
+	// win on energy per instruction at peak. This asymmetry is what the
+	// balancer exploits.
+	ph := refPhase()
+	types := arch.Table2Types()
+	mHuge, _ := NewCoreModel(&types[0])
+	mSmall, _ := NewCoreModel(&types[3])
+	epiHuge := mHuge.EnergyPerInstruction(types[0].PeakIPC, &ph)
+	epiSmall := mSmall.EnergyPerInstruction(types[3].PeakIPC, &ph)
+	if epiSmall >= epiHuge {
+		t.Fatalf("EPI: Small %.3g >= Huge %.3g", epiSmall, epiHuge)
+	}
+	if epiHuge/epiSmall < 3 {
+		t.Fatalf("EPI ratio %.2f too small to drive efficiency balancing", epiHuge/epiSmall)
+	}
+}
+
+func TestEnergyPerInstructionDegenerate(t *testing.T) {
+	ct := arch.BigCore()
+	m, _ := NewCoreModel(&ct)
+	ph := refPhase()
+	if !math.IsInf(m.EnergyPerInstruction(0, &ph), 1) {
+		t.Fatal("zero IPC should have infinite EPI")
+	}
+}
+
+func TestVoltageScaling(t *testing.T) {
+	ct := arch.BigCore()
+	m, _ := NewCoreModel(&ct)
+	// Halving frequency at equal voltage halves dynamic power.
+	half, err := m.VoltageScaled(ct.VoltageV, ct.FreqMHz/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half.dynPeakW-m.dynPeakW/2) > 1e-9 {
+		t.Fatalf("dynamic power at F/2: %g, want %g", half.dynPeakW, m.dynPeakW/2)
+	}
+	if math.Abs(half.leakW-m.leakW) > 1e-9 {
+		t.Fatal("leakage should not change with frequency alone")
+	}
+	// Scaling voltage scales dynamic quadratically, leakage linearly.
+	low, err := m.VoltageScaled(ct.VoltageV/2, ct.FreqMHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(low.dynPeakW-m.dynPeakW/4) > 1e-9 {
+		t.Fatalf("dynamic power at V/2: %g, want %g", low.dynPeakW, m.dynPeakW/4)
+	}
+	if math.Abs(low.leakW-m.leakW/2) > 1e-9 {
+		t.Fatalf("leakage at V/2: %g, want %g", low.leakW, m.leakW/2)
+	}
+	if _, err := m.VoltageScaled(0, 100); err == nil {
+		t.Fatal("zero voltage accepted")
+	}
+}
+
+func TestPlatformBundle(t *testing.T) {
+	p := arch.QuadHMP()
+	pm, err := NewPlatform(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := range p.Types {
+		m := pm.ForType(arch.CoreTypeID(tid))
+		if m == nil {
+			t.Fatalf("missing model for type %d", tid)
+		}
+		if m.LeakW() <= 0 {
+			t.Fatalf("type %d leakage %g", tid, m.LeakW())
+		}
+	}
+	// Invalid platform rejected.
+	if _, err := NewPlatform(&arch.Platform{}); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestSleepSavesNearlyEverything(t *testing.T) {
+	ct := arch.HugeCore()
+	m, _ := NewCoreModel(&ct)
+	if m.SleepW() > 0.05*ct.PeakPowerW {
+		t.Fatalf("sleep power %g too high relative to peak %g", m.SleepW(), ct.PeakPowerW)
+	}
+}

@@ -1,0 +1,176 @@
+// Package regress implements ordinary least-squares linear regression,
+// the tool the paper uses twice: to train the cross-core IPC predictor
+// coefficient matrix Θ (Eq. 8, "we employ standard linear regression
+// using the least squares method") and the per-core-type power fit
+// p = α₁·ipc + α₀ (Eq. 9, "obtained from offline profiling").
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smartbalance/internal/mat"
+)
+
+// ErrBadData is returned when the training set is unusable (empty,
+// ragged, or fewer samples than features).
+var ErrBadData = errors.New("regress: unusable training data")
+
+// Model is a fitted linear model y ~= Coef · x. If the caller wants an
+// intercept it appends a constant-1 feature, which is the convention
+// used throughout this repository (it mirrors the "const" column of the
+// paper's Table 4).
+type Model struct {
+	// Coef holds one weight per feature.
+	Coef []float64
+	// R2 is the coefficient of determination on the training set.
+	R2 float64
+	// RMSE is the root-mean-square training error.
+	RMSE float64
+	// MeanAbsPct is the mean absolute percentage error on the training
+	// set, ignoring targets with magnitude below 1e-9. This is the error
+	// measure reported in the paper's Fig. 6.
+	MeanAbsPct float64
+	// N is the number of training samples.
+	N int
+}
+
+// Fit computes the least-squares solution for the design matrix rows
+// (one sample per entry, one feature per column) against targets y.
+func Fit(rows [][]float64, y []float64) (*Model, error) {
+	if len(rows) == 0 || len(rows) != len(y) {
+		return nil, ErrBadData
+	}
+	p := len(rows[0])
+	if p == 0 || len(rows) < p {
+		return nil, ErrBadData
+	}
+	for _, r := range rows {
+		if len(r) != p {
+			return nil, ErrBadData
+		}
+	}
+	a := mat.FromRows(rows)
+	coef, err := mat.LeastSquares(a, y)
+	if err != nil {
+		if errors.Is(err, mat.ErrSingular) {
+			// Fall back to ridge-regularised normal equations: the
+			// training corpora occasionally contain a collinear feature
+			// (e.g. a TLB miss-rate column that is identically zero for a
+			// core type, as in the zero entries of the paper's Table 4).
+			coef, err = ridge(a, y, 1e-6)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("regress: %w", err)
+		}
+	}
+	m := &Model{Coef: coef, N: len(y)}
+	m.computeStats(rows, y)
+	return m, nil
+}
+
+// ridge solves (A^T A + λI) x = A^T b.
+func ridge(a *mat.Matrix, y []float64, lambda float64) ([]float64, error) {
+	at := a.T()
+	ata, err := mat.Mul(at, a)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ata.Rows(); i++ {
+		ata.Set(i, i, ata.At(i, i)+lambda)
+	}
+	aty, err := at.MulVec(y)
+	if err != nil {
+		return nil, err
+	}
+	return mat.Solve(ata, aty)
+}
+
+// Predict evaluates the model on a single feature vector.
+func (m *Model) Predict(x []float64) float64 {
+	return mat.Dot(m.Coef, x)
+}
+
+// computeStats fills R2, RMSE, and MeanAbsPct from the training set.
+func (m *Model) computeStats(rows [][]float64, y []float64) {
+	n := float64(len(y))
+	meanY := 0.0
+	for _, v := range y {
+		meanY += v
+	}
+	meanY /= n
+
+	var ssRes, ssTot, sumSq, sumPct float64
+	nPct := 0
+	for i, r := range rows {
+		pred := m.Predict(r)
+		d := y[i] - pred
+		ssRes += d * d
+		t := y[i] - meanY
+		ssTot += t * t
+		sumSq += d * d
+		if math.Abs(y[i]) > 1e-9 {
+			sumPct += math.Abs(d / y[i])
+			nPct++
+		}
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else {
+		m.R2 = 1
+	}
+	m.RMSE = math.Sqrt(sumSq / n)
+	if nPct > 0 {
+		m.MeanAbsPct = 100 * sumPct / float64(nPct)
+	}
+}
+
+// Evaluate returns the mean absolute percentage error of the model on a
+// held-out set, the paper's Fig. 6 metric. Targets below 1e-9 in
+// magnitude are skipped.
+func (m *Model) Evaluate(rows [][]float64, y []float64) (mape float64, err error) {
+	if len(rows) != len(y) || len(rows) == 0 {
+		return 0, ErrBadData
+	}
+	sum := 0.0
+	n := 0
+	for i, r := range rows {
+		if len(r) != len(m.Coef) {
+			return 0, ErrBadData
+		}
+		if math.Abs(y[i]) <= 1e-9 {
+			continue
+		}
+		sum += math.Abs((y[i] - m.Predict(r)) / y[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrBadData
+	}
+	return 100 * sum / float64(n), nil
+}
+
+// SimpleFit fits the one-dimensional affine model y = a1*x + a0 and
+// returns (a1, a0). It is the Eq. 9 power fit. It returns ErrBadData for
+// fewer than two samples or a degenerate x.
+func SimpleFit(x, y []float64) (a1, a0 float64, err error) {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0, 0, ErrBadData
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return 0, 0, ErrBadData
+	}
+	a1 = (n*sxy - sx*sy) / den
+	a0 = (sy - a1*sx) / n
+	return a1, a0, nil
+}

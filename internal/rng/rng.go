@@ -1,0 +1,132 @@
+// Package rng provides the deterministic pseudo-random number generators
+// used throughout the SmartBalance reproduction.
+//
+// Two generators are provided:
+//
+//   - Splitmix64, used to seed and to split independent streams, and
+//   - Xorshift64Star, the workhorse generator.
+//
+// The paper's run-time optimiser (Algorithm 1) relies on a custom
+// fixed-point friendly integer generator: randi() yields a uniformly
+// distributed integer in [0, 2^32) and randi(x, y) yields one in [x, y).
+// Rand implements both with the exact semantics Algorithm 1 assumes,
+// trading perfect uniformity for speed, as described in the paper.
+//
+// All generators in this package are deterministic functions of their
+// seed, which the rest of the repository depends on for reproducible
+// simulations and tests. None of them are safe for concurrent use; give
+// each goroutine its own stream via Split.
+package rng
+
+import "math"
+
+// Splitmix64 advances the given state and returns the next value of the
+// splitmix64 sequence. It is primarily used for seeding other
+// generators: even poor seeds (0, 1, 2, ...) produce well-distributed
+// outputs.
+func Splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Rand is a small, fast, deterministic generator (xorshift64*). The zero
+// value is not usable; construct with New.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded from seed. Any seed is acceptable,
+// including zero: seeds are first diffused through splitmix64 so that
+// nearby seeds produce unrelated streams.
+func New(seed uint64) *Rand {
+	s := seed
+	st := Splitmix64(&s)
+	if st == 0 {
+		// xorshift64* requires a non-zero state.
+		st = 0x9E3779B97F4A7C15
+	}
+	return &Rand{state: st}
+}
+
+// Split returns a new generator whose stream is statistically
+// independent of r's. It advances r once.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Uint64 returns the next value of the xorshift64* sequence.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Uint32 returns a uniformly distributed 32-bit value. This is the
+// paper's randi(): "generates an uniformly distributed integer number in
+// the interval [0, 2^32)".
+func (r *Rand) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Multiply-shift range reduction (Lemire). The slight modulo bias of
+	// the plain approach is irrelevant at our n (< 2^20) but this is
+	// bias-free anyway for the common case and branch-light.
+	v := uint64(r.Uint32())
+	return int((v * uint64(n)) >> 32)
+}
+
+// IntRange implements the paper's randi(x, y): a uniformly distributed
+// integer in [x, y). It panics if x >= y.
+func (r *Rand) IntRange(x, y int) int {
+	if x >= y {
+		panic("rng: IntRange with empty interval")
+	}
+	return x + r.Intn(y-x)
+}
+
+// Float64 returns a uniformly distributed float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a normally distributed float with mean 0 and
+// standard deviation 1, using the polar Marsaglia method. Used only for
+// sensor-noise injection, never inside the fixed-point optimiser.
+func (r *Rand) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * sqrt(-2*ln(s)/s)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n) using Fisher-Yates.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func ln(x float64) float64   { return math.Log(x) }

@@ -1,0 +1,200 @@
+// Package stats provides the small set of descriptive statistics the
+// experiment harness reports: means (arithmetic and geometric), standard
+// deviation, percentiles, and fixed-width histograms.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs, or an error for empty input.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs)), nil
+}
+
+// GeoMean returns the geometric mean of xs. All samples must be
+// positive; otherwise an error is returned. The paper reports ratio
+// improvements ("over 50%"), for which geometric means are the honest
+// aggregate.
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, errors.New("stats: geometric mean of non-positive sample")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator). A
+// single sample yields 0.
+func StdDev(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, _ := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1)), nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. xs is not modified.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of [0,100]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Min returns the smallest sample.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest sample.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Summary bundles the descriptive statistics of one sample set.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, Median, Max   float64
+	P5, P95            float64
+	GeoMean            float64 // 0 when any sample is non-positive
+	geoMeanUnavailable bool
+}
+
+// Summarize computes a Summary, or an error for empty input.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	var s Summary
+	s.N = len(xs)
+	s.Mean, _ = Mean(xs)
+	s.Std, _ = StdDev(xs)
+	s.Min, _ = Min(xs)
+	s.Max, _ = Max(xs)
+	s.Median, _ = Percentile(xs, 50)
+	s.P5, _ = Percentile(xs, 5)
+	s.P95, _ = Percentile(xs, 95)
+	if g, err := GeoMean(xs); err == nil {
+		s.GeoMean = g
+	} else {
+		s.geoMeanUnavailable = true
+	}
+	return s, nil
+}
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) of the
+// samples: 1 when all shares are equal, approaching 1/n as one sample
+// dominates. Samples must be non-negative; an all-zero set returns an
+// error.
+func JainFairness(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			return 0, errors.New("stats: negative sample in fairness index")
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0, errors.New("stats: all-zero samples in fairness index")
+	}
+	return sum * sum / (float64(len(xs)) * sumSq), nil
+}
+
+// Histogram counts samples into nbins equal-width bins spanning
+// [min, max]. Values exactly at max land in the last bin. It returns the
+// counts and the bin edges (nbins+1 values).
+func Histogram(xs []float64, nbins int) (counts []int, edges []float64, err error) {
+	if len(xs) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if nbins <= 0 {
+		return nil, nil, errors.New("stats: non-positive bin count")
+	}
+	lo, _ := Min(xs)
+	hi, _ := Max(xs)
+	counts = make([]int, nbins)
+	edges = make([]float64, nbins+1)
+	width := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + width*float64(i)
+	}
+	edges[nbins] = hi
+	if width == 0 {
+		counts[0] = len(xs)
+		return counts, edges, nil
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		counts[b]++
+	}
+	return counts, edges, nil
+}

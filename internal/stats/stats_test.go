@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean = %g, err %v", m, err)
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Fatal("empty Mean should error")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	g, err := GeoMean([]float64{1, 4, 16})
+	if err != nil || math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean = %g, err %v", g, err)
+	}
+	if _, err := GeoMean([]float64{1, -1}); err == nil {
+		t.Fatal("negative sample accepted")
+	}
+	if _, err := GeoMean(nil); err != ErrEmpty {
+		t.Fatal("empty GeoMean should error")
+	}
+}
+
+func TestGeoMeanLEArithmeticMean(t *testing.T) {
+	// AM-GM inequality as a property test.
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g, err1 := GeoMean(xs)
+		m, err2 := Mean(xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return g <= m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	s, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample std dev of this classic set is sqrt(32/7).
+	if math.Abs(s-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("StdDev = %g", s)
+	}
+	if s, _ := StdDev([]float64{42}); s != 0 {
+		t.Fatal("single-sample std dev should be 0")
+	}
+	if _, err := StdDev(nil); err != ErrEmpty {
+		t.Fatal("empty StdDev should error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil || math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("P%g = %g, want %g (err %v)", c.p, got, c.want, err)
+		}
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("negative percentile accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("percentile >100 accepted")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatal("empty percentile should error")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if m, _ := Min(xs); m != -1 {
+		t.Fatalf("Min = %g", m)
+	}
+	if m, _ := Max(xs); m != 7 {
+		t.Fatalf("Max = %g", m)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Fatal("empty Min should error")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Fatal("empty Max should error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.GeoMean <= 0 {
+		t.Fatal("GeoMean missing for positive data")
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Fatal("empty Summarize should error")
+	}
+}
+
+func TestSummarizeNonPositiveGeoMean(t *testing.T) {
+	s, err := Summarize([]float64{-1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GeoMean != 0 {
+		t.Fatal("GeoMean should be 0 for data containing non-positives")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	counts, edges, err := Histogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 5 || len(edges) != 6 {
+		t.Fatalf("shape: %d counts, %d edges", len(counts), len(edges))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram loses samples: %d != %d", total, len(xs))
+	}
+	for _, c := range counts {
+		if c != 2 {
+			t.Fatalf("uniform data not evenly binned: %v", counts)
+		}
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	counts, _, err := Histogram([]float64{5, 5, 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 {
+		t.Fatalf("constant data should land in bin 0: %v", counts)
+	}
+	if _, _, err := Histogram(nil, 3); err != ErrEmpty {
+		t.Fatal("empty Histogram should error")
+	}
+	if _, _, err := Histogram([]float64{1}, 0); err == nil {
+		t.Fatal("zero bins accepted")
+	}
+}
+
+func TestHistogramPreservesCountProperty(t *testing.T) {
+	f := func(raw []uint8, nb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		nbins := int(nb%10) + 1
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		counts, _, err := Histogram(xs, nbins)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	j, err := JainFairness([]float64{1, 1, 1, 1})
+	if err != nil || math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: %g, %v", j, err)
+	}
+	j, err = JainFairness([]float64{1, 0, 0, 0})
+	if err != nil || math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("one hoarder of four: %g, %v", j, err)
+	}
+	if _, err := JainFairness(nil); err != ErrEmpty {
+		t.Fatal("empty set accepted")
+	}
+	if _, err := JainFairness([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero set accepted")
+	}
+	if _, err := JainFairness([]float64{1, -1}); err == nil {
+		t.Fatal("negative sample accepted")
+	}
+}
+
+func TestJainFairnessScaleInvariant(t *testing.T) {
+	a, _ := JainFairness([]float64{2, 3, 5})
+	b, _ := JainFairness([]float64{20, 30, 50})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatal("Jain index should be scale invariant")
+	}
+}

@@ -1,0 +1,83 @@
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Bars is a horizontal ASCII bar chart — the textual analogue of the
+// paper's bar figures (Fig. 4 and Fig. 5 are per-workload bar charts).
+type Bars struct {
+	Title  string
+	Labels []string
+	Values []float64
+	// Unit is appended to each value (e.g. "x" for gain factors).
+	Unit string
+	// Baseline, when non-zero, draws a marker at that value (e.g. 1.0
+	// for "parity with the baseline balancer").
+	Baseline float64
+}
+
+// Valid reports whether the chart is renderable.
+func (b *Bars) Valid() bool {
+	return len(b.Labels) > 0 && len(b.Labels) == len(b.Values)
+}
+
+// Render writes the chart with bars scaled to width characters for the
+// largest value. width must be at least 10.
+func (b *Bars) Render(w io.Writer, width int) error {
+	if !b.Valid() {
+		return fmt.Errorf("tablefmt: unrenderable bar chart (%d labels, %d values)",
+			len(b.Labels), len(b.Values))
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxVal := 0.0
+	labelW := 0
+	for i, v := range b.Values {
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(b.Labels[i]) > labelW {
+			labelW = len(b.Labels[i])
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title)
+		sb.WriteByte('\n')
+	}
+	markerCol := -1
+	if b.Baseline > 0 && b.Baseline <= maxVal {
+		markerCol = int(b.Baseline / maxVal * float64(width))
+	}
+	for i, v := range b.Values {
+		n := int(v / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		bar := []rune(strings.Repeat("#", n) + strings.Repeat(" ", width-n))
+		if markerCol >= 0 && markerCol < len(bar) && bar[markerCol] == ' ' {
+			bar[markerCol] = '|'
+		}
+		fmt.Fprintf(&sb, "  %-*s %s %.2f%s\n", labelW, b.Labels[i], string(bar), v, b.Unit)
+	}
+	if b.Baseline > 0 {
+		fmt.Fprintf(&sb, "  %-*s %s\n", labelW, "", strings.Repeat("-", width)+
+			fmt.Sprintf("  | = baseline %.2f%s", b.Baseline, b.Unit))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders with a default width of 40.
+func (b *Bars) String() string {
+	var sb strings.Builder
+	_ = b.Render(&sb, 40)
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+// Package tablefmt renders the experiment harness's result tables as
+// aligned plain text and as CSV. The smartbench tool prints one table
+// per paper table/figure, so a tiny dedicated renderer keeps output
+// uniform across experiments.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a simple column-oriented text table. The zero value is not
+// usable; construct with New.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// New creates a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row of pre-formatted cells. Short rows are padded
+// with empty cells; long rows are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowValues formats arbitrary values into cells: floats with 4
+// significant digits, everything else via %v.
+func (t *Table) AddRowValues(vals ...any) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = FormatFloat(x)
+		case float32:
+			cells[i] = FormatFloat(float64(x))
+		default:
+			cells[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// AddNote appends a footnote line printed below the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// NumRows reports how many data rows have been added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// FormatFloat renders a float compactly: 4 significant digits, plain
+// notation for the magnitudes the harness produces.
+func FormatFloat(x float64) string {
+	ax := x
+	if ax < 0 {
+		ax = -ax
+	}
+	switch {
+	case x == 0:
+		return "0"
+	case ax >= 1e7 || ax < 1e-3:
+		return strconv.FormatFloat(x, 'e', 3, 64)
+	case ax >= 100:
+		return strconv.FormatFloat(x, 'f', 1, 64)
+	case ax >= 10:
+		return strconv.FormatFloat(x, 'f', 2, 64)
+	default:
+		return strconv.FormatFloat(x, 'f', 3, 64)
+	}
+}
+
+// Render writes the aligned text form to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.title)))
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.notes {
+		sb.WriteString("  note: ")
+		sb.WriteString(n)
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string, ignoring write errors (none are
+// possible with a strings.Builder).
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Render(&sb)
+	return sb.String()
+}
+
+// RenderCSV writes the table as RFC-4180-ish CSV (quotes applied only
+// when needed). The title and notes are omitted; CSV output is meant for
+// machine consumption.
+func (t *Table) RenderCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = csvEscape(c)
+		}
+		_, err := io.WriteString(w, strings.Join(parts, ",")+"\n")
+		return err
+	}
+	if err := writeLine(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

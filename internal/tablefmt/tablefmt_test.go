@@ -1,0 +1,157 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + underline + header + separator + 2 rows
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	// Column boundaries must align: "value" column starts at the same
+	// offset in every data line.
+	headerIdx := strings.Index(lines[2], "value")
+	row2Idx := strings.Index(lines[5], "22")
+	if headerIdx != row2Idx {
+		t.Fatalf("columns misaligned: header at %d, row at %d\n%s", headerIdx, row2Idx, out)
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "extra-ignored")
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+	out := tb.String()
+	if strings.Contains(out, "extra-ignored") {
+		t.Fatal("over-wide row not truncated")
+	}
+}
+
+func TestAddRowValuesFormatsFloats(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRowValues(3.14159)
+	tb.AddRowValues(42)
+	tb.AddRowValues("str")
+	out := tb.String()
+	if !strings.Contains(out, "3.142") {
+		t.Fatalf("float not formatted to 4 sig digits:\n%s", out)
+	}
+	if !strings.Contains(out, "42") || !strings.Contains(out, "str") {
+		t.Fatalf("non-float values mangled:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1.23456, "1.235"},
+		{12.3456, "12.35"},
+		{123.456, "123.5"},
+		{0.0001234, "1.234e-04"},
+		{12345678, "1.235e+07"},
+		{-5.5, "-5.500"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("T", "c")
+	tb.AddRow("1")
+	tb.AddNote("epoch = %d ms", 60)
+	if !strings.Contains(tb.String(), "note: epoch = 60 ms") {
+		t.Fatal("note missing")
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("Title Is Omitted", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow(`with"quote`, "a,b")
+	var sb strings.Builder
+	if err := tb.RenderCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "name,value\nplain,1\n\"with\"\"quote\",\"a,b\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestEmptyTableRenders(t *testing.T) {
+	tb := New("Empty", "a", "b")
+	out := tb.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatalf("headers missing from empty table:\n%s", out)
+	}
+}
+
+func TestBarsRender(t *testing.T) {
+	b := &Bars{
+		Title:    "demo",
+		Labels:   []string{"a", "longer"},
+		Values:   []float64{2, 4},
+		Unit:     "x",
+		Baseline: 1,
+	}
+	out := b.String()
+	for _, frag := range []string{"demo", "a", "longer", "2.00x", "4.00x", "baseline 1.00x"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("bars missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The largest value fills the width; the half value fills half.
+	full := strings.Count(lines[2], "#")
+	half := strings.Count(lines[1], "#")
+	if full != 40 {
+		t.Fatalf("max bar %d chars, want 40", full)
+	}
+	if half < 18 || half > 22 {
+		t.Fatalf("half bar %d chars, want ~20", half)
+	}
+	// Baseline marker present in the shorter bar's whitespace.
+	if !strings.Contains(out, "|") {
+		t.Fatal("baseline marker missing")
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	bad := &Bars{Labels: []string{"a"}, Values: []float64{1, 2}}
+	if bad.Valid() {
+		t.Fatal("mismatched chart reported valid")
+	}
+	var sb strings.Builder
+	if err := bad.Render(&sb, 40); err == nil {
+		t.Fatal("mismatched chart rendered")
+	}
+	empty := &Bars{}
+	if err := empty.Render(&sb, 40); err == nil {
+		t.Fatal("empty chart rendered")
+	}
+	// Tiny width is clamped, zero values tolerated.
+	ok := &Bars{Labels: []string{"z"}, Values: []float64{0}}
+	if err := ok.Render(&sb, 1); err != nil {
+		t.Fatal(err)
+	}
+}

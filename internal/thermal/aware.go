@@ -1,0 +1,106 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"smartbalance/internal/core"
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/kernel"
+)
+
+// Aware wraps a SmartBalance controller with temperature feedback: each
+// epoch it estimates per-core temperatures from the power sensors,
+// derates the objective weight ω_j of hot cores linearly between
+// DerateAboveC and CriticalC, and then runs the wrapped controller.
+// Above CriticalC a core's weight bottoms out at 1-MaxDerate.
+type Aware struct {
+	inner   *core.SmartBalance
+	tracker *Tracker
+
+	// DerateAboveC is the temperature where derating begins.
+	DerateAboveC float64
+	// CriticalC is the temperature of maximum derating.
+	CriticalC float64
+	// MaxDerate in (0, 1] is the weight reduction at CriticalC.
+	MaxDerate float64
+
+	lastEpoch kernel.Time
+}
+
+// NewAware builds a thermal-aware wrapper with default thresholds
+// (derate from 70C, bottoming out at 90C with 90% derating).
+func NewAware(inner *core.SmartBalance, tracker *Tracker) (*Aware, error) {
+	if inner == nil {
+		return nil, errors.New("thermal: nil inner controller")
+	}
+	if tracker == nil {
+		return nil, errors.New("thermal: nil tracker")
+	}
+	return &Aware{
+		inner:        inner,
+		tracker:      tracker,
+		DerateAboveC: 70,
+		CriticalC:    90,
+		MaxDerate:    0.9,
+	}, nil
+}
+
+// Name implements kernel.Balancer.
+func (a *Aware) Name() string { return "smartbalance-thermal" }
+
+// Tracker exposes the temperature estimator (for stats and tests).
+func (a *Aware) Tracker() *Tracker { return a.tracker }
+
+// Validate checks the derating thresholds.
+func (a *Aware) Validate() error {
+	if a.CriticalC <= a.DerateAboveC {
+		return fmt.Errorf("thermal: critical %gC <= derate-above %gC", a.CriticalC, a.DerateAboveC)
+	}
+	if a.MaxDerate <= 0 || a.MaxDerate > 1 {
+		return fmt.Errorf("thermal: max derate %g outside (0,1]", a.MaxDerate)
+	}
+	return nil
+}
+
+// Rebalance implements kernel.Balancer.
+func (a *Aware) Rebalance(k *kernel.Kernel, now kernel.Time,
+	threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample) {
+	if err := a.Validate(); err != nil {
+		return
+	}
+	if len(cores) == a.tracker.NumCores() {
+		dt := now - a.lastEpoch
+		if dt <= 0 {
+			dt = k.Config().EpochNs
+		}
+		a.lastEpoch = now
+		power := make([]float64, len(cores))
+		for j := range cores {
+			window := cores[j].BusyNs + cores[j].SleepNs
+			if window > 0 {
+				power[j] = (cores[j].Agg.EnergyJ + cores[j].SleepEnergyJ) / (float64(window) * 1e-9)
+			}
+		}
+		_ = a.tracker.Advance(dt, power)
+	}
+	weights := make([]float64, a.tracker.NumCores())
+	for j, temp := range a.tracker.Temps() {
+		weights[j] = a.weightFor(temp)
+	}
+	a.inner.SetWeights(weights)
+	a.inner.Rebalance(k, now, threads, cores)
+}
+
+// weightFor maps a temperature to an objective weight.
+func (a *Aware) weightFor(tempC float64) float64 {
+	switch {
+	case tempC <= a.DerateAboveC:
+		return 1
+	case tempC >= a.CriticalC:
+		return 1 - a.MaxDerate
+	default:
+		frac := (tempC - a.DerateAboveC) / (a.CriticalC - a.DerateAboveC)
+		return 1 - a.MaxDerate*frac
+	}
+}

@@ -1,0 +1,170 @@
+// Package thermal models per-core die temperature with first-order RC
+// thermal networks and provides a temperature-aware wrapper around the
+// SmartBalance controller.
+//
+// The paper's Section 6.4 points at run-time thermal estimation and
+// tracking (its reference [24]) as the companion problem to its power
+// sensing, and Eq. (11)'s weights ω_j are described as tunable "to give
+// preference to certain cores or core types". This package combines the
+// two: an RC estimator turns the per-core power sensors into
+// temperature estimates, and the Aware balancer derates the objective
+// weight of hot cores so the optimiser steers work away from them —
+// trading a little energy efficiency for a cooler die.
+package thermal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"smartbalance/internal/arch"
+)
+
+// Params describes a platform's thermal network.
+type Params struct {
+	// AmbientC is the ambient (heat-sink) temperature in Celsius.
+	AmbientC float64
+	// ResistanceKPerW[j] is core j's junction-to-ambient thermal
+	// resistance (K/W): the steady-state rise per watt.
+	ResistanceKPerW []float64
+	// TimeConstantNs[j] is core j's thermal RC time constant.
+	TimeConstantNs []float64
+	// Coupling in [0, 1) pulls each core toward the die's mean
+	// temperature (lateral heat spreading); 0 isolates the cores.
+	Coupling float64
+}
+
+// Validate checks the parameter domains.
+func (p *Params) Validate() error {
+	if len(p.ResistanceKPerW) == 0 {
+		return errors.New("thermal: no cores")
+	}
+	if len(p.TimeConstantNs) != len(p.ResistanceKPerW) {
+		return errors.New("thermal: parameter lengths disagree")
+	}
+	for j := range p.ResistanceKPerW {
+		if p.ResistanceKPerW[j] <= 0 {
+			return fmt.Errorf("thermal: core %d non-positive resistance", j)
+		}
+		if p.TimeConstantNs[j] <= 0 {
+			return fmt.Errorf("thermal: core %d non-positive time constant", j)
+		}
+	}
+	if p.Coupling < 0 || p.Coupling >= 1 {
+		return fmt.Errorf("thermal: coupling %g outside [0,1)", p.Coupling)
+	}
+	return nil
+}
+
+// Thermal constants of the synthetic 22 nm package.
+const (
+	// resistanceScale sets R = resistanceScale / area: bigger cores
+	// spread heat over more area.
+	resistanceScale = 55.0 // K*mm^2/W
+	// tauPerMM2 sets the RC time constant per unit area.
+	tauPerMM2 = 12e6 // ns per mm^2 (~150 ms for the Huge core)
+	// DefaultAmbientC is the default heat-sink temperature.
+	DefaultAmbientC = 45.0
+	// DefaultCoupling is the default lateral-spreading factor.
+	DefaultCoupling = 0.15
+)
+
+// FromPlatform derives thermal parameters from core areas: thermal
+// resistance shrinks and the time constant grows with die area.
+func FromPlatform(p *arch.Platform) (*Params, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Params{
+		AmbientC: DefaultAmbientC,
+		Coupling: DefaultCoupling,
+	}
+	for _, c := range p.Cores {
+		area := p.Types[c.Type].AreaMM2
+		out.ResistanceKPerW = append(out.ResistanceKPerW, resistanceScale/area)
+		out.TimeConstantNs = append(out.TimeConstantNs, tauPerMM2*area)
+	}
+	return out, out.Validate()
+}
+
+// Tracker integrates per-core temperatures from power samples.
+type Tracker struct {
+	params Params
+	temps  []float64
+	// maxSeen records the hottest any core has ever been.
+	maxSeen float64
+}
+
+// NewTracker starts all cores at ambient.
+func NewTracker(params *Params) (*Tracker, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Tracker{params: *params}
+	t.params.ResistanceKPerW = append([]float64(nil), params.ResistanceKPerW...)
+	t.params.TimeConstantNs = append([]float64(nil), params.TimeConstantNs...)
+	t.temps = make([]float64, len(params.ResistanceKPerW))
+	for j := range t.temps {
+		t.temps[j] = params.AmbientC
+	}
+	t.maxSeen = params.AmbientC
+	return t, nil
+}
+
+// NumCores returns the tracked core count.
+func (t *Tracker) NumCores() int { return len(t.temps) }
+
+// Advance integrates dtNs of dissipation with the given per-core powers
+// (watts). Each core relaxes exponentially toward its steady-state
+// target T_amb + P*R (+ lateral coupling toward the die mean).
+func (t *Tracker) Advance(dtNs int64, powerW []float64) error {
+	if dtNs <= 0 {
+		return fmt.Errorf("thermal: non-positive step %d", dtNs)
+	}
+	if len(powerW) != len(t.temps) {
+		return fmt.Errorf("thermal: %d power samples for %d cores", len(powerW), len(t.temps))
+	}
+	mean := 0.0
+	for _, v := range t.temps {
+		mean += v
+	}
+	mean /= float64(len(t.temps))
+	for j := range t.temps {
+		if powerW[j] < 0 {
+			return fmt.Errorf("thermal: negative power on core %d", j)
+		}
+		target := t.params.AmbientC + powerW[j]*t.params.ResistanceKPerW[j]
+		target += t.params.Coupling * (mean - t.temps[j])
+		alpha := 1 - math.Exp(-float64(dtNs)/t.params.TimeConstantNs[j])
+		t.temps[j] += (target - t.temps[j]) * alpha
+		if t.temps[j] > t.maxSeen {
+			t.maxSeen = t.temps[j]
+		}
+	}
+	return nil
+}
+
+// Temps returns a copy of the current per-core temperatures (C).
+func (t *Tracker) Temps() []float64 {
+	return append([]float64(nil), t.temps...)
+}
+
+// Max returns the current hottest core temperature.
+func (t *Tracker) Max() float64 {
+	m := t.temps[0]
+	for _, v := range t.temps[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxSeen returns the hottest temperature observed over the whole run.
+func (t *Tracker) MaxSeen() float64 { return t.maxSeen }
+
+// SteadyStateC returns the temperature core j would reach holding
+// powerW indefinitely (ignoring coupling).
+func (t *Tracker) SteadyStateC(j int, powerW float64) float64 {
+	return t.params.AmbientC + powerW*t.params.ResistanceKPerW[j]
+}

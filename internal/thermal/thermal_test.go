@@ -1,0 +1,278 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/core"
+	"smartbalance/internal/kernel"
+	"smartbalance/internal/machine"
+	"smartbalance/internal/workload"
+)
+
+func quadParams(t *testing.T) *Params {
+	t.Helper()
+	p, err := FromPlatform(arch.QuadHMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFromPlatform(t *testing.T) {
+	p := quadParams(t)
+	if len(p.ResistanceKPerW) != 4 {
+		t.Fatalf("%d cores", len(p.ResistanceKPerW))
+	}
+	// Bigger cores: lower resistance, longer time constant.
+	if p.ResistanceKPerW[0] >= p.ResistanceKPerW[3] {
+		t.Fatal("Huge core should have lower thermal resistance than Small")
+	}
+	if p.TimeConstantNs[0] <= p.TimeConstantNs[3] {
+		t.Fatal("Huge core should have a longer time constant")
+	}
+	if _, err := FromPlatform(&arch.Platform{}); err == nil {
+		t.Fatal("invalid platform accepted")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := quadParams(t)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Params){
+		func(p *Params) { p.ResistanceKPerW = nil },
+		func(p *Params) { p.TimeConstantNs = p.TimeConstantNs[:2] },
+		func(p *Params) { p.ResistanceKPerW[1] = 0 },
+		func(p *Params) { p.TimeConstantNs[0] = -1 },
+		func(p *Params) { p.Coupling = 1 },
+		func(p *Params) { p.Coupling = -0.1 },
+	}
+	for i, mod := range bad {
+		p := quadParams(t)
+		mod(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestTrackerStartsAtAmbient(t *testing.T) {
+	tr, err := NewTracker(quadParams(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, temp := range tr.Temps() {
+		if temp != DefaultAmbientC {
+			t.Fatalf("core %d starts at %gC", j, temp)
+		}
+	}
+	if tr.Max() != DefaultAmbientC || tr.MaxSeen() != DefaultAmbientC {
+		t.Fatal("max temps wrong at start")
+	}
+}
+
+func TestSteadyStateConvergence(t *testing.T) {
+	p := quadParams(t)
+	p.Coupling = 0 // isolate cores for the analytic check
+	tr, err := NewTracker(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := []float64{8.62, 0, 0, 0} // Huge at peak, rest gated
+	// Step for many time constants.
+	for i := 0; i < 400; i++ {
+		if err := tr.Advance(50e6, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := tr.SteadyStateC(0, 8.62)
+	if math.Abs(tr.Temps()[0]-want) > 0.5 {
+		t.Fatalf("Huge steady state %gC, want %gC", tr.Temps()[0], want)
+	}
+	// Idle cores stay at ambient (coupling disabled).
+	if math.Abs(tr.Temps()[3]-DefaultAmbientC) > 0.5 {
+		t.Fatalf("idle Small at %gC", tr.Temps()[3])
+	}
+	if tr.MaxSeen() < want-1 {
+		t.Fatal("MaxSeen did not track the peak")
+	}
+}
+
+func TestExponentialApproach(t *testing.T) {
+	p := quadParams(t)
+	p.Coupling = 0
+	tr, _ := NewTracker(p)
+	power := []float64{8.62, 0, 0, 0}
+	tau := p.TimeConstantNs[0]
+	if err := tr.Advance(int64(tau), power); err != nil {
+		t.Fatal(err)
+	}
+	rise := tr.Temps()[0] - DefaultAmbientC
+	full := tr.SteadyStateC(0, 8.62) - DefaultAmbientC
+	// After one time constant: ~63% of the step.
+	if rise < 0.55*full || rise > 0.70*full {
+		t.Fatalf("after one tau: %.1f%% of the step", 100*rise/full)
+	}
+}
+
+func TestCouplingSpreadsHeat(t *testing.T) {
+	p := quadParams(t)
+	p.Coupling = 0.4
+	tr, _ := NewTracker(p)
+	power := []float64{8.62, 0, 0, 0}
+	for i := 0; i < 200; i++ {
+		_ = tr.Advance(50e6, power)
+	}
+	// The idle cores must be pulled above ambient by the hot neighbour.
+	if tr.Temps()[3] <= DefaultAmbientC+1 {
+		t.Fatalf("coupling had no effect: Small at %gC", tr.Temps()[3])
+	}
+	// And the hot core ends cooler than in isolation.
+	iso := quadParams(t)
+	iso.Coupling = 0
+	trIso, _ := NewTracker(iso)
+	for i := 0; i < 200; i++ {
+		_ = trIso.Advance(50e6, power)
+	}
+	if tr.Temps()[0] >= trIso.Temps()[0] {
+		t.Fatal("coupling should cool the hot core")
+	}
+}
+
+func TestAdvanceValidation(t *testing.T) {
+	tr, _ := NewTracker(quadParams(t))
+	if err := tr.Advance(0, make([]float64, 4)); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if err := tr.Advance(1e6, make([]float64, 2)); err == nil {
+		t.Fatal("wrong power length accepted")
+	}
+	if err := tr.Advance(1e6, []float64{-1, 0, 0, 0}); err == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestAwareWeightCurve(t *testing.T) {
+	tr, _ := NewTracker(quadParams(t))
+	inner := trainedController(t)
+	a, err := NewAware(inner, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := a.weightFor(50); w != 1 {
+		t.Fatalf("cool weight %g", w)
+	}
+	if w := a.weightFor(95); math.Abs(w-0.1) > 1e-12 {
+		t.Fatalf("critical weight %g", w)
+	}
+	mid := a.weightFor(80) // halfway between 70 and 90
+	if math.Abs(mid-0.55) > 1e-12 {
+		t.Fatalf("midpoint weight %g, want 0.55", mid)
+	}
+	if _, err := NewAware(nil, tr); err == nil {
+		t.Fatal("nil inner accepted")
+	}
+	if _, err := NewAware(inner, nil); err == nil {
+		t.Fatal("nil tracker accepted")
+	}
+	a.CriticalC = a.DerateAboveC
+	if err := a.Validate(); err == nil {
+		t.Fatal("degenerate thresholds accepted")
+	}
+}
+
+func trainedController(t *testing.T) *core.SmartBalance {
+	t.Helper()
+	pred, err := core.Train(arch.Table2Types(), core.DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := core.New(pred, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sb
+}
+
+// runShare executes swaptions x4 under the given balancer for 1.5s and
+// returns each core's share of retired instructions plus the stats.
+func runShare(t *testing.T, bal kernel.Balancer) []float64 {
+	t.Helper()
+	plat := arch.QuadHMP()
+	m, err := machine.New(plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(m, bal, kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := workload.Benchmark("swaptions", 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		_, _ = k.Spawn(&specs[i])
+	}
+	if err := k.Run(1_500e6); err != nil {
+		t.Fatal(err)
+	}
+	st := k.Stats()
+	total := float64(st.TotalInstructions())
+	if total == 0 {
+		t.Fatal("no work")
+	}
+	shares := make([]float64, len(st.Cores))
+	for j := range st.Cores {
+		shares[j] = float64(st.Cores[j].Instr) / total
+	}
+	return shares
+}
+
+func TestThermalAwareSteersAwayFromHotCore(t *testing.T) {
+	// Mechanism test: find the core plain SmartBalance loads most. That
+	// core self-heats past the (deliberately tight) derating threshold,
+	// so the thermal-aware wrapper must shift a substantial share of the
+	// work onto cooler cores.
+	plainShares := runShare(t, trainedController(t))
+	hottest := 0
+	for j := range plainShares {
+		if plainShares[j] > plainShares[hottest] {
+			hottest = j
+		}
+	}
+	if plainShares[hottest] < 0.3 {
+		t.Fatalf("no dominant core in plain run: %v", plainShares)
+	}
+
+	params := quadParams(t)
+	tr, err := NewTracker(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, err := NewAware(trainedController(t), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tight thresholds chosen inside the busy operating range of the
+	// preferred (Big/Medium) cores but above the idle cores' (~46C):
+	// the loaded hot cores get derated, the coolest do not.
+	aw.DerateAboveC = 48
+	aw.CriticalC = 56
+	awareShares := runShare(t, aw)
+	// Thermal steering duty-cycles the hot core (derate while hot, come
+	// back when cool), so the time-averaged shift is moderate but must
+	// be clearly present.
+	if awareShares[hottest] >= plainShares[hottest]*0.92 {
+		t.Fatalf("hot core %d still gets %.1f%% of work (plain: %.1f%%, temps %v)",
+			hottest, 100*awareShares[hottest], 100*plainShares[hottest], tr.Temps())
+	}
+	if tr.MaxSeen() <= DefaultAmbientC {
+		t.Fatal("tracker never saw heat")
+	}
+	t.Logf("core %d share: plain %.1f%%, thermal-aware %.1f%% (max temp seen %.1fC)",
+		hottest, 100*plainShares[hottest], 100*awareShares[hottest], tr.MaxSeen())
+}

@@ -1,0 +1,152 @@
+// Package trace records and summarises kernel scheduling events: a
+// bounded ring of raw events plus aggregate statistics (per-kind
+// counts, per-core context switches, migration matrix). It backs the
+// sbsim -trace flag and is handy when debugging balancer behaviour.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/kernel"
+)
+
+// Recorder accumulates kernel trace events. Install with
+// kernel.SetObserver(rec.Observe). Not safe for concurrent use (the
+// kernel is single-threaded).
+type Recorder struct {
+	limit  int
+	events []kernel.TraceEvent
+	// dropped counts events evicted from the ring.
+	dropped int
+
+	kindCounts map[kernel.TraceKind]int
+	// switchesPerCore counts TraceSlice events per core.
+	switchesPerCore map[arch.CoreID]int
+	// migrations[dst] counts arrivals per destination core.
+	migrations map[arch.CoreID]int
+	// sliceNs accumulates total sliced execution time.
+	sliceNs int64
+	// instr accumulates retired instructions across slices.
+	instr uint64
+}
+
+// NewRecorder creates a recorder keeping at most limit raw events
+// (older events are evicted; statistics cover everything). limit must
+// be positive.
+func NewRecorder(limit int) (*Recorder, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("trace: non-positive event limit %d", limit)
+	}
+	return &Recorder{
+		limit:           limit,
+		kindCounts:      make(map[kernel.TraceKind]int),
+		switchesPerCore: make(map[arch.CoreID]int),
+		migrations:      make(map[arch.CoreID]int),
+	}, nil
+}
+
+// Observe is the kernel.Observer callback.
+func (r *Recorder) Observe(e kernel.TraceEvent) {
+	if len(r.events) >= r.limit {
+		// Drop the oldest half in one move to amortise eviction.
+		half := r.limit / 2
+		if half < 1 {
+			half = 1
+		}
+		r.dropped += half
+		r.events = append(r.events[:0], r.events[half:]...)
+	}
+	r.events = append(r.events, e)
+	r.kindCounts[e.Kind]++
+	switch e.Kind {
+	case kernel.TraceSlice:
+		r.switchesPerCore[e.Core]++
+		r.sliceNs += e.DurNs
+		r.instr += e.Instr
+	case kernel.TraceMigrate:
+		r.migrations[e.Core]++
+	}
+}
+
+// Events returns the retained raw events (oldest first).
+func (r *Recorder) Events() []kernel.TraceEvent {
+	out := make([]kernel.TraceEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Dropped reports how many raw events were evicted from the ring.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Count returns how many events of the given kind were observed
+// (including evicted ones).
+func (r *Recorder) Count(k kernel.TraceKind) int { return r.kindCounts[k] }
+
+// TotalInstructions returns instructions observed across all slices.
+func (r *Recorder) TotalInstructions() uint64 { return r.instr }
+
+// TotalSliceNs returns execution time observed across all slices.
+func (r *Recorder) TotalSliceNs() int64 { return r.sliceNs }
+
+// Summary renders aggregate statistics.
+func (r *Recorder) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace: %d retained events (%d dropped)\n", len(r.events), r.dropped)
+	order := []kernel.TraceKind{
+		kernel.TraceSpawn, kernel.TraceSlice, kernel.TraceSleep, kernel.TraceWake,
+		kernel.TraceMigrate, kernel.TraceFinish, kernel.TraceEpoch,
+		kernel.TraceCoreIdle, kernel.TraceCoreBusy,
+	}
+	for _, k := range order {
+		if c := r.kindCounts[k]; c > 0 {
+			fmt.Fprintf(&sb, "  %-10s %d\n", k, c)
+		}
+	}
+	if len(r.switchesPerCore) > 0 {
+		sb.WriteString("  context switches per core:")
+		max := arch.CoreID(-1)
+		for c := range r.switchesPerCore {
+			if c > max {
+				max = c
+			}
+		}
+		for c := arch.CoreID(0); c <= max; c++ {
+			fmt.Fprintf(&sb, " c%d=%d", c, r.switchesPerCore[c])
+		}
+		sb.WriteByte('\n')
+	}
+	if len(r.migrations) > 0 {
+		sb.WriteString("  migration arrivals per core:")
+		max := arch.CoreID(-1)
+		for c := range r.migrations {
+			if c > max {
+				max = c
+			}
+		}
+		for c := arch.CoreID(0); c <= max; c++ {
+			if n := r.migrations[c]; n > 0 {
+				fmt.Fprintf(&sb, " c%d=%d", c, n)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Dump writes the last n retained events to w (all of them when n <= 0
+// or n exceeds the retained count).
+func (r *Recorder) Dump(w io.Writer, n int) error {
+	evs := r.events
+	if n > 0 && n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	for _, e := range evs {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/balancer"
+	"smartbalance/internal/kernel"
+	"smartbalance/internal/machine"
+	"smartbalance/internal/workload"
+)
+
+func tracedRun(t *testing.T, limit int) (*Recorder, *kernel.Kernel) {
+	t.Helper()
+	m, err := machine.New(arch.QuadHMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(m, balancer.Vanilla{}, kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := NewRecorder(limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.SetObserver(rec.Observe)
+	specs, err := workload.IMB(workload.Medium, workload.Medium, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if _, err := k.Spawn(&specs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(400e6); err != nil {
+		t.Fatal(err)
+	}
+	return rec, k
+}
+
+func TestNewRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec, k := tracedRun(t, 1<<20)
+	if rec.Count(kernel.TraceSpawn) != 4 {
+		t.Fatalf("spawn events: %d", rec.Count(kernel.TraceSpawn))
+	}
+	if rec.Count(kernel.TraceSlice) == 0 {
+		t.Fatal("no slice events")
+	}
+	// Interactive workload must sleep and wake.
+	if rec.Count(kernel.TraceSleep) == 0 || rec.Count(kernel.TraceWake) == 0 {
+		t.Fatal("no sleep/wake events for an interactive workload")
+	}
+	// 400ms / 60ms epochs.
+	if rec.Count(kernel.TraceEpoch) != 6 {
+		t.Fatalf("epoch events: %d", rec.Count(kernel.TraceEpoch))
+	}
+	// Trace-derived instruction total must equal the kernel's.
+	if rec.TotalInstructions() != k.Stats().TotalInstructions() {
+		t.Fatalf("trace instr %d != stats %d", rec.TotalInstructions(), k.Stats().TotalInstructions())
+	}
+	// Slice time must equal the busy time.
+	var busy int64
+	for _, c := range k.Stats().Cores {
+		busy += c.BusyNs
+	}
+	if rec.TotalSliceNs() != busy {
+		t.Fatalf("trace slice ns %d != busy %d", rec.TotalSliceNs(), busy)
+	}
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	rec, _ := tracedRun(t, 16)
+	if len(rec.Events()) > 16 {
+		t.Fatalf("ring exceeded limit: %d", len(rec.Events()))
+	}
+	if rec.Dropped() == 0 {
+		t.Fatal("no eviction despite tiny ring")
+	}
+	// Counts still cover everything.
+	if rec.Count(kernel.TraceSlice) <= 16 {
+		t.Fatal("statistics should outlive the ring")
+	}
+}
+
+func TestSummaryAndDump(t *testing.T) {
+	rec, _ := tracedRun(t, 1024)
+	s := rec.Summary()
+	for _, frag := range []string{"slice", "epoch", "context switches per core", "c0="} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, s)
+		}
+	}
+	var sb strings.Builder
+	if err := rec.Dump(&sb, 10); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(sb.String(), "\n")
+	if lines != 10 {
+		t.Fatalf("Dump(10) wrote %d lines", lines)
+	}
+	sb.Reset()
+	if err := rec.Dump(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\n") != len(rec.Events()) {
+		t.Fatal("Dump(0) should write all retained events")
+	}
+}
+
+func TestEventStringForms(t *testing.T) {
+	e := kernel.TraceEvent{At: 1.5e6, Kind: kernel.TraceSlice, Core: 2, Thread: 7, DurNs: 3e6, Instr: 42}
+	s := e.String()
+	for _, frag := range []string{"slice", "core=2", "tid=7", "instr=42"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("slice event string missing %q: %s", frag, s)
+		}
+	}
+	ep := kernel.TraceEvent{At: 60e6, Kind: kernel.TraceEpoch}
+	if !strings.Contains(ep.String(), "epoch") {
+		t.Fatal("epoch event string wrong")
+	}
+}
+
+func TestMigrationsTracked(t *testing.T) {
+	// Vanilla with 8 tasks triggers migrations; verify the recorder's
+	// migration count matches kernel stats.
+	m, _ := machine.New(arch.QuadHMP())
+	k, _ := kernel.New(m, balancer.NewRandom(3), kernel.DefaultConfig())
+	rec, _ := NewRecorder(1 << 20)
+	k.SetObserver(rec.Observe)
+	specs, _ := workload.Benchmark("swaptions", 6, 1)
+	for i := range specs {
+		_, _ = k.Spawn(&specs[i])
+	}
+	if err := k.Run(500e6); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(kernel.TraceMigrate) != k.Stats().Migrations {
+		t.Fatalf("trace migrations %d != stats %d", rec.Count(kernel.TraceMigrate), k.Stats().Migrations)
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Builder assembles custom ThreadSpecs without hand-writing every phase
+// attribute: each convenience method appends a phase with sensible
+// defaults for its archetype, which can then be refined. Errors are
+// accumulated and reported by Build.
+//
+//	spec, err := workload.NewBuilder("codec").
+//	    Compute(40e6, 3.0).
+//	    Memory(20e6, 1024).
+//	    Sleep(2 * time.Millisecond).
+//	    Build()
+type Builder struct {
+	name    string
+	phases  []Phase
+	repeats int
+	nice    int
+	err     error
+}
+
+// NewBuilder starts a spec named name.
+func NewBuilder(name string) *Builder {
+	b := &Builder{name: name}
+	if name == "" {
+		b.err = fmt.Errorf("workload: builder needs a name")
+	}
+	return b
+}
+
+// Compute appends a compute-bound phase: the given intrinsic ILP, a
+// lean memory footprint, and predictable branches.
+func (b *Builder) Compute(instructions uint64, ilp float64) *Builder {
+	return b.Custom(Phase{
+		Name:          fmt.Sprintf("compute%d", len(b.phases)),
+		Instructions:  instructions,
+		ILP:           ilp,
+		MemShare:      0.22,
+		BranchShare:   0.08,
+		WorkingSetIKB: 6,
+		WorkingSetDKB: 24,
+		BranchEntropy: 0.15,
+		MLP:           2.5,
+		TLBPressureI:  0.05,
+		TLBPressureD:  0.1,
+	})
+}
+
+// Memory appends a memory-bound phase streaming over a working set of
+// wsKB kilobytes.
+func (b *Builder) Memory(instructions uint64, wsKB float64) *Builder {
+	return b.Custom(Phase{
+		Name:          fmt.Sprintf("memory%d", len(b.phases)),
+		Instructions:  instructions,
+		ILP:           1.4,
+		MemShare:      0.42,
+		BranchShare:   0.12,
+		WorkingSetIKB: 8,
+		WorkingSetDKB: wsKB,
+		BranchEntropy: 0.4,
+		MLP:           2.0,
+		TLBPressureI:  0.08,
+		TLBPressureD:  0.5,
+	})
+}
+
+// Branchy appends a control-flow-heavy phase with the given branch
+// entropy (0 = perfectly predictable, 1 = adversarial).
+func (b *Builder) Branchy(instructions uint64, entropy float64) *Builder {
+	return b.Custom(Phase{
+		Name:          fmt.Sprintf("branchy%d", len(b.phases)),
+		Instructions:  instructions,
+		ILP:           1.8,
+		MemShare:      0.28,
+		BranchShare:   0.24,
+		WorkingSetIKB: 12,
+		WorkingSetDKB: 96,
+		BranchEntropy: entropy,
+		MLP:           1.8,
+		TLBPressureI:  0.1,
+		TLBPressureD:  0.2,
+	})
+}
+
+// Custom appends an explicit phase.
+func (b *Builder) Custom(p Phase) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if err := p.Validate(); err != nil {
+		b.err = err
+		return b
+	}
+	b.phases = append(b.phases, p)
+	return b
+}
+
+// Sleep attaches a sleep/wait period to the most recently added phase
+// (the interactivity mechanism).
+func (b *Builder) Sleep(d time.Duration) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.phases) == 0 {
+		b.err = fmt.Errorf("workload: Sleep before any phase")
+		return b
+	}
+	if d < 0 {
+		b.err = fmt.Errorf("workload: negative sleep %v", d)
+		return b
+	}
+	b.phases[len(b.phases)-1].SleepAfterNs = d.Nanoseconds()
+	return b
+}
+
+// Repeats sets how many times the phase cycle runs (0 = forever).
+func (b *Builder) Repeats(n int) *Builder {
+	if b.err == nil && n < 0 {
+		b.err = fmt.Errorf("workload: negative repeats %d", n)
+		return b
+	}
+	b.repeats = n
+	return b
+}
+
+// Nice sets the CFS nice level in [-20, 19].
+func (b *Builder) Nice(n int) *Builder {
+	if b.err == nil && (n < -20 || n > 19) {
+		b.err = fmt.Errorf("workload: nice %d outside [-20,19]", n)
+		return b
+	}
+	b.nice = n
+	return b
+}
+
+// Build returns the assembled spec, or the first accumulated error.
+func (b *Builder) Build() (ThreadSpec, error) {
+	if b.err != nil {
+		return ThreadSpec{}, b.err
+	}
+	spec := ThreadSpec{
+		Name:      b.name,
+		Benchmark: b.name,
+		Phases:    append([]Phase(nil), b.phases...),
+		Repeats:   b.repeats,
+		Nice:      b.nice,
+	}
+	if err := spec.Validate(); err != nil {
+		return ThreadSpec{}, err
+	}
+	return spec, nil
+}
+
+// Workers materialises n jittered worker threads of the built spec,
+// like the built-in benchmarks' worker spawning.
+func (b *Builder) Workers(n int, seed uint64) ([]ThreadSpec, error) {
+	spec, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	workers, err := Spawn(b.name, spec.Phases, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := range workers {
+		workers[i].Repeats = spec.Repeats
+		workers[i].Nice = spec.Nice
+	}
+	return workers, nil
+}

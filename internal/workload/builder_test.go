@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuilderHappyPath(t *testing.T) {
+	spec, err := NewBuilder("codec").
+		Compute(40e6, 3.0).
+		Memory(20e6, 1024).
+		Sleep(2*time.Millisecond).
+		Branchy(10e6, 0.6).
+		Repeats(3).
+		Nice(5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Phases) != 3 {
+		t.Fatalf("%d phases", len(spec.Phases))
+	}
+	if spec.Phases[1].SleepAfterNs != 2e6 {
+		t.Fatal("Sleep did not attach to the memory phase")
+	}
+	if spec.Phases[0].SleepAfterNs != 0 || spec.Phases[2].SleepAfterNs != 0 {
+		t.Fatal("Sleep leaked to other phases")
+	}
+	if spec.Repeats != 3 || spec.Nice != 5 {
+		t.Fatal("Repeats/Nice lost")
+	}
+	if spec.Phases[1].WorkingSetDKB != 1024 {
+		t.Fatal("memory working set lost")
+	}
+}
+
+func TestBuilderArchetypesAreDistinct(t *testing.T) {
+	spec, err := NewBuilder("x").Compute(1e6, 3).Memory(1e6, 2048).Branchy(1e6, 0.9).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, m, br := spec.Phases[0], spec.Phases[1], spec.Phases[2]
+	if c.ILP <= m.ILP {
+		t.Fatal("compute phase should have higher ILP than memory phase")
+	}
+	if m.MemShare <= c.MemShare {
+		t.Fatal("memory phase should have higher memory share")
+	}
+	if br.BranchShare <= c.BranchShare {
+		t.Fatal("branchy phase should have higher branch share")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("").Compute(1e6, 2).Build(); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := NewBuilder("x").Build(); err == nil {
+		t.Fatal("phaseless spec accepted")
+	}
+	if _, err := NewBuilder("x").Sleep(time.Millisecond).Build(); err == nil {
+		t.Fatal("Sleep before phases accepted")
+	}
+	if _, err := NewBuilder("x").Compute(1e6, 2).Sleep(-time.Second).Build(); err == nil {
+		t.Fatal("negative sleep accepted")
+	}
+	if _, err := NewBuilder("x").Compute(1e6, 99).Build(); err == nil {
+		t.Fatal("invalid ILP accepted")
+	}
+	if _, err := NewBuilder("x").Compute(1e6, 2).Repeats(-1).Build(); err == nil {
+		t.Fatal("negative repeats accepted")
+	}
+	if _, err := NewBuilder("x").Compute(1e6, 2).Nice(99).Build(); err == nil {
+		t.Fatal("bad nice accepted")
+	}
+	// First error wins and later calls are no-ops.
+	b := NewBuilder("x").Compute(1e6, 99).Memory(1e6, 64)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestBuilderWorkers(t *testing.T) {
+	workers, err := NewBuilder("w").Compute(5e6, 2.5).Repeats(2).Nice(-3).Workers(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers) != 4 {
+		t.Fatalf("%d workers", len(workers))
+	}
+	for _, w := range workers {
+		if err := w.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if w.Repeats != 2 || w.Nice != -3 {
+			t.Fatal("worker lost Repeats/Nice")
+		}
+	}
+	// Jittered: workers differ.
+	if workers[0].Phases[0].ILP == workers[1].Phases[0].ILP {
+		t.Fatal("workers not jittered")
+	}
+	if _, err := NewBuilder("w").Workers(2, 1); err == nil {
+		t.Fatal("phaseless Workers accepted")
+	}
+}

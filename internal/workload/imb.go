@@ -1,0 +1,139 @@
+package workload
+
+import "fmt"
+
+// Interactive microbenchmarks (IMB).
+//
+// The paper: "sets of multithreaded synthetic benchmarks ... that
+// provide the ability to control the load, phasic behavior, and
+// interactivity (sleep and wait periods). The IMBs can be configured to
+// have throughput (T) and interactivity (I) that controls the
+// sleep/wait periods for high (H), medium (M), and low (L) values."
+// HTHI = high throughput, high interactivity, and so on for the other
+// eight combinations.
+
+// Level is an IMB configuration level.
+type Level int
+
+// IMB throughput/interactivity levels.
+const (
+	Low Level = iota
+	Medium
+	High
+)
+
+// String returns the single-letter paper notation (L/M/H).
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "L"
+	case Medium:
+		return "M"
+	case High:
+		return "H"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParseLevel converts "H"/"M"/"L" into a Level.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "H", "h":
+		return High, nil
+	case "M", "m":
+		return Medium, nil
+	case "L", "l":
+		return Low, nil
+	}
+	return 0, fmt.Errorf("workload: unknown level %q", s)
+}
+
+// IMBName returns the paper's label for a configuration, e.g. "HTHI"
+// for high throughput, high interactivity.
+func IMBName(throughput, interactivity Level) string {
+	return fmt.Sprintf("%sT%sI", throughput, interactivity)
+}
+
+// IMBConfigs enumerates all nine throughput x interactivity
+// combinations in the order (HT, MT, LT) x (HI, MI, LI).
+func IMBConfigs() [][2]Level {
+	var out [][2]Level
+	for _, t := range []Level{High, Medium, Low} {
+		for _, i := range []Level{High, Medium, Low} {
+			out = append(out, [2]Level{t, i})
+		}
+	}
+	return out
+}
+
+// imbProfile builds the phase cycle of one IMB configuration.
+//
+// Throughput controls the compute intensity of the busy burst: high
+// throughput means long bursts of high-ILP work, low throughput short
+// bursts of lean, memory-touching work. Interactivity controls the
+// sleep period appended to each burst: high interactivity sleeps most
+// of the time (like a UI or I/O-bound task), low interactivity almost
+// never sleeps.
+func imbProfile(throughput, interactivity Level) []Phase {
+	var instr float64
+	var ilp float64
+	var ws float64
+	switch throughput {
+	case High:
+		instr, ilp, ws = 40e6, 3.2, 48
+	case Medium:
+		instr, ilp, ws = 18e6, 2.0, 128
+	case Low:
+		instr, ilp, ws = 7e6, 1.2, 384
+	}
+	var sleepNs int64
+	switch interactivity {
+	case High:
+		sleepNs = 24e6 // sleeps dominate: bursty, UI-like
+	case Medium:
+		sleepNs = 8e6
+	case Low:
+		sleepNs = 1e6
+	}
+	return []Phase{
+		{
+			Name:          "burst",
+			Instructions:  uint64(instr),
+			ILP:           ilp,
+			MemShare:      0.3,
+			BranchShare:   0.14,
+			WorkingSetIKB: 10,
+			WorkingSetDKB: ws,
+			BranchEntropy: 0.35,
+			MLP:           2.5,
+			TLBPressureI:  0.1,
+			TLBPressureD:  0.25,
+			SleepAfterNs:  sleepNs,
+		},
+		{
+			Name:          "service",
+			Instructions:  uint64(instr * 0.25),
+			ILP:           clampF(ilp*0.7, 0.8, 16),
+			MemShare:      0.36,
+			BranchShare:   0.18,
+			WorkingSetIKB: 8,
+			WorkingSetDKB: ws * 0.5,
+			BranchEntropy: 0.5,
+			MLP:           2.0,
+			TLBPressureI:  0.12,
+			TLBPressureD:  0.3,
+			SleepAfterNs:  sleepNs / 4,
+		},
+	}
+}
+
+// IMB materialises nthreads workers of the given interactive
+// microbenchmark configuration.
+func IMB(throughput, interactivity Level, nthreads int, seed uint64) ([]ThreadSpec, error) {
+	if throughput < Low || throughput > High || interactivity < Low || interactivity > High {
+		return nil, fmt.Errorf("workload: invalid IMB levels (%v, %v)", throughput, interactivity)
+	}
+	name := "imb-" + IMBName(throughput, interactivity)
+	return Spawn(name, imbProfile(throughput, interactivity), nthreads, seed)
+}

@@ -1,0 +1,21 @@
+# Convenience targets; scripts/check.sh is the canonical gate.
+
+.PHONY: build test race vet sbvet check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+sbvet:
+	go run ./cmd/sbvet ./...
+
+check:
+	./scripts/check.sh

@@ -1,0 +1,83 @@
+// Command sbvet runs the repository's determinism and scheduler-safety
+// analyzers (internal/analysis) over package patterns.
+//
+// Usage:
+//
+//	sbvet ./...                 # whole repository (the CI gate)
+//	sbvet -json ./internal/...  # machine-readable diagnostics
+//	sbvet -floateq=false ./...  # disable one analyzer
+//
+// Exit status: 0 when clean, 1 when violations were found, 2 on usage
+// or load errors. Suppress a single finding at its call site with
+// an annotated reason, e.g.
+//
+//	t := time.Now() //sbvet:allow wallclock(host benchmark boundary)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smartbalance/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sbvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	all := analysis.All()
+	enabled := make(map[string]*bool, len(all))
+	for _, a := range all {
+		enabled[a.Name] = fs.Bool(a.Name, true, a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var active []*analysis.Analyzer
+	for _, a := range all {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "sbvet:", err)
+		return 2
+	}
+	diags, err := analysis.Run(cwd, patterns, active)
+	if err != nil {
+		fmt.Fprintln(stderr, "sbvet:", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "sbvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "sbvet: %d violation(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

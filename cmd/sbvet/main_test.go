@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smartbalance/internal/analysis"
+)
+
+const norandFixture = "../../internal/analysis/testdata/src/norand"
+
+func TestRunFlagsFixtureViolations(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{norandFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on fixture corpus, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "norand: import of math/rand") {
+		t.Errorf("missing norand diagnostic in output:\n%s", out.String())
+	}
+}
+
+func TestRunAnalyzerDisableFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-norand=false", "-seedflow=false", norandFixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d with norand+seedflow disabled, want 0 (out: %s, stderr: %s)",
+			code, out.String(), errb.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", norandFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 || diags[0].Analyzer == "" || diags[0].Line == 0 {
+		t.Errorf("JSON diagnostics incomplete: %+v", diags)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d on bad pattern, want 2", code)
+	}
+}

@@ -27,7 +27,18 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ctrl, err := smartbalance.TrainSmartBalance(plat.Types, seed)
+		pred, err := smartbalance.TrainPredictor(plat.Types, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := smartbalance.DefaultSmartBalanceConfig()
+		cfg.Anneal.Seed = seed
+		// Host time is injected here, at the application boundary — the
+		// simulation packages themselves never read the wall clock
+		// (sbvet's wallclock invariant), so the reported overhead/epoch
+		// is a real measurement while everything else stays seeded.
+		cfg.Clock = smartbalance.RealClock()
+		ctrl, err := smartbalance.NewSmartBalanceController(pred, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// All returns the full sbvet analyzer suite in its default
+// configuration.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Wallclock(nil),
+		NoRand(),
+		FloatEq(),
+		MapOrder(),
+		MutexCopy(),
+		SeedFlow(),
+	}
+}
+
+// Run loads every package matched by patterns (resolved relative to
+// dir) and applies the given analyzers. Diagnostics come back sorted,
+// with file paths relative to the module root so output is stable
+// across machines.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgDirs, err := ExpandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, d := range pkgDirs {
+		pkg, err := l.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, Analyze(pkg, analyzers)...)
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(l.ModuleRoot, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the CI invariant behind `sbvet ./...`: the whole
+// repository, analyzed with the full default suite, must produce zero
+// diagnostics. Any new violation either gets fixed or gets an
+// annotated //sbvet:allow with a reason.
+func TestRepoIsClean(t *testing.T) {
+	root, _, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(root, []string{"./..."}, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo violation: %s", d)
+	}
+}
+
+func TestFindModule(t *testing.T) {
+	root, path, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "smartbalance" {
+		t.Errorf("module path = %q, want smartbalance", path)
+	}
+	if filepath.Base(root) == "" {
+		t.Error("empty module root")
+	}
+}
+
+func TestExpandPatternsSkipsTestdata(t *testing.T) {
+	root, _, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawAnalysis bool
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("pattern expansion descended into testdata: %s", d)
+		}
+		if filepath.Base(d) == "analysis" {
+			sawAnalysis = true
+		}
+	}
+	if !sawAnalysis {
+		t.Error("pattern expansion missed internal/analysis itself")
+	}
+	if len(dirs) < 20 {
+		t.Errorf("suspiciously few packages found: %d", len(dirs))
+	}
+}
+
+func TestLoadDirOutsideModuleRejected(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(filepath.Join(l.ModuleRoot, "..")); err == nil {
+		t.Error("LoadDir accepted a directory outside the module")
+	}
+}
+
+// TestAnalyzerNamesRegistered keeps the allow-annotation registry in
+// sync with the shipped suite.
+func TestAnalyzerNamesRegistered(t *testing.T) {
+	for _, a := range All() {
+		if !knownAnalyzerNames[a.Name] {
+			t.Errorf("analyzer %q missing from knownAnalyzerNames; its allow annotations would be rejected", a.Name)
+		}
+	}
+	if len(All()) != 6 {
+		t.Errorf("suite has %d analyzers, want 6", len(All()))
+	}
+}
+
+// TestLoaderCachesPackages checks that a package imported by several
+// others is type-checked once.
+func TestLoaderCachesPackages(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := l.LoadDir(filepath.Join(l.ModuleRoot, "internal", "rng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.LoadDir(filepath.Join(l.ModuleRoot, "internal", "rng"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("LoadDir re-loaded a cached package")
+	}
+}

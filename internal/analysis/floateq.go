@@ -1,0 +1,55 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq returns the analyzer flagging == and != between
+// floating-point operands. Exact float comparison makes control flow
+// depend on the last ULP of a computation — the kind of fragility that
+// turns a compiler upgrade into a results diff. The one idiomatic
+// exception, the self-comparison NaN test (x != x), is permitted.
+func FloatEq() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "flag ==/!= between floating-point operands; compare with an epsilon",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					be, ok := n.(*ast.BinaryExpr)
+					if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+						return true
+					}
+					if isSelfCompare(be.X, be.Y) {
+						return true // NaN test: the one exact float comparison that is correct
+					}
+					if isFloat(pass.Info.TypeOf(be.X)) || isFloat(pass.Info.TypeOf(be.Y)) {
+						pass.Reportf(be.OpPos,
+							"floating-point %s comparison: exact equality is brittle; compare with an epsilon (math.Abs(a-b) < eps)", be.Op)
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isSelfCompare reports whether x and y are the same plain identifier,
+// as in the NaN check v != v.
+func isSelfCompare(x, y ast.Expr) bool {
+	xi, ok1 := x.(*ast.Ident)
+	yi, ok2 := y.(*ast.Ident)
+	return ok1 && ok2 && xi.Name == yi.Name
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// orderedWriteMethods are method/function names whose call inside a
+// map-range body makes iteration order user-visible.
+var orderedWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// MapOrder returns the analyzer flagging range statements over maps
+// whose body emits into an ordered sink — appends to a slice, writes to
+// an io.Writer or strings.Builder, or string concatenation. Go map
+// iteration order is deliberately randomised, so such loops produce
+// different output on every run. The canonical fix — collect the keys,
+// sort, then iterate — is recognised and exempt when the body is
+// exactly `keys = append(keys, k)`.
+func MapOrder() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "flag map iteration feeding ordered output; sort the keys first",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					rs, ok := n.(*ast.RangeStmt)
+					if !ok || !isMap(pass.Info.TypeOf(rs.X)) {
+						return true
+					}
+					if isKeyCollect(rs) {
+						return true
+					}
+					reportOrderedWrites(pass, rs)
+					return true
+				})
+			}
+		},
+	}
+}
+
+// reportOrderedWrites scans the body of a map-range statement for
+// order-sensitive writes. Nested map ranges are skipped: they get their
+// own visit, and one report per offending write is enough. Writes into
+// a container indexed by the range key (m2[k] = append(m2[k], v)) are
+// exempt: each key's slot is touched once, so iteration order cannot
+// show through.
+func reportOrderedWrites(pass *Pass, outer *ast.RangeStmt) {
+	keyName := ""
+	if key, ok := outer.Key.(*ast.Ident); ok {
+		keyName = key.Name
+	}
+	ast.Inspect(outer.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMap(pass.Info.TypeOf(n.X)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			if isKeyedWrite(n, keyName) {
+				return false
+			}
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(pass.Info.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.Pos(),
+					"string concatenation inside range over map: output order is nondeterministic; collect and sort the keys first")
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && isBuiltin(pass, fun) {
+					pass.Reportf(n.Pos(),
+						"append inside range over map: element order is nondeterministic; collect and sort the keys first")
+				}
+			case *ast.SelectorExpr:
+				if orderedWriteMethods[fun.Sel.Name] {
+					pass.Reportf(n.Pos(),
+						"%s inside range over map: output order is nondeterministic; collect and sort the keys first", fun.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isKeyedWrite recognises assignments whose only destination is indexed
+// by the range key, e.g. samples[k] = append(samples[k], v) or
+// counts[k] += v: order-independent accumulation.
+func isKeyedWrite(as *ast.AssignStmt, keyName string) bool {
+	if keyName == "" || keyName == "_" || len(as.Lhs) != 1 {
+		return false
+	}
+	idx, ok := as.Lhs[0].(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := idx.Index.(*ast.Ident)
+	return ok && id.Name == keyName
+}
+
+// isKeyCollect recognises the collect-then-sort idiom: a body that is
+// exactly one `keys = append(keys, k)` where k is the range key.
+func isKeyCollect(rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	dst, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "append" {
+		return false
+	}
+	sliceArg, ok := call.Args[0].(*ast.Ident)
+	if !ok || sliceArg.Name != dst.Name {
+		return false
+	}
+	elemArg, ok := call.Args[1].(*ast.Ident)
+	return ok && elemArg.Name == key.Name
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncLockTypes are the sync types whose by-value copy silently forks
+// the lock state.
+var syncLockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// MutexCopy returns the analyzer flagging by-value copies of types that
+// contain a sync.Mutex, sync.RWMutex, sync.WaitGroup, sync.Once, or
+// sync.Cond (directly or via embedded structs/arrays). A copied lock
+// guards nothing: two goroutines end up serialising on different
+// mutexes. Checked sites: function parameters, results, and receivers
+// declared by value; assignments from existing values; call arguments;
+// and range value variables. Fresh composite literals are fine.
+func MutexCopy() *Analyzer {
+	return &Analyzer{
+		Name: "mutexcopy",
+		Doc:  "flag by-value copies of types containing sync.Mutex/WaitGroup; pass pointers",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.FuncDecl:
+						if n.Recv != nil {
+							checkFieldList(pass, n.Recv, "receiver")
+						}
+						checkFieldList(pass, n.Type.Params, "parameter")
+						checkFieldList(pass, n.Type.Results, "result")
+					case *ast.FuncLit:
+						checkFieldList(pass, n.Type.Params, "parameter")
+						checkFieldList(pass, n.Type.Results, "result")
+					case *ast.AssignStmt:
+						// Tuple assignments from a single call carry
+						// function results; those are flagged at the
+						// callee's signature instead.
+						if len(n.Lhs) != len(n.Rhs) {
+							return true
+						}
+						for i, rhs := range n.Rhs {
+							if isBlank(n.Lhs[i]) {
+								continue
+							}
+							if isValueCopy(rhs) && containsLock(pass.Info.TypeOf(rhs)) {
+								pass.Reportf(rhs.Pos(),
+									"assignment copies %s by value; it contains a sync lock — use a pointer", typeName(pass, rhs))
+							}
+						}
+					case *ast.CallExpr:
+						for _, arg := range n.Args {
+							if isValueCopy(arg) && containsLock(pass.Info.TypeOf(arg)) {
+								pass.Reportf(arg.Pos(),
+									"call passes %s by value; it contains a sync lock — pass a pointer", typeName(pass, arg))
+							}
+						}
+					case *ast.RangeStmt:
+						if n.Value != nil && !isBlank(n.Value) && containsLock(pass.Info.TypeOf(n.Value)) {
+							pass.Reportf(n.Value.Pos(),
+								"range value copies %s by value; it contains a sync lock — range over indices or pointers", typeName(pass, n.Value))
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// checkFieldList flags by-value fields (params/results/receivers) whose
+// type contains a lock.
+func checkFieldList(pass *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		if _, ok := field.Type.(*ast.StarExpr); ok {
+			continue
+		}
+		if containsLock(pass.Info.TypeOf(field.Type)) {
+			pass.Reportf(field.Type.Pos(),
+				"%s type %s is passed by value and contains a sync lock — use a pointer", kind, types.TypeString(pass.Info.TypeOf(field.Type), types.RelativeTo(pass.Pkg)))
+		}
+	}
+}
+
+// isValueCopy reports whether evaluating e yields a copy of an existing
+// value (as opposed to a freshly constructed one). Composite literals,
+// address-taking, and function calls are excluded: literals are fresh,
+// &x is a pointer, and a call's result copy is reported at the callee's
+// result declaration.
+func isValueCopy(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return isValueCopy(e.X)
+	}
+	return false
+}
+
+// containsLock reports whether t (or any struct field / array element
+// reachable by value) is one of the sync lock types.
+func containsLock(t types.Type) bool {
+	return lockSearch(t, make(map[types.Type]bool))
+}
+
+func lockSearch(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncLockTypes[obj.Name()] {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lockSearch(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return lockSearch(u.Elem(), seen)
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func typeName(pass *Pass, e ast.Expr) string {
+	t := pass.Info.TypeOf(e)
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import "strconv"
+
+// NoRand returns the analyzer forbidding math/rand (and math/rand/v2)
+// imports anywhere in the module. Global, implicitly seeded generators
+// break run-to-run reproducibility; smartbalance/internal/rng provides
+// explicitly seeded, splittable streams instead.
+func NoRand() *Analyzer {
+	return &Analyzer{
+		Name: "norand",
+		Doc:  "forbid math/rand imports; use smartbalance/internal/rng seeded streams",
+		Run: func(pass *Pass) {
+			for _, f := range pass.Files {
+				for _, imp := range f.Imports {
+					path, err := strconv.Unquote(imp.Path.Value)
+					if err != nil {
+						continue
+					}
+					if path == "math/rand" || path == "math/rand/v2" {
+						pass.Reportf(imp.Pos(),
+							"import of %s: use smartbalance/internal/rng, which is deterministic in its seed and splittable per goroutine", path)
+					}
+				}
+			}
+		},
+	}
+}

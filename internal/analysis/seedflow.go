@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// rngPkgPath is the module's deterministic generator package.
+const rngPkgPath = "smartbalance/internal/rng"
+
+// SeedFlow returns the analyzer enforcing that rng.Rand streams are
+// seeded from configuration, not hardcoded. It flags rng.New called
+// with a compile-time constant (literal or named const) and any
+// rng.Rand composite literal (the zero value is not a usable
+// generator). Tests are exempt structurally: sbvet does not load
+// _test.go files, where fixed seeds are the point.
+func SeedFlow() *Analyzer {
+	return &Analyzer{
+		Name: "seedflow",
+		Doc:  "flag rng.Rand construction from literal seeds; seeds must flow from configuration",
+		Run: func(pass *Pass) {
+			if pass.PkgPath == rngPkgPath {
+				return
+			}
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.CallExpr:
+						sel, ok := n.Fun.(*ast.SelectorExpr)
+						if !ok || !pass.importedFunc(sel, rngPkgPath, "New") || len(n.Args) != 1 {
+							return true
+						}
+						if tv, ok := pass.Info.Types[n.Args[0]]; ok && tv.Value != nil {
+							pass.Reportf(n.Pos(),
+								"rng.New seeded with constant %s: seeds must flow from configuration (flags, Config fields, or Split of a configured stream)", tv.Value)
+						}
+					case *ast.CompositeLit:
+						if isRngRand(pass.Info.TypeOf(n)) {
+							pass.Reportf(n.Pos(),
+								"rng.Rand composite literal: the zero value is unusable; construct with rng.New from a configured seed")
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isRngRand reports whether t is rng.Rand from the module's rng
+// package.
+func isRngRand(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && obj.Pkg().Path() == rngPkgPath
+}

@@ -1,0 +1,47 @@
+// Package floateq is an sbvet fixture: exact floating-point equality
+// must be flagged; integer comparison, epsilon comparison, and the NaN
+// self-test must not.
+package floateq
+
+// Watts is a named float type; its underlying kind still trips the
+// analyzer.
+type Watts float64
+
+// Bad compares float64 values exactly.
+func Bad(a, b float64) bool {
+	return a == b
+}
+
+// Bad32 compares float32 values exactly with !=.
+func Bad32(a, b float32) bool {
+	return a != b
+}
+
+// BadNamed compares a named float type exactly.
+func BadNamed(a, b Watts) bool {
+	return a == b
+}
+
+// BadMixed compares a float variable against an untyped constant.
+func BadMixed(a float64) bool {
+	return a == 0.5
+}
+
+// OKNaN is the one legitimate exact float comparison.
+func OKNaN(a float64) bool {
+	return a != a
+}
+
+// OKInt compares integers; nothing to flag.
+func OKInt(a, b int) bool {
+	return a == b
+}
+
+// OKEps is the recommended epsilon pattern.
+func OKEps(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,77 @@
+// Package maporder is an sbvet fixture: map iteration feeding ordered
+// sinks must be flagged; the collect-keys-then-sort idiom and pure
+// reductions must not.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BadAppend appends formatted entries in map order.
+func BadAppend(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s=%d", k, v))
+	}
+	return out
+}
+
+// BadBuilder streams keys into a strings.Builder in map order.
+func BadBuilder(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k)
+	}
+	return sb.String()
+}
+
+// BadConcat grows a string in map order.
+func BadConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+// OKCollectSort is the canonical fix and must not be flagged.
+func OKCollectSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// OKKeyedAccumulate writes only to the slot indexed by the range key;
+// iteration order cannot show through.
+func OKKeyedAccumulate(groups map[string][]float64) map[string]float64 {
+	sums := make(map[string]float64)
+	for k, vs := range groups {
+		total := 0.0
+		for _, v := range vs {
+			total += v
+		}
+		sums[k] = total
+	}
+	return sums
+}
+
+// OKKeyedAppend is the grouped-samples idiom from internal/exp.
+func OKKeyedAppend(in map[string]float64, out map[string][]float64) {
+	for k, v := range in {
+		out[k] = append(out[k], v)
+	}
+}
+
+// OKReduce accumulates an order-independent value.
+func OKReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

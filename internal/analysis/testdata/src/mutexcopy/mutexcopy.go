@@ -1,0 +1,69 @@
+// Package mutexcopy is an sbvet fixture: by-value copies of
+// lock-bearing types must be flagged; pointer plumbing and fresh
+// composite literals must not.
+package mutexcopy
+
+import "sync"
+
+// Guarded embeds a mutex; copying it forks the lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Pool nests a lock two levels down; containsLock must recurse.
+type Pool struct {
+	workers [4]Guarded
+}
+
+// BadParam takes a Guarded by value.
+func BadParam(g Guarded) int {
+	return g.n
+}
+
+// BadReturn returns a WaitGroup-bearing value by value.
+func BadReturn(p *Pool) Pool {
+	return *p
+}
+
+// BadAssign dereferences into a stack copy.
+func BadAssign(g *Guarded) {
+	cp := *g
+	cp.n++
+}
+
+// BadArg forwards a dereferenced copy into a call.
+func BadArg(g *Guarded) int {
+	return BadParam(*g)
+}
+
+// BadRange copies each element into the loop variable.
+func BadRange(gs []Guarded) int {
+	total := 0
+	for _, g := range gs {
+		total += g.n
+	}
+	return total
+}
+
+// OKPtr plumbs pointers end to end.
+func OKPtr(g *Guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// OKFresh constructs a new value in place; no existing lock is copied.
+func OKFresh() *Guarded {
+	g := Guarded{n: 1}
+	return &g
+}
+
+// OKIndexRange iterates by index, touching elements through the slice.
+func OKIndexRange(gs []Guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}

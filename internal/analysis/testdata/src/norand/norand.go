@@ -1,0 +1,19 @@
+// Package norand is an sbvet fixture: math/rand must be flagged, the
+// module's own rng package must not.
+package norand
+
+import (
+	"math/rand"
+
+	"smartbalance/internal/rng"
+)
+
+// Bad uses the forbidden global generator.
+func Bad() int {
+	return rand.Intn(10)
+}
+
+// OK draws from a caller-seeded deterministic stream.
+func OK(seed uint64) int {
+	return rng.New(seed).Intn(10)
+}

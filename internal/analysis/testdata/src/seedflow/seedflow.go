@@ -1,0 +1,53 @@
+// Package seedflow is an sbvet fixture: rng streams hardwired to
+// literal or constant seeds must be flagged; seeds flowing in from
+// configuration must not.
+package seedflow
+
+import "smartbalance/internal/rng"
+
+const defaultSeed = 42
+
+// Config is the blessed way to carry a seed.
+type Config struct {
+	Seed uint64
+}
+
+// BadLiteral hardcodes the seed.
+func BadLiteral() *rng.Rand {
+	return rng.New(12345)
+}
+
+// BadConst launders the literal through a named constant.
+func BadConst() *rng.Rand {
+	return rng.New(defaultSeed)
+}
+
+// BadHex hardcodes a hex seed.
+func BadHex() *rng.Rand {
+	return rng.New(0xDEADBEEF)
+}
+
+// BadZero builds the unusable zero value.
+func BadZero() rng.Rand {
+	return rng.Rand{}
+}
+
+// OKParam threads the seed from the caller.
+func OKParam(seed uint64) *rng.Rand {
+	return rng.New(seed)
+}
+
+// OKConfig threads the seed from configuration.
+func OKConfig(cfg Config) *rng.Rand {
+	return rng.New(cfg.Seed)
+}
+
+// OKDerived perturbs a configured seed; the argument is not constant.
+func OKDerived(seed uint64) *rng.Rand {
+	return rng.New(seed ^ 0x5EED)
+}
+
+// OKSplit derives an independent stream without touching literals.
+func OKSplit(r *rng.Rand) *rng.Rand {
+	return r.Split()
+}

@@ -1,0 +1,40 @@
+// Package wallclock is an sbvet fixture: positive and negative cases
+// for the wallclock analyzer, including the suppression path.
+package wallclock
+
+import "time"
+
+// Bad reads the wall clock twice; both calls must be flagged.
+func Bad() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+// Allowed carries a valid annotation and must be suppressed.
+func Allowed() time.Time {
+	return time.Now() //sbvet:allow wallclock(fixture: designated real-time boundary)
+}
+
+// AllowedAbove is suppressed by an annotation on the preceding line.
+func AllowedAbove() time.Time {
+	//sbvet:allow wallclock(fixture: annotation on the line above)
+	return time.Now()
+}
+
+// MissingReason has a malformed annotation: the diagnostic stays and
+// the annotation itself is reported.
+func MissingReason() time.Time {
+	return time.Now() //sbvet:allow wallclock()
+}
+
+// OK uses time only for arithmetic, which is deterministic and fine.
+func OK() time.Duration {
+	return 3 * time.Second
+}
+
+// shadowed proves the analyzer resolves the qualifier: this "time" is a
+// local struct, not the time package.
+func shadowed() {
+	time := struct{ Now func() int }{Now: func() int { return 0 }}
+	_ = time.Now()
+}

@@ -68,8 +68,17 @@ func (p PhaseTimes) FractionOfEpoch(epochNs int64) float64 {
 // MeasurePhases times one sense-predict-optimize pass of the real
 // implementation at the given scale, using a trained predictor and a
 // synthetic measurement population. repeat > 1 averages over several
-// passes for stable numbers.
+// passes for stable numbers. Timing uses the host clock; for
+// deterministic output (tests, golden runs) use MeasurePhasesWithClock
+// and a FakeClock.
 func MeasurePhases(pred *Predictor, sp ScalePoint, repeat int, seed uint64) (PhaseTimes, error) {
+	return MeasurePhasesWithClock(pred, sp, repeat, seed, RealClock())
+}
+
+// MeasurePhasesWithClock is MeasurePhases with an injectable time
+// source, keeping host time out of the simulation packages (the
+// wallclock invariant).
+func MeasurePhasesWithClock(pred *Predictor, sp ScalePoint, repeat int, seed uint64, clk Clock) (PhaseTimes, error) {
 	if sp.Cores < 1 || sp.Threads < 1 {
 		return PhaseTimes{}, fmt.Errorf("core: invalid scale %+v", sp)
 	}
@@ -109,16 +118,16 @@ func MeasurePhases(pred *Predictor, sp ScalePoint, repeat int, seed uint64) (Pha
 	pt := PhaseTimes{Scale: sp, MaxIter: ScaledMaxIter(sp.Cores, sp.Threads)}
 	for rep := 0; rep < repeat; rep++ {
 		// ---- Sense: assemble measurements (per-thread aggregation). ----
-		t0 := time.Now()
+		t0 := clk.Now()
 		meas := make([]Measurement, sp.Threads)
 		for i := range meas {
 			meas[i] = ProfileMeasurement(&phases[i], types, srcs[i], pms[srcs[i]], 0, nil)
 			meas[i].Util = 0.3 + 0.7*r.Float64()
 		}
-		pt.Sense += time.Since(t0)
+		pt.Sense += sinceOn(clk, t0)
 
 		// ---- Predict: fill S(k) and P(k). ----
-		t1 := time.Now()
+		t1 := clk.Now()
 		prob := &Problem{
 			IPS:       make([][]float64, sp.Threads),
 			Power:     make([][]float64, sp.Threads),
@@ -154,10 +163,10 @@ func MeasurePhases(pred *Predictor, sp ScalePoint, repeat int, seed uint64) (Pha
 			prob.Power[i] = powRow
 			prob.Util[i] = meas[i].Util
 		}
-		pt.Predict += time.Since(t1)
+		pt.Predict += sinceOn(clk, t1)
 
 		// ---- Optimize: Algorithm 1 at the scaled iteration budget. ----
-		t2 := time.Now()
+		t2 := clk.Now()
 		initial := make(Allocation, sp.Threads)
 		for i := range initial {
 			initial[i] = arch.CoreID(i % sp.Cores)
@@ -168,7 +177,7 @@ func MeasurePhases(pred *Predictor, sp ScalePoint, repeat int, seed uint64) (Pha
 		if _, err := Anneal(prob, initial, cfg); err != nil {
 			return PhaseTimes{}, err
 		}
-		pt.Optimize += time.Since(t2)
+		pt.Optimize += sinceOn(clk, t2)
 	}
 	pt.Sense /= time.Duration(repeat)
 	pt.Predict /= time.Duration(repeat)

@@ -119,7 +119,7 @@ func (p *Predictor) Trained() bool {
 		}
 	}
 	for _, f := range p.power {
-		if f.Alpha0 == 0 && f.Alpha1 == 0 {
+		if f.Alpha0 == 0 && f.Alpha1 == 0 { //sbvet:allow floateq(exact zero is the untrained-model sentinel, never a computed value)
 			return false
 		}
 	}

@@ -20,6 +20,10 @@ type Config struct {
 	// Objective selects the optimisation goal (zero value: overall
 	// IPS/Watt; see ObjectiveMode).
 	Objective ObjectiveMode
+	// Clock supplies the time source for per-phase overhead
+	// measurement. nil selects RealClock (host time) — appropriate at
+	// the cmd/ boundary; deterministic runs inject a FakeClock.
+	Clock Clock
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -57,8 +61,9 @@ func (o *PhaseOverhead) PerEpoch() time.Duration {
 // Rebalance runs the sense, estimate/predict, optimise, and migrate
 // phases at every epoch boundary (Fig. 2).
 type SmartBalance struct {
-	pred *Predictor
-	cfg  Config
+	pred  *Predictor
+	cfg   Config
+	clock Clock
 
 	// lastMeasure retains each thread's most recent valid measurement
 	// so threads that slept through an epoch keep informed predictions.
@@ -79,9 +84,14 @@ func New(pred *Predictor, cfg Config) (*SmartBalance, error) {
 	if err := cfg.Anneal.Validate(); cfg.Anneal.MaxIter > 0 && err != nil {
 		return nil, err
 	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = RealClock()
+	}
 	return &SmartBalance{
 		pred:        pred,
 		cfg:         cfg,
+		clock:       clk,
 		lastMeasure: make(map[kernel.ThreadID]Measurement),
 	}, nil
 }
@@ -114,10 +124,10 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	typeOf := func(c arch.CoreID) arch.CoreTypeID { return plat.TypeID(c) }
 
 	// ---- Phase 1: sensing & measurement (Section 4.1, Eq. 4-7). ----
-	t0 := time.Now()
+	t0 := s.clock.Now()
 	tasks := k.ActiveTasks()
 	if len(tasks) == 0 {
-		s.overhead.Sense += time.Since(t0)
+		s.overhead.Sense += sinceOn(s.clock, t0)
 		return
 	}
 	var optTasks []*kernel.Task
@@ -161,23 +171,23 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 			}
 		}
 	}
-	s.overhead.Sense += time.Since(t0)
+	s.overhead.Sense += sinceOn(s.clock, t0)
 	if len(optTasks) == 0 {
 		return
 	}
 
 	// ---- Phase 2: prediction — fill S(k) and P(k) (Section 4.2.2). ----
-	t1 := time.Now()
+	t1 := s.clock.Now()
 	prob, err := s.BuildProblem(plat, k, meas)
 	if err != nil {
-		s.overhead.Predict += time.Since(t1)
+		s.overhead.Predict += sinceOn(s.clock, t1)
 		return
 	}
 	prob.Allowed = affinityMatrix(optTasks, plat.NumCores())
-	s.overhead.Predict += time.Since(t1)
+	s.overhead.Predict += sinceOn(s.clock, t1)
 
 	// ---- Phase 3: balance — Algorithm 1 over allocations. ----
-	t2 := time.Now()
+	t2 := s.clock.Now()
 	initial := make(Allocation, len(optTasks))
 	for i, task := range optTasks {
 		initial[i] = task.Core()
@@ -189,13 +199,13 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	}
 	acfg.Seed ^= uint64(s.epochs) * 0x9E3779B97F4A7C15
 	result, err := Anneal(prob, initial, acfg)
-	s.overhead.Optimize += time.Since(t2)
+	s.overhead.Optimize += sinceOn(s.clock, t2)
 	if err != nil {
 		return
 	}
 
 	// ---- Phase 4: apply Ψ via migration (set_cpus_allowed_ptr). ----
-	t3 := time.Now()
+	t3 := s.clock.Now()
 	for i, task := range optTasks {
 		dst := result.Allocation[i]
 		if dst != task.Core() {
@@ -204,7 +214,7 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 			}
 		}
 	}
-	s.overhead.Migrate += time.Since(t3)
+	s.overhead.Migrate += sinceOn(s.clock, t3)
 }
 
 // BuildProblem assembles the optimisation input from the epoch's

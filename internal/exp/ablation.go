@@ -217,6 +217,7 @@ func AblationEpochLength(opts Options) (*Result, error) {
 	tb := tablefmt.New("Ablation A4: epoch-length sweep (Mix5, 4 threads)",
 		"epoch (ms)", "IPS/W", "migrations", "relative to 60ms")
 	var base float64
+	baseSet := false
 	type row struct {
 		epoch int64
 		ee    float64
@@ -239,9 +240,10 @@ func AblationEpochLength(opts Options) (*Result, error) {
 		rows = append(rows, row{ep, ee, st.Migrations})
 		if ep == 60e6 {
 			base = ee
+			baseSet = true
 		}
 	}
-	if base == 0 {
+	if !baseSet {
 		base = rows[len(rows)/2].ee
 	}
 	var best float64

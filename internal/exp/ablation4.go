@@ -75,7 +75,7 @@ func AblationBusContention(opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("A9 bw=%g smart: %w", bw, err)
 		}
-		if bw == 0 {
+		if bw == 0 { //sbvet:allow floateq(bw ranges over config literals; 0 is the contention-disabled setting, never computed)
 			freeVanilla = van.EnergyEfficiency()
 		}
 		gain := sm.EnergyEfficiency() / van.EnergyEfficiency()

@@ -151,7 +151,7 @@ func Mul(a, b *Matrix) (*Matrix, error) {
 	for i := 0; i < a.rows; i++ {
 		for k := 0; k < a.cols; k++ {
 			aik := a.At(i, k)
-			if aik == 0 {
+			if aik == 0 { //sbvet:allow floateq(exact-zero sparsity skip; a skipped zero term contributes nothing either way)
 				continue
 			}
 			for j := 0; j < b.cols; j++ {
@@ -213,7 +213,7 @@ func Solve(a *Matrix, b []float64) ([]float64, error) {
 		inv := 1 / m.At(col, col)
 		for r := col + 1; r < n; r++ {
 			f := m.At(r, col) * inv
-			if f == 0 {
+			if f == 0 { //sbvet:allow floateq(exact-zero elimination skip; the update is a no-op for an exactly zero factor)
 				continue
 			}
 			for c := col; c < n; c++ {
@@ -280,7 +280,7 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 		for i := k; i < mRows; i++ {
 			vtv += v[i] * v[i]
 		}
-		if vtv == 0 {
+		if vtv == 0 { //sbvet:allow floateq(a sum of squares is exactly zero iff the vector is all zeros)
 			return nil, ErrSingular
 		}
 		beta := 2 / vtv

@@ -160,7 +160,7 @@ func JainFairness(xs []float64) (float64, error) {
 		sum += x
 		sumSq += x * x
 	}
-	if sumSq == 0 {
+	if sumSq == 0 { //sbvet:allow floateq(a sum of squares is exactly zero iff every sample is zero)
 		return 0, errors.New("stats: all-zero samples in fairness index")
 	}
 	return sum * sum / (float64(len(xs)) * sumSq), nil
@@ -185,7 +185,7 @@ func Histogram(xs []float64, nbins int) (counts []int, edges []float64, err erro
 		edges[i] = lo + width*float64(i)
 	}
 	edges[nbins] = hi
-	if width == 0 {
+	if width == 0 { //sbvet:allow floateq(width is exactly zero iff min == max; guards the bin division below)
 		counts[0] = len(xs)
 		return counts, edges, nil
 	}

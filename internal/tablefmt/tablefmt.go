@@ -70,7 +70,7 @@ func FormatFloat(x float64) string {
 		ax = -ax
 	}
 	switch {
-	case x == 0:
+	case x == 0: //sbvet:allow floateq(renders the exact zero value; near-zeros must keep their magnitude)
 		return "0"
 	case ax >= 1e7 || ax < 1e-3:
 		return strconv.FormatFloat(x, 'e', 3, 64)

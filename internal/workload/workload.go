@@ -152,7 +152,7 @@ func (t *ThreadSpec) DutyCycle(refIPS float64) float64 {
 		busyNs += float64(t.Phases[i].Instructions) / refIPS * 1e9
 		sleepNs += float64(t.Phases[i].SleepAfterNs)
 	}
-	if busyNs+sleepNs == 0 {
+	if busyNs+sleepNs == 0 { //sbvet:allow floateq(both terms are non-negative; exact zero guards the division below)
 		return 1
 	}
 	return busyNs / (busyNs + sleepNs)

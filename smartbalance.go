@@ -209,6 +209,21 @@ const (
 // DefaultSmartBalanceConfig returns the standard controller settings.
 func DefaultSmartBalanceConfig() SmartBalanceConfig { return core.DefaultConfig() }
 
+// Clock is the controller's time source for overhead measurement.
+// Simulation packages never read host time directly (the sbvet
+// wallclock invariant); real time enters only through RealClock,
+// injected at the application boundary.
+type Clock = core.Clock
+
+// RealClock returns the host-time Clock for measuring actual controller
+// overhead (Fig. 7). Use it in binaries; simulations and tests should
+// prefer NewFakeClock for reproducible output.
+func RealClock() Clock { return core.RealClock() }
+
+// NewFakeClock returns a deterministic Clock advancing by step per
+// reading, making overhead figures a pure function of the run.
+func NewFakeClock(step time.Duration) Clock { return core.NewFakeClock(step) }
+
 // NewSmartBalanceController builds a controller from an already-trained
 // predictor with explicit configuration.
 func NewSmartBalanceController(pred *Predictor, cfg SmartBalanceConfig) (*SmartBalanceController, error) {

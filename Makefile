@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet sbvet check
+.PHONY: build test race vet sbvet sweep-check check
 
 build:
 	go build ./...
@@ -16,6 +16,9 @@ vet:
 
 sbvet:
 	go run ./cmd/sbvet ./...
+
+sweep-check:
+	./scripts/sweep_check.sh
 
 check:
 	./scripts/check.sh

@@ -10,6 +10,11 @@ package smartbalance
 // reproduces the full evaluation. Durations are trimmed relative to
 // `smartbench -full` so the whole suite completes in minutes; the
 // shapes (who wins, by what factor) are unchanged.
+//
+// The BenchmarkReplicate pair additionally times the sweep engine
+// itself: the same seed replication on one worker versus the full
+// GOMAXPROCS pool (`smartbench -sweepjson` records the same
+// comparison to a JSON file).
 
 import (
 	"testing"
@@ -203,4 +208,31 @@ func BenchmarkAblationFairness(b *testing.B) {
 // robustness of a sensing-driven balancer to sensor quality.
 func BenchmarkAblationSensorNoise(b *testing.B) {
 	runArtefact(b, "A12", "min-gain-under-noise")
+}
+
+// benchReplicate replicates one artefact over a small seed set with the
+// given sweep worker-pool size — the serial/parallel pair below
+// measures the engine's wall-clock win while the equivalence tests in
+// internal/exp pin the outputs byte-identical.
+func benchReplicate(b *testing.B, workers int) {
+	b.Helper()
+	opts := benchOpts()
+	opts.Workers = workers
+	seeds := []uint64{1, 2, 3, 4}
+	for i := 0; i < b.N; i++ {
+		if _, err := ReplicateExperiment("F6", opts, seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplicateSerial replicates F6 on a single sweep worker.
+func BenchmarkReplicateSerial(b *testing.B) {
+	benchReplicate(b, 1)
+}
+
+// BenchmarkReplicateParallel replicates F6 on the full worker pool
+// (GOMAXPROCS).
+func BenchmarkReplicateParallel(b *testing.B) {
+	benchReplicate(b, 0)
 }

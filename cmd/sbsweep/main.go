@@ -1,0 +1,213 @@
+// Command sbsweep expands a scenario grid (platform x balancer x
+// workload x threads x seed) and runs it on the deterministic parallel
+// sweep engine, with optional content-addressed result caching.
+//
+// Canonical results — the table or JSON lines — go to stdout and are
+// byte-identical for any worker count and any cache state; timing,
+// progress, and cache statistics are operator-facing side channels on
+// stderr.
+//
+// Usage:
+//
+//	sbsweep -balancers vanilla,smartbalance -workloads Mix1,Mix5 -seeds 1-8
+//	sbsweep -platforms biglittle -balancers gts,iks,smartbalance -workloads bodytrack -json
+//	sbsweep -cache /tmp/sbcache -seeds 1-32 -progress
+//
+// Exit status: 0 on success, 1 if any scenario failed or the input was
+// malformed, 2 if -expect-cached was set and at least one job had to
+// execute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"smartbalance/internal/core"
+	"smartbalance/internal/sweep"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus os.Exit, so tests can drive the full binary flow.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sbsweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		platforms = fs.String("platforms", "quad", "comma-separated platforms: quad | biglittle | scaling:<n>")
+		balancers = fs.String("balancers", "vanilla,smartbalance", "comma-separated balancers: smartbalance | vanilla | gts | iks | pinned")
+		workloads = fs.String("workloads", "Mix1", "comma-separated workloads: benchmark name, MixN, or imb:<T><I>")
+		threads   = fs.String("threads", "4", "comma-separated worker-thread counts")
+		seeds     = fs.String("seeds", "1", "comma-separated seeds; a-b expands the inclusive range")
+		durMs     = fs.Int64("dur", 1500, "simulated duration per scenario in milliseconds")
+		workers   = fs.Int("workers", 0, "sweep worker pool size (<= 0 selects GOMAXPROCS)")
+		cacheDir  = fs.String("cache", "", "content-addressed result-cache directory (empty disables caching)")
+		salt      = fs.String("salt", "", "extra fingerprint salt, for cache isolation between builds")
+		jsonOut   = fs.Bool("json", false, "emit canonical JSON lines instead of a table")
+		times     = fs.Bool("times", false, "print per-scenario wall times to stderr")
+		progress  = fs.Bool("progress", false, "print live per-job status to stderr")
+		expectHit = fs.Bool("expect-cached", false, "exit 2 if any job executed instead of being served from the cache")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 1
+	}
+
+	grid := sweep.Grid{
+		Platforms:  splitList(*platforms),
+		Balancers:  splitList(*balancers),
+		Workloads:  splitList(*workloads),
+		DurationNs: *durMs * 1e6,
+	}
+	var err error
+	if grid.Threads, err = parseInts(*threads); err != nil {
+		fmt.Fprintf(stderr, "sbsweep: -threads: %v\n", err)
+		return 1
+	}
+	if grid.Seeds, err = parseSeeds(*seeds); err != nil {
+		fmt.Fprintf(stderr, "sbsweep: -seeds: %v\n", err)
+		return 1
+	}
+	scs, err := grid.Expand()
+	if err != nil {
+		fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+		return 1
+	}
+	tasks, err := sweep.Tasks(scs, *salt)
+	if err != nil {
+		fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+		return 1
+	}
+
+	opts := sweep.Options{
+		Workers: *workers,
+		// The binary boundary is where real time may enter: per-job
+		// timing below is operator-facing only and never reaches the
+		// canonical stdout report.
+		NewClock: core.RealClock,
+	}
+	var cache *sweep.Cache
+	if *cacheDir != "" {
+		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
+			fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+			return 1
+		}
+		opts.Cache = cache
+	}
+	if *progress {
+		opts.OnProgress = func(p sweep.Progress) {
+			switch p.Status {
+			case sweep.StatusFailed:
+				fmt.Fprintf(stderr, "[%d/%d] %-8s %s: %v\n", p.Index+1, p.Total, p.Status, p.Key, p.Err)
+			default:
+				fmt.Fprintf(stderr, "[%d/%d] %-8s %s\n", p.Index+1, p.Total, p.Status, p.Key)
+			}
+		}
+	}
+
+	t0 := time.Now() //sbvet:allow wallclock(binary boundary: operator-facing sweep timing on stderr only)
+	results, err := sweep.Execute(tasks, opts)
+	wall := time.Since(t0)
+	if err != nil {
+		fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+		return 1
+	}
+
+	if *jsonOut {
+		err = sweep.WriteJSONL(stdout, results)
+	} else {
+		err = sweep.RenderTable(stdout, results)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+		return 1
+	}
+
+	if *times {
+		for i := range results {
+			r := &results[i]
+			src := "ran"
+			if r.Cached {
+				src = "cache"
+			}
+			fmt.Fprintf(stderr, "%-6s %8.1fms  %s\n", src, float64(r.WallNs)/1e6, r.Key)
+		}
+	}
+	s := sweep.Summarize(results)
+	fmt.Fprintf(stderr, "sbsweep: jobs=%d ok=%d failed=%d cached=%d workers=%d wall=%v\n",
+		s.Jobs, s.OK, s.Failed, s.Cached, sweep.Workers(*workers), wall.Round(time.Millisecond))
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Fprintf(stderr, "sbsweep: cache %s: hits=%d misses=%d writes=%d write-errors=%d\n",
+			cache.Dir(), cs.Hits, cs.Misses, cs.Writes, cs.WriteErrs)
+	}
+	for _, st := range s.Stacks {
+		fmt.Fprintf(stderr, "sbsweep: recovered panic in %s\n", st)
+	}
+
+	if s.Failed > 0 {
+		return 1
+	}
+	if *expectHit && s.Cached < s.Jobs {
+		fmt.Fprintf(stderr, "sbsweep: -expect-cached: %d of %d jobs executed\n", s.Jobs-s.Cached, s.Jobs)
+		return 2
+	}
+	return 0
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseInts parses a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseSeeds parses a comma-separated seed list where each item is a
+// single seed or an inclusive range "a-b" (e.g. "1,5,10-14").
+func parseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range splitList(s) {
+		lo, hi, ok := strings.Cut(part, "-")
+		a, err := strconv.ParseUint(lo, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", part)
+		}
+		if !ok {
+			out = append(out, a)
+			continue
+		}
+		b, err := strconv.ParseUint(hi, 10, 64)
+		if err != nil || b < a {
+			return nil, fmt.Errorf("bad seed range %q", part)
+		}
+		if b-a >= 1<<20 {
+			return nil, fmt.Errorf("seed range %q too large", part)
+		}
+		for v := a; v <= b; v++ {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a, b ,,c ")
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if got := splitList(""); len(got) != 0 {
+		t.Fatalf("empty input gave %v", got)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("2,4,8")
+	if err != nil || len(got) != 3 || got[2] != 8 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x", "2,4x", "1.5"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("counts %q accepted", bad)
+		}
+	}
+}
+
+func TestParseSeeds(t *testing.T) {
+	got, err := parseSeeds("1,5,10-13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 5, 10, 11, 12, 13}
+	if len(got) != len(want) {
+		t.Fatalf("parseSeeds = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSeeds = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"x", "3-1", "1-x", "-4", "0-2000000"} {
+		if _, err := parseSeeds(bad); err == nil {
+			t.Errorf("seeds %q accepted", bad)
+		}
+	}
+}
+
+// TestRunColdWarmIdentical drives the full binary flow twice against
+// one cache directory: the warm rerun must be served entirely from the
+// cache and print byte-identical canonical output.
+func TestRunColdWarmIdentical(t *testing.T) {
+	cacheDir := t.TempDir()
+	args := []string{
+		"-platforms", "quad", "-balancers", "vanilla,pinned",
+		"-workloads", "Mix1", "-threads", "2", "-seeds", "1-2",
+		"-dur", "30", "-cache", cacheDir, "-json",
+	}
+	var out1, err1, out2, err2 bytes.Buffer
+	if code := run(args, &out1, &err1); code != 0 {
+		t.Fatalf("cold run exited %d\n%s", code, err1.String())
+	}
+	warm := append(append([]string{}, args...), "-expect-cached", "-times", "-progress")
+	if code := run(warm, &out2, &err2); code != 0 {
+		t.Fatalf("warm run exited %d\n%s", code, err2.String())
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatalf("warm stdout differs from cold:\n--- cold\n%s\n--- warm\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(err2.String(), "cached=4") {
+		t.Fatalf("warm run not fully cached:\n%s", err2.String())
+	}
+}
+
+// TestRunExpectCachedCold: a cold run under -expect-cached exits 2.
+func TestRunExpectCachedCold(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-balancers", "vanilla", "-workloads", "Mix1", "-threads", "2",
+		"-dur", "20", "-cache", t.TempDir(), "-expect-cached",
+	}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2\n%s", code, errw.String())
+	}
+}
+
+// TestRunScenarioFailureExitsOne: a failing scenario (gts on the
+// four-type quad platform) is an error row plus exit 1, not an abort.
+func TestRunScenarioFailureExitsOne(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-balancers", "gts,vanilla", "-workloads", "Mix1", "-threads", "2",
+		"-dur", "20",
+	}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "ERROR:") {
+		t.Fatalf("error row missing:\n%s", out.String())
+	}
+	// The healthy vanilla scenarios still produced rows.
+	if !strings.Contains(out.String(), "quad/vanilla/Mix1/t2/s1/d20ms") {
+		t.Fatalf("healthy rows missing:\n%s", out.String())
+	}
+}
+
+func TestRunBadFlagsExitOne(t *testing.T) {
+	for _, args := range [][]string{
+		{"-seeds", "x"},
+		{"-threads", "x"},
+		{"-seeds", ""},
+		{"-dur", "0"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 1 {
+			t.Errorf("args %v: exit %d, want 1", args, code)
+		}
+	}
+}

@@ -101,8 +101,8 @@ func TestSuppressionCounted(t *testing.T) {
 	pass := newPass(pkg)
 	pass.analyzer = "wallclock"
 	Wallclock([]string{fixtureModPrefix + "wallclock"}).Run(pass)
-	if pass.Suppressed != 2 {
-		t.Errorf("Suppressed = %d, want 2 (the two validly annotated calls)", pass.Suppressed)
+	if pass.Suppressed != 3 {
+		t.Errorf("Suppressed = %d, want 3 (the three validly annotated calls)", pass.Suppressed)
 	}
 }
 

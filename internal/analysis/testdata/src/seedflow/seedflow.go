@@ -51,3 +51,18 @@ func OKDerived(seed uint64) *rng.Rand {
 func OKSplit(r *rng.Rand) *rng.Rand {
 	return r.Split()
 }
+
+// BadInWorker seeds a fresh stream from a constant inside a worker
+// goroutine; per-worker streams must Split from a configured parent.
+func BadInWorker(out chan<- float64) {
+	go func() {
+		out <- rng.New(777).Float64()
+	}()
+}
+
+// OKInWorker splits the configured parent stream per worker.
+func OKInWorker(parent *rng.Rand, out chan<- float64) {
+	go func(r *rng.Rand) {
+		out <- r.Float64()
+	}(parent.Split())
+}

@@ -38,3 +38,20 @@ func shadowed() {
 	time := struct{ Now func() int }{Now: func() int { return 0 }}
 	_ = time.Now()
 }
+
+// BadInWorker reads the clock inside a worker goroutine — the sweep
+// engine's failure mode — and must be flagged exactly like
+// straight-line code.
+func BadInWorker(done chan<- time.Duration) {
+	go func() {
+		t0 := time.Now()
+		done <- time.Since(t0)
+	}()
+}
+
+// AllowedInWorker is the annotated exception inside a goroutine.
+func AllowedInWorker(done chan<- time.Time) {
+	go func() {
+		done <- time.Now() //sbvet:allow wallclock(fixture: annotated inside a worker)
+	}()
+}

@@ -21,6 +21,7 @@ var DefaultSimPackages = []string{
 	"smartbalance/internal/rng",
 	"smartbalance/internal/thermal",
 	"smartbalance/internal/exp",
+	"smartbalance/internal/sweep",
 }
 
 // Wallclock returns the analyzer forbidding time.Now and time.Since in

@@ -28,6 +28,11 @@ type Options struct {
 	// Quick trims workload sets and repetition counts so the full suite
 	// runs in seconds; used by tests. Full runs leave it false.
 	Quick bool
+	// Workers bounds the sweep-engine worker pool the runners fan their
+	// independent scenario cells out on (internal/sweep). <= 0 selects
+	// GOMAXPROCS; 1 forces the serial path. Results are byte-identical
+	// for every setting — parallelism only changes wall-clock time.
+	Workers int
 }
 
 // DefaultOptions returns the standard experiment configuration.

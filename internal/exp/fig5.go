@@ -7,6 +7,7 @@ import (
 	"smartbalance/internal/balancer"
 	"smartbalance/internal/kernel"
 	"smartbalance/internal/stats"
+	"smartbalance/internal/sweep"
 	"smartbalance/internal/tablefmt"
 	"smartbalance/internal/workload"
 )
@@ -44,12 +45,14 @@ func Figure5(opts Options) (*Result, error) {
 		return false
 	}
 
-	tb := tablefmt.New("Figure 5: normalized energy efficiency vs ARM GTS (octa-core big.LITTLE)",
-		"workload", "GTS (norm)", "IKS (norm)", "SmartBalance (norm)", "gain vs GTS")
-	bars := &tablefmt.Bars{Title: "Fig 5: normalized EE vs GTS (bars; GTS = 1.0)", Unit: "", Baseline: 1}
-	var gains []float64
-	for _, name := range workloads {
-		name := name
+	// Each workload's three runs (GTS, IKS, SmartBalance) form one
+	// independent cell; cells fan out on the worker pool and aggregate
+	// in workload order.
+	type f5Cell struct {
+		iksNorm, gain float64
+	}
+	res, err := sweep.Map(opts.Workers, len(workloads), func(i int) (f5Cell, error) {
+		name := workloads[i]
 		mk := func() ([]workload.ThreadSpec, error) {
 			if isMix(name) {
 				return workload.Mix(name, threads, opts.Seed)
@@ -59,42 +62,54 @@ func Figure5(opts Options) (*Result, error) {
 		// GTS baseline run.
 		specs, err := mk()
 		if err != nil {
-			return nil, err
+			return f5Cell{}, err
 		}
 		gtsStats, err := runScenario(plat, gts, specs, opts.DurationNs, opts.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("F5 gts %s: %w", name, err)
+			return f5Cell{}, fmt.Errorf("F5 gts %s: %w", name, err)
 		}
 		// IKS run.
 		specs, err = mk()
 		if err != nil {
-			return nil, err
+			return f5Cell{}, err
 		}
 		iksStats, err := runScenario(plat, iks, specs, opts.DurationNs, opts.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("F5 iks %s: %w", name, err)
+			return f5Cell{}, fmt.Errorf("F5 iks %s: %w", name, err)
 		}
 		// SmartBalance run.
 		specs, err = mk()
 		if err != nil {
-			return nil, err
+			return f5Cell{}, err
 		}
 		smartStats, err := runScenario(plat, smart, specs, opts.DurationNs, opts.Seed)
 		if err != nil {
-			return nil, fmt.Errorf("F5 smart %s: %w", name, err)
+			return f5Cell{}, fmt.Errorf("F5 smart %s: %w", name, err)
 		}
 		g := gtsStats.EnergyEfficiency()
 		if g <= 0 {
-			return nil, fmt.Errorf("F5 %s: GTS achieved zero efficiency", name)
+			return f5Cell{}, fmt.Errorf("F5 %s: GTS achieved zero efficiency", name)
 		}
-		gain := smartStats.EnergyEfficiency() / g
-		gains = append(gains, gain)
+		return f5Cell{
+			iksNorm: iksStats.EnergyEfficiency() / g,
+			gain:    smartStats.EnergyEfficiency() / g,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := tablefmt.New("Figure 5: normalized energy efficiency vs ARM GTS (octa-core big.LITTLE)",
+		"workload", "GTS (norm)", "IKS (norm)", "SmartBalance (norm)", "gain vs GTS")
+	bars := &tablefmt.Bars{Title: "Fig 5: normalized EE vs GTS (bars; GTS = 1.0)", Unit: "", Baseline: 1}
+	var gains []float64
+	for i, name := range workloads {
+		gains = append(gains, res[i].gain)
 		tb.AddRow(name, "1.00",
-			fmt.Sprintf("%.2f", iksStats.EnergyEfficiency()/g),
-			fmt.Sprintf("%.2f", gain),
-			fmt.Sprintf("%.2fx", gain))
+			fmt.Sprintf("%.2f", res[i].iksNorm),
+			fmt.Sprintf("%.2f", res[i].gain),
+			fmt.Sprintf("%.2fx", res[i].gain))
 		bars.Labels = append(bars.Labels, name)
-		bars.Values = append(bars.Values, gain)
+		bars.Values = append(bars.Values, res[i].gain)
 	}
 	mean, err := stats.GeoMean(gains)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"smartbalance/internal/arch"
 	"smartbalance/internal/core"
 	"smartbalance/internal/stats"
+	"smartbalance/internal/sweep"
 	"smartbalance/internal/tablefmt"
 	"smartbalance/internal/workload"
 )
@@ -28,28 +29,39 @@ func Figure6(opts Options) (*Result, error) {
 	if opts.Quick {
 		benches = benches[:4]
 	}
-	tb := tablefmt.New("Figure 6: average prediction error across PARSEC-like workloads",
-		"benchmark", "perf error %", "power error %")
-	var perfAll, powerAll []float64
 	// Held-out variants: jittered workers from a seed disjoint from the
-	// training corpus seeds.
+	// training corpus seeds. Each benchmark's error evaluation is an
+	// independent cell on the worker pool; rows aggregate in order.
 	heldSeed := opts.Seed*0x9E37 + 0xC0FFEE
-	for _, name := range benches {
+	type f6Cell struct {
+		perf, power float64
+	}
+	res, err := sweep.Map(opts.Workers, len(benches), func(i int) (f6Cell, error) {
+		name := benches[i]
 		specs, err := workload.Benchmark(name, 2, heldSeed)
 		if err != nil {
-			return nil, err
+			return f6Cell{}, err
 		}
 		var phases []workload.Phase
-		for i := range specs {
-			phases = append(phases, specs[i].Phases...)
+		for j := range specs {
+			phases = append(phases, specs[j].Phases...)
 		}
 		perf, power, err := core.PredictionError(pred, phases, tc.SensorSigma, opts.Seed+7)
 		if err != nil {
-			return nil, fmt.Errorf("F6 %s: %w", name, err)
+			return f6Cell{}, fmt.Errorf("F6 %s: %w", name, err)
 		}
-		perfAll = append(perfAll, perf)
-		powerAll = append(powerAll, power)
-		tb.AddRow(name, fmt.Sprintf("%.2f", perf), fmt.Sprintf("%.2f", power))
+		return f6Cell{perf: perf, power: power}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := tablefmt.New("Figure 6: average prediction error across PARSEC-like workloads",
+		"benchmark", "perf error %", "power error %")
+	var perfAll, powerAll []float64
+	for i, name := range benches {
+		perfAll = append(perfAll, res[i].perf)
+		powerAll = append(powerAll, res[i].power)
+		tb.AddRow(name, fmt.Sprintf("%.2f", res[i].perf), fmt.Sprintf("%.2f", res[i].power))
 	}
 	meanPerf, err := stats.Mean(perfAll)
 	if err != nil {

@@ -16,6 +16,10 @@ import (
 // and optimize implementations at each scale (migration is modelled,
 // see core.MigrationCostNs). Paper headline: overhead below 1% of the
 // 60 ms epoch for 2-8 cores.
+//
+// Unlike the other figures this runner stays serial: it measures real
+// host wall-clock per phase, and sharing the CPU with sibling cells on
+// the sweep worker pool would inflate every timing it reports.
 func Figure7(opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err

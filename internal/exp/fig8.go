@@ -6,6 +6,7 @@ import (
 	"smartbalance/internal/arch"
 	"smartbalance/internal/core"
 	"smartbalance/internal/rng"
+	"smartbalance/internal/sweep"
 	"smartbalance/internal/tablefmt"
 )
 
@@ -66,23 +67,28 @@ func Figure8(opts Options) (*Result, error) {
 	if opts.Quick {
 		scenarios = scenarios[:3]
 	}
-	tb := tablefmt.New("Figure 8(a): Opt_max_iter per scenario and distance to optimal",
-		"cores", "threads", "max iterations", "cold-start dist %", "warm-start dist %")
-	var worst float64
-	for _, sp := range scenarios {
+	// Each scalability scenario (planted problem + brute-force
+	// cross-check + two anneals) is an independent cell on the worker
+	// pool; rows aggregate in scenario order.
+	type f8Cell struct {
+		maxIter    int
+		cold, warm float64
+	}
+	res, err := sweep.Map(opts.Workers, len(scenarios), func(i int) (f8Cell, error) {
+		sp := scenarios[i]
 		prob, planted := plantedProblem(sp.Threads, sp.Cores, opts.Seed+uint64(sp.Cores))
 		optScore, err := core.EvaluateAllocation(prob, planted)
 		if err != nil {
-			return nil, err
+			return f8Cell{}, err
 		}
 		// Exhaustive cross-check where feasible.
 		if pow := intPow(sp.Cores, sp.Threads); pow > 0 && pow <= 100_000 {
 			_, bfScore, err := core.BruteForceOptimal(prob)
 			if err != nil {
-				return nil, err
+				return f8Cell{}, err
 			}
 			if bfScore > optScore+1e-9 {
-				return nil, fmt.Errorf("F8: planted optimum is not optimal at %dc/%dt (%g > %g)",
+				return f8Cell{}, fmt.Errorf("F8: planted optimum is not optimal at %dc/%dt (%g > %g)",
 					sp.Cores, sp.Threads, bfScore, optScore)
 			}
 		}
@@ -104,24 +110,33 @@ func Figure8(opts Options) (*Result, error) {
 		// controller never sees — it shows the capped budget's limit).
 		cold, err := dist(make(core.Allocation, sp.Threads))
 		if err != nil {
-			return nil, err
+			return f8Cell{}, err
 		}
 		// Warm start: greedy initialisation, standing in for the
 		// controller's real starting point (the previous epoch's
 		// allocation).
 		warmInit, err := core.GreedyInitial(prob)
 		if err != nil {
-			return nil, err
+			return f8Cell{}, err
 		}
 		warm, err := dist(warmInit)
 		if err != nil {
-			return nil, err
+			return f8Cell{}, err
 		}
-		if warm > worst {
-			worst = warm
+		return f8Cell{maxIter: cfg.MaxIter, cold: cold, warm: warm}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := tablefmt.New("Figure 8(a): Opt_max_iter per scenario and distance to optimal",
+		"cores", "threads", "max iterations", "cold-start dist %", "warm-start dist %")
+	var worst float64
+	for i, sp := range scenarios {
+		if res[i].warm > worst {
+			worst = res[i].warm
 		}
 		tb.AddRow(fmt.Sprintf("%d", sp.Cores), fmt.Sprintf("%d", sp.Threads),
-			fmt.Sprintf("%d", cfg.MaxIter), fmt.Sprintf("%.2f", cold), fmt.Sprintf("%.2f", warm))
+			fmt.Sprintf("%d", res[i].maxIter), fmt.Sprintf("%.2f", res[i].cold), fmt.Sprintf("%.2f", res[i].warm))
 	}
 	tb.AddNote("warm start = greedy initialisation, the analogue of SmartBalance re-optimising from the previous epoch's allocation")
 	cfg := core.DefaultAnnealConfig()

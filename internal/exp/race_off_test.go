@@ -1,0 +1,8 @@
+//go:build !race
+
+package exp
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary (see race_on_test.go). Host-timing assertions widen
+// their budgets under instrumentation.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled: the race detector is on, so host-timed code runs many
+// times slower and shares the machine with instrumented sibling test
+// binaries; host-timing assertions widen their budgets accordingly.
+const raceEnabled = true

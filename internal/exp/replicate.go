@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"smartbalance/internal/stats"
+	"smartbalance/internal/sweep"
 	"smartbalance/internal/tablefmt"
 )
 
@@ -12,6 +13,10 @@ import (
 // headline metric (mean, standard deviation, min, max) — the
 // replication study backing any single-seed number smartbench reports.
 // seeds must contain at least two distinct values.
+//
+// The per-seed runs are independent and execute on the sweep engine's
+// worker pool (opts.Workers); aggregation happens in seed order, so the
+// result is byte-identical to a serial run.
 func Replicate(id string, opts Options, seeds []uint64) (*Result, error) {
 	runner := RunnerFor(id)
 	if runner == nil {
@@ -20,15 +25,21 @@ func Replicate(id string, opts Options, seeds []uint64) (*Result, error) {
 	if len(seeds) < 2 {
 		return nil, fmt.Errorf("exp: replication needs >= 2 seeds, got %d", len(seeds))
 	}
-	samples := map[string][]float64{}
-	var title string
-	for _, seed := range seeds {
+	runs, err := sweep.Map(opts.Workers, len(seeds), func(i int) (*Result, error) {
 		o := opts
-		o.Seed = seed
+		o.Seed = seeds[i]
 		res, err := runner(o)
 		if err != nil {
-			return nil, fmt.Errorf("exp: replicate %s seed %d: %w", id, seed, err)
+			return nil, fmt.Errorf("exp: replicate %s seed %d: %w", id, seeds[i], err)
 		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	samples := map[string][]float64{}
+	var title string
+	for _, res := range runs {
 		title = res.Title
 		for k, v := range res.Headline {
 			samples[k] = append(samples[k], v)

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed on-disk result store. Entries are
+// keyed by the SHA-256 of a task's fingerprint — the canonical encoding
+// of everything the result depends on — so a hit is only possible when
+// the scenario, its seed, and the schema version all match, and cache
+// invalidation is automatic: change any input and the address changes.
+//
+// Layout: <dir>/<hh>/<rest-of-hash>.json, where hh is the first hex
+// byte of the hash (a fan-out directory, keeping listings short). Reads
+// of missing or unreadable entries are misses, never errors; writes are
+// atomic (temp file + rename) so a crashed sweep cannot leave a
+// torn entry behind. Failed writes degrade the sweep to uncached and
+// are counted in Stats. All methods are safe for concurrent use.
+type Cache struct {
+	dir string
+
+	mu        sync.Mutex
+	hits      int
+	misses    int
+	writes    int
+	writeErrs int
+}
+
+// CacheStats is a point-in-time snapshot of cache traffic.
+type CacheStats struct {
+	// Hits counts Get calls served from disk.
+	Hits int
+	// Misses counts Get calls that found no usable entry.
+	Misses int
+	// Writes counts entries successfully stored.
+	Writes int
+	// WriteErrs counts failed stores (the sweep still completed, just
+	// uncached).
+	WriteErrs int
+}
+
+// OpenCache opens (creating if needed) a result cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Fingerprint builds a task's content address: the canonical JSON of
+// cfg, prefixed by a version tag that participates in the hash.
+// encoding/json renders struct fields in declaration order and map
+// keys sorted, so equal configurations always produce equal
+// fingerprints. Bump the version tag whenever result semantics change
+// and every stale entry silently becomes a miss.
+func Fingerprint(version string, cfg any) ([]byte, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fp := make([]byte, 0, len(version)+1+len(b))
+	fp = append(fp, version...)
+	fp = append(fp, 0)
+	return append(fp, b...), nil
+}
+
+// path maps a fingerprint to its entry's location.
+func (c *Cache) path(fp []byte) string {
+	sum := sha256.Sum256(fp)
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, h[:2], h[2:]+".json")
+}
+
+// Get returns the stored payload for fp. Any read problem — absent
+// entry, permission error, torn file — is reported as a miss.
+func (c *Cache) Get(fp []byte) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(fp))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return data, true
+}
+
+// Put stores the payload for fp atomically. On failure the entry is
+// simply absent (a future miss) and the failure is counted in Stats.
+func (c *Cache) Put(fp, data []byte) {
+	err := c.write(c.path(fp), data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		c.writeErrs++
+		return
+	}
+	c.writes++
+}
+
+// write lands data at path via a same-directory temp file and rename.
+func (c *Cache) write(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Stats snapshots the cache's traffic counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Writes: c.writes, WriteErrs: c.writeErrs}
+}

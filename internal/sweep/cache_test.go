@@ -1,0 +1,197 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFingerprintDeterminism(t *testing.T) {
+	sc := Scenario{Platform: "quad", Balancer: "vanilla", Workload: "Mix1",
+		Threads: 2, Seed: 7, DurationNs: 100e6}
+	a, err := Fingerprint(SchemaVersion, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fingerprint(SchemaVersion, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal configs produced different fingerprints")
+	}
+	// Any input change must change the address: config, seed, version.
+	for name, fp := range map[string]func() ([]byte, error){
+		"seed":     func() ([]byte, error) { s := sc; s.Seed = 8; return Fingerprint(SchemaVersion, s) },
+		"config":   func() ([]byte, error) { s := sc; s.Threads = 4; return Fingerprint(SchemaVersion, s) },
+		"version":  func() ([]byte, error) { return Fingerprint(SchemaVersion+"x", sc) },
+		"workload": func() ([]byte, error) { s := sc; s.Workload = "Mix2"; return Fingerprint(SchemaVersion, s) },
+	} {
+		c, err := fp()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a, c) {
+			t.Errorf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := []byte("fingerprint-1")
+	if _, ok := c.Get(fp); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(fp, []byte("payload"))
+	data, ok := c.Get(fp)
+	if !ok || string(data) != "payload" {
+		t.Fatalf("round trip: %q, %v", data, ok)
+	}
+	if _, ok := c.Get([]byte("fingerprint-2")); ok {
+		t.Fatal("hit for a different fingerprint")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Writes != 1 || st.WriteErrs != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenCache(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestExecuteCacheHitsAndByteIdenticalRerun(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs int
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		i := i
+		fp, err := Fingerprint("v1", map[string]int{"job": i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks[i] = Task{
+			Key:         fmt.Sprintf("job-%d", i),
+			Fingerprint: fp,
+			Run: func() ([]byte, error) {
+				runs++ // cold sweep runs serially below, so unsynchronised is fine
+				return []byte(fmt.Sprintf(`{"job":%d}`, i)), nil
+			},
+		}
+	}
+	cold, err := Execute(tasks, Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 6 {
+		t.Fatalf("cold sweep ran %d tasks", runs)
+	}
+	warmCache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Execute(tasks, Options{Workers: 4, Cache: warmCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 6 {
+		t.Fatalf("warm sweep re-ran tasks: %d total runs", runs)
+	}
+	for i := range warm {
+		if !warm[i].Cached {
+			t.Fatalf("job %d not served from cache", i)
+		}
+		if !bytes.Equal(warm[i].Data, cold[i].Data) {
+			t.Fatalf("job %d cached payload differs", i)
+		}
+	}
+	if st := warmCache.Stats(); st.Hits != 6 {
+		t.Fatalf("warm stats: %+v", st)
+	}
+	// Canonical reports of cold and warm sweeps must be byte-identical:
+	// caching is invisible in canonical output. (JSONL is the generic
+	// form; RenderTable needs Outcome payloads.)
+	var coldJSON, warmJSON bytes.Buffer
+	if err := WriteJSONL(&coldJSON, cold); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&warmJSON, warm); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldJSON.Bytes(), warmJSON.Bytes()) {
+		t.Fatal("cached rerun changed the canonical JSONL report")
+	}
+}
+
+func TestExecuteFailuresAreNotCached(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Fingerprint("v1", "flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempt := 0
+	task := Task{Key: "flaky", Fingerprint: fp, Run: func() ([]byte, error) {
+		attempt++
+		if attempt == 1 {
+			return nil, fmt.Errorf("transient failure")
+		}
+		return []byte(`{"ok":true}`), nil
+	}}
+	first, err := Execute([]Task{task}, Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first[0].Err == nil {
+		t.Fatal("first attempt should fail")
+	}
+	second, err := Execute([]Task{task}, Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].Err != nil || second[0].Cached {
+		t.Fatalf("second attempt: %+v (failures must not be cached)", second[0])
+	}
+	third, err := Execute([]Task{task}, Options{Workers: 1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third[0].Cached {
+		t.Fatal("success was not cached")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := []byte("fp")
+	p := cache.path(fp)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// An unreadable entry (here: a directory where a file belongs) must
+	// degrade to a miss, never an error.
+	if err := os.Mkdir(p, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("unreadable entry served as a hit")
+	}
+}

@@ -1,0 +1,64 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Map runs fn(0) .. fn(n-1) on a bounded worker pool and returns the
+// results in index order — the order-preserving parallel map the
+// experiment harness uses for in-memory fan-out (per-seed replication,
+// per-workload figure cells). workers <= 0 selects GOMAXPROCS; workers
+// == 1 degenerates to a serial loop on the calling goroutine's pool.
+//
+// Every index runs even when some fail; the returned error is the
+// lowest-indexed one, so error reporting is deterministic regardless of
+// goroutine scheduling. A panicking fn is recovered into a *PanicError
+// for its index and never takes down the other workers. fn must be safe
+// to call concurrently from multiple goroutines.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	errs := make([]error, n)
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for ; w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = callRecovered(fn, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			// Returned as-is: the callback carries its own context, and
+			// adding an index prefix here would double-wrap it.
+			return out, errs[i]
+		}
+	}
+	return out, nil
+}
+
+// callRecovered invokes fn(i), converting a panic into *PanicError.
+func callRecovered[T any](fn func(i int) (T, error), i int) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(i)
+}

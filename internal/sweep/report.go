@@ -1,0 +1,106 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"smartbalance/internal/tablefmt"
+)
+
+// Reporting renders sweep results in canonical job order, and by
+// design omits anything that varies between equivalent runs: wall
+// times, cache hits, and panic stacks all stay out of the canonical
+// forms, so a parallel sweep, a serial sweep, and a fully cached rerun
+// of either emit byte-identical reports. Timing and cache traffic
+// belong on a side channel (cmd/sbsweep prints them to stderr).
+
+// RenderTable renders scenario results as a text table.
+func RenderTable(w io.Writer, results []Result) error {
+	tb := tablefmt.New("Scenario sweep",
+		"scenario", "IPS/W", "IPS", "power W", "energy J", "migr", "epochs", "status")
+	for i := range results {
+		r := &results[i]
+		if r.Err != nil {
+			tb.AddRow(r.Key, "-", "-", "-", "-", "-", "-", "ERROR: "+r.Err.Error())
+			continue
+		}
+		out, err := DecodeOutcome(r.Data)
+		if err != nil {
+			return fmt.Errorf("sweep: result %q: %w", r.Key, err)
+		}
+		tb.AddRow(r.Key,
+			tablefmt.FormatFloat(out.EnergyEff),
+			tablefmt.FormatFloat(out.IPS),
+			tablefmt.FormatFloat(out.PowerW),
+			tablefmt.FormatFloat(out.EnergyJ),
+			fmt.Sprintf("%d", out.Migrations),
+			fmt.Sprintf("%d", out.Epochs),
+			"ok")
+	}
+	return tb.Render(w)
+}
+
+// jsonLine is the canonical JSON-lines record for one result.
+type jsonLine struct {
+	Key     string          `json:"key"`
+	Outcome json.RawMessage `json:"outcome,omitempty"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// WriteJSONL writes one canonical JSON object per result, in job
+// order: {"key":..., "outcome":{...}} or {"key":..., "error":"..."}.
+func WriteJSONL(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	for i := range results {
+		r := &results[i]
+		line := jsonLine{Key: r.Key}
+		if r.Err != nil {
+			line.Error = r.Err.Error()
+		} else {
+			if !json.Valid(r.Data) {
+				return fmt.Errorf("sweep: result %q carries invalid JSON", r.Key)
+			}
+			line.Outcome = json.RawMessage(r.Data)
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates a sweep's results for the side channel.
+type Summary struct {
+	Jobs   int
+	OK     int
+	Failed int
+	Cached int
+	WallNs int64 // summed per-task wall time (zero under frozen clocks)
+	Stacks []string
+}
+
+// Summarize tallies results; recovered panic stacks are collected so
+// callers can surface them without polluting canonical output.
+func Summarize(results []Result) Summary {
+	s := Summary{Jobs: len(results)}
+	for i := range results {
+		r := &results[i]
+		s.WallNs += r.WallNs
+		switch {
+		case r.Err != nil:
+			s.Failed++
+			var pe *PanicError
+			if errors.As(r.Err, &pe) {
+				s.Stacks = append(s.Stacks, fmt.Sprintf("%s:\n%s", r.Key, pe.Stack))
+			}
+		case r.Cached:
+			s.Cached++
+			s.OK++
+		default:
+			s.OK++
+		}
+	}
+	return s
+}

@@ -1,0 +1,325 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/balancer"
+	"smartbalance/internal/core"
+	"smartbalance/internal/kernel"
+	"smartbalance/internal/machine"
+	"smartbalance/internal/workload"
+)
+
+// SchemaVersion participates in every scenario fingerprint. Bump it
+// whenever simulation semantics change (kernel, models, balancers), so
+// results cached by an older build are never served for a newer one.
+const SchemaVersion = "sbsweep-v1"
+
+// Scenario is one cell of a design-space sweep: a platform, a
+// balancing policy, a workload, and the seed driving every source of
+// randomness in the run. Naming follows cmd/sbsim: platform "quad" |
+// "biglittle" | "scaling:<n>", workload a benchmark name, "MixN", or
+// "imb:<T><I>", balancer "smartbalance" | "vanilla" | "gts" | "iks" |
+// "pinned".
+type Scenario struct {
+	Platform   string `json:"platform"`
+	Balancer   string `json:"balancer"`
+	Workload   string `json:"workload"`
+	Threads    int    `json:"threads"`
+	Seed       uint64 `json:"seed"`
+	DurationNs int64  `json:"duration_ns"`
+}
+
+// Key canonically identifies the scenario within a sweep.
+func (s Scenario) Key() string {
+	return fmt.Sprintf("%s/%s/%s/t%d/s%d/d%dms",
+		s.Platform, s.Balancer, s.Workload, s.Threads, s.Seed, s.DurationNs/1e6)
+}
+
+// validate rejects statically malformed scenarios (name resolution
+// happens at run time, inside the job, so one bad name degrades to an
+// error-valued result rather than aborting grid expansion).
+func (s Scenario) validate() error {
+	switch {
+	case s.Platform == "":
+		return errors.New("sweep: scenario without a platform")
+	case s.Balancer == "":
+		return errors.New("sweep: scenario without a balancer")
+	case s.Workload == "":
+		return errors.New("sweep: scenario without a workload")
+	case s.Threads < 1:
+		return fmt.Errorf("sweep: invalid thread count %d", s.Threads)
+	case s.DurationNs <= 0:
+		return fmt.Errorf("sweep: non-positive duration %d", s.DurationNs)
+	}
+	return nil
+}
+
+// Grid is a scenario specification: the cross product of its axes.
+type Grid struct {
+	Platforms  []string
+	Balancers  []string
+	Workloads  []string
+	Threads    []int
+	Seeds      []uint64
+	DurationNs int64
+}
+
+// Expand materialises the grid in canonical job order — platform-major,
+// then balancer, workload, thread count, seed — the order every report
+// lists results in, independent of execution interleaving.
+func (g Grid) Expand() ([]Scenario, error) {
+	if len(g.Platforms) == 0 || len(g.Balancers) == 0 || len(g.Workloads) == 0 ||
+		len(g.Threads) == 0 || len(g.Seeds) == 0 {
+		return nil, errors.New("sweep: every grid axis needs at least one value")
+	}
+	var scs []Scenario
+	for _, plat := range g.Platforms {
+		for _, bal := range g.Balancers {
+			for _, wl := range g.Workloads {
+				for _, tc := range g.Threads {
+					for _, seed := range g.Seeds {
+						sc := Scenario{
+							Platform:   plat,
+							Balancer:   bal,
+							Workload:   wl,
+							Threads:    tc,
+							Seed:       seed,
+							DurationNs: g.DurationNs,
+						}
+						if err := sc.validate(); err != nil {
+							return nil, err
+						}
+						scs = append(scs, sc)
+					}
+				}
+			}
+		}
+	}
+	return scs, nil
+}
+
+// Outcome is one scenario's measured result — the payload stored in the
+// cache and emitted in reports. Fields are fixed-order struct members
+// so the canonical JSON encoding is stable.
+type Outcome struct {
+	Scenario     Scenario `json:"scenario"`
+	EnergyEff    float64  `json:"ips_per_watt"`
+	IPS          float64  `json:"ips"`
+	PowerW       float64  `json:"power_w"`
+	EnergyJ      float64  `json:"energy_j"`
+	Instructions uint64   `json:"instructions"`
+	Migrations   int      `json:"migrations"`
+	Epochs       int      `json:"epochs"`
+}
+
+// RunScenario executes one scenario end to end: resolve the platform,
+// workload, and balancer, simulate for the scenario's duration, check
+// kernel invariants, and distill the run statistics.
+func RunScenario(sc Scenario) (*Outcome, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	plat, err := buildPlatform(sc.Platform)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := buildWorkload(sc.Workload, sc.Threads, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	bal, err := buildBalancer(sc.Balancer, plat, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m, err := machine.New(plat)
+	if err != nil {
+		return nil, err
+	}
+	cfg := kernel.DefaultConfig()
+	cfg.Seed = sc.Seed
+	k, err := kernel.New(m, bal, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range specs {
+		if _, err := k.Spawn(&specs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := k.Run(sc.DurationNs); err != nil {
+		return nil, err
+	}
+	if err := k.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("sweep: post-run invariant violation: %w", err)
+	}
+	st := k.Stats()
+	return &Outcome{
+		Scenario:     sc,
+		EnergyEff:    st.EnergyEfficiency(),
+		IPS:          st.IPS(),
+		PowerW:       st.PowerW(),
+		EnergyJ:      st.TotalEnergyJ(),
+		Instructions: st.TotalInstructions(),
+		Migrations:   st.Migrations,
+		Epochs:       st.Epochs,
+	}, nil
+}
+
+// Tasks converts scenarios into engine tasks. salt joins the schema
+// version in every fingerprint — callers pass a build identifier there
+// when they want cache isolation between builds; tests use it to force
+// misses.
+func Tasks(scs []Scenario, salt string) ([]Task, error) {
+	version := SchemaVersion
+	if salt != "" {
+		version += "|" + salt
+	}
+	tasks := make([]Task, len(scs))
+	for i := range scs {
+		sc := scs[i]
+		fp, err := Fingerprint(version, sc)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = Task{
+			Key:         sc.Key(),
+			Fingerprint: fp,
+			Run: func() ([]byte, error) {
+				out, err := RunScenario(sc)
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(out)
+			},
+		}
+	}
+	return tasks, nil
+}
+
+// DecodeOutcome parses a task result payload produced by Tasks.
+func DecodeOutcome(data []byte) (*Outcome, error) {
+	var out Outcome
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("sweep: undecodable outcome: %w", err)
+	}
+	return &out, nil
+}
+
+// buildPlatform resolves a platform name.
+func buildPlatform(name string) (*arch.Platform, error) {
+	switch {
+	case name == "quad":
+		return arch.QuadHMP(), nil
+	case name == "biglittle":
+		return arch.OctaBigLittle(), nil
+	case strings.HasPrefix(name, "scaling:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "scaling:"))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: bad scaling core count in %q: %v", name, err)
+		}
+		return arch.ScalingHMP(n)
+	}
+	return nil, fmt.Errorf("sweep: unknown platform %q (quad | biglittle | scaling:<n>)", name)
+}
+
+// buildWorkload resolves a workload name into thread specs.
+func buildWorkload(name string, threads int, seed uint64) ([]workload.ThreadSpec, error) {
+	if strings.HasPrefix(name, "imb:") {
+		code := strings.TrimPrefix(name, "imb:")
+		// Accept both "HTMI" and "HM" forms, as cmd/sbsim does.
+		code = strings.ReplaceAll(strings.ReplaceAll(code, "T", ""), "I", "")
+		if len(code) != 2 {
+			return nil, fmt.Errorf("sweep: bad IMB code %q (want e.g. imb:HTMI)", name)
+		}
+		tl, err := parseLevel(code[:1])
+		if err != nil {
+			return nil, err
+		}
+		il, err := parseLevel(code[1:])
+		if err != nil {
+			return nil, err
+		}
+		return workload.IMB(tl, il, threads, seed)
+	}
+	for _, m := range workload.MixNames() {
+		if m == name {
+			return workload.Mix(name, threads, seed)
+		}
+	}
+	return workload.Benchmark(name, threads, seed)
+}
+
+// parseLevel resolves an IMB level letter.
+func parseLevel(s string) (workload.Level, error) {
+	switch strings.ToUpper(s) {
+	case "H":
+		return workload.High, nil
+	case "M":
+		return workload.Medium, nil
+	case "L":
+		return workload.Low, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown IMB level %q", s)
+}
+
+// buildBalancer resolves a balancer name for the platform.
+func buildBalancer(name string, plat *arch.Platform, seed uint64) (kernel.Balancer, error) {
+	switch name {
+	case "smartbalance":
+		pred, err := trainedPredictor(plat.Types, seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.DefaultConfig()
+		cfg.Anneal.Seed = seed
+		return core.New(pred, cfg)
+	case "vanilla":
+		return balancer.Vanilla{}, nil
+	case "gts":
+		return balancer.NewGTS(plat)
+	case "iks":
+		return balancer.NewIKS(plat)
+	case "pinned":
+		return balancer.Pinned{}, nil
+	}
+	return nil, fmt.Errorf("sweep: unknown balancer %q (smartbalance | vanilla | gts | iks | pinned)", name)
+}
+
+// predictorEntry is one memoised training run.
+type predictorEntry struct {
+	once sync.Once
+	pred *core.Predictor
+	err  error
+}
+
+// predictorCache memoises trained predictors per (core-type set, seed).
+// Training is a pure function of both, so memoisation cannot change any
+// result — it only stops concurrent scenarios on the same platform from
+// redoing an identical fit.
+var predictorCache sync.Map
+
+// trainedPredictor trains (or reuses) the predictor for the type set.
+func trainedPredictor(types []arch.CoreType, seed uint64) (*core.Predictor, error) {
+	// The key preserves type order: CoreTypeID is positional, so the
+	// same set in a different order is a different predictor.
+	names := make([]string, len(types))
+	for i := range types {
+		names[i] = types[i].Name
+	}
+	key := fmt.Sprintf("%s|%d", strings.Join(names, ","), seed)
+	v, _ := predictorCache.LoadOrStore(key, &predictorEntry{})
+	e := v.(*predictorEntry)
+	e.once.Do(func() {
+		tc := core.DefaultTrainConfig()
+		tc.Seed = seed
+		e.pred, e.err = core.Train(types, tc)
+	})
+	return e.pred, e.err
+}

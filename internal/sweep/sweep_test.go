@@ -1,0 +1,179 @@
+package sweep
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smartbalance/internal/core"
+)
+
+// mkTasks builds n uncached tasks whose payloads identify their index.
+func mkTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = Task{
+			Key: fmt.Sprintf("job-%03d", i),
+			Run: func() ([]byte, error) {
+				return []byte(fmt.Sprintf(`{"i":%d}`, i)), nil
+			},
+		}
+	}
+	return tasks
+}
+
+func TestExecuteCanonicalOrder(t *testing.T) {
+	tasks := mkTasks(37)
+	serial, err := Execute(tasks, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Execute(tasks, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 37 || len(parallel) != 37 {
+		t.Fatalf("result counts: %d serial, %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Key != tasks[i].Key || parallel[i].Key != tasks[i].Key {
+			t.Fatalf("result %d out of canonical order: %q / %q", i, serial[i].Key, parallel[i].Key)
+		}
+		if !bytes.Equal(serial[i].Data, parallel[i].Data) {
+			t.Fatalf("result %d differs between serial and parallel", i)
+		}
+	}
+}
+
+func TestExecuteRejectsMalformedInput(t *testing.T) {
+	run := func() ([]byte, error) { return nil, nil }
+	cases := [][]Task{
+		{{Key: "", Run: run}},
+		{{Key: "a", Run: run}, {Key: "a", Run: run}},
+		{{Key: "a"}},
+	}
+	for i, tasks := range cases {
+		if _, err := Execute(tasks, Options{Workers: 2}); err == nil {
+			t.Errorf("case %d: malformed input accepted", i)
+		}
+	}
+}
+
+func TestExecutePanicRecovery(t *testing.T) {
+	tasks := mkTasks(5)
+	tasks[2].Run = func() ([]byte, error) { panic("boom at job 2") }
+	results, err := Execute(tasks, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pe *PanicError
+	if !errors.As(results[2].Err, &pe) {
+		t.Fatalf("job 2: want PanicError, got %v", results[2].Err)
+	}
+	if !strings.Contains(pe.Value, "boom at job 2") || pe.Stack == "" {
+		t.Fatalf("panic not captured: value %q, stack %d bytes", pe.Value, len(pe.Stack))
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if results[i].Err != nil || results[i].Data == nil {
+			t.Fatalf("job %d did not survive its neighbour's panic: %+v", i, results[i])
+		}
+	}
+	if err := FirstError(results); err == nil || !strings.Contains(err.Error(), "job-002") {
+		t.Fatalf("FirstError = %v, want job-002's panic", err)
+	}
+}
+
+func TestExecuteProgressAndTiming(t *testing.T) {
+	tasks := mkTasks(4)
+	var mu sync.Mutex
+	counts := map[Status]int{}
+	results, err := Execute(tasks, Options{
+		Workers:  2,
+		NewClock: func() core.Clock { return core.NewFakeClock(time.Millisecond) },
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			counts[p.Status]++
+			if p.Total != 4 || p.Key == "" {
+				t.Errorf("bad progress update: %+v", p)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[StatusRunning] != 4 || counts[StatusDone] != 4 || counts[StatusFailed] != 0 {
+		t.Fatalf("progress counts: %v", counts)
+	}
+	for i := range results {
+		// One fake-clock step per task: start and stop readings 1ms apart.
+		if results[i].WallNs != time.Millisecond.Nanoseconds() {
+			t.Fatalf("job %d wall %dns, want 1ms (fake clock)", i, results[i].WallNs)
+		}
+	}
+}
+
+func TestExecuteDefaultClockIsFrozen(t *testing.T) {
+	results, err := Execute(mkTasks(3), Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i].WallNs != 0 {
+			t.Fatalf("job %d wall %dns under frozen default clock", i, results[i].WallNs)
+		}
+	}
+}
+
+func TestExecuteEmpty(t *testing.T) {
+	results, err := Execute(nil, Options{})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty sweep: %v, %d results", err, len(results))
+	}
+}
+
+func TestMapOrderAndErrorDeterminism(t *testing.T) {
+	out, err := Map(8, 64, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	// Two failures: the lowest-indexed error must win regardless of
+	// scheduling.
+	_, err = Map(8, 16, func(i int) (int, error) {
+		if i == 11 || i == 3 {
+			return 0, fmt.Errorf("fail-%d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail-3" {
+		t.Fatalf("Map error = %v, want fail-3", err)
+	}
+	// A panic is an error for its index, not a process abort.
+	_, err = Map(4, 8, func(i int) (int, error) {
+		if i == 5 {
+			panic("map boom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || !strings.Contains(pe.Value, "map boom") {
+		t.Fatalf("Map panic error = %v", err)
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	out, err := Map(4, 0, func(int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("zero items: %v, %d", err, len(out))
+	}
+}

@@ -2,9 +2,18 @@
 // bounded ring of raw events plus aggregate statistics (per-kind
 // counts, per-core context switches, migration matrix). It backs the
 // sbsim -trace flag and is handy when debugging balancer behaviour.
+//
+// Recorders are strictly one-per-kernel-instance: a kernel is
+// single-threaded, so a recorder bound to exactly one kernel needs no
+// locking, while sharing one across kernels — easy to do by accident
+// now that the sweep engine runs scenarios concurrently — would race
+// on every counter and interleave unrelated event streams. Attach
+// enforces the binding; parallel sweeps give every kernel its own
+// recorder.
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -13,14 +22,23 @@ import (
 	"smartbalance/internal/kernel"
 )
 
-// Recorder accumulates kernel trace events. Install with
-// kernel.SetObserver(rec.Observe). Not safe for concurrent use (the
-// kernel is single-threaded).
+// ErrAttached reports an attempt to bind one Recorder to a second
+// kernel.
+var ErrAttached = errors.New("trace: recorder is already attached to a kernel")
+
+// Recorder accumulates one kernel's trace events. Bind it with Attach
+// (preferred — it enforces the one-kernel rule) or, in single-kernel
+// code, kernel.SetObserver(rec.Observe). Not safe for concurrent use:
+// it inherits its kernel's single-threadedness, so concurrent
+// simulations need one recorder per kernel instance.
 type Recorder struct {
 	limit  int
 	events []kernel.TraceEvent
 	// dropped counts events evicted from the ring.
 	dropped int
+	// attached flips on the first Attach, pinning the recorder to that
+	// kernel for life.
+	attached bool
 
 	kindCounts map[kernel.TraceKind]int
 	// switchesPerCore counts TraceSlice events per core.
@@ -46,6 +64,19 @@ func NewRecorder(limit int) (*Recorder, error) {
 		switchesPerCore: make(map[arch.CoreID]int),
 		migrations:      make(map[arch.CoreID]int),
 	}, nil
+}
+
+// Attach installs the recorder as k's trace observer and pins it to
+// that kernel: a second Attach — the same recorder shared across the
+// sweep engine's concurrent kernels would race on every counter —
+// returns ErrAttached and leaves the second kernel untouched.
+func (r *Recorder) Attach(k *kernel.Kernel) error {
+	if r.attached {
+		return ErrAttached
+	}
+	r.attached = true
+	k.SetObserver(r.Observe)
+	return nil
 }
 
 // Observe is the kernel.Observer callback.

@@ -148,3 +148,128 @@ func TestMigrationsTracked(t *testing.T) {
 		t.Fatalf("trace migrations %d != stats %d", rec.Count(kernel.TraceMigrate), k.Stats().Migrations)
 	}
 }
+
+// newQuadKernel builds a fresh vanilla kernel on the quad HMP.
+func newQuadKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	m, err := machine.New(arch.QuadHMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kernel.New(m, balancer.Vanilla{}, kernel.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAttachEnforcesOneKernel(t *testing.T) {
+	rec, err := NewRecorder(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := newQuadKernel(t), newQuadKernel(t)
+	if err := rec.Attach(k1); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Attach(k2); err != ErrAttached {
+		t.Fatalf("second attach: %v, want ErrAttached", err)
+	}
+	// Same recorder, same kernel counts too: the binding is for life.
+	if err := rec.Attach(k1); err != ErrAttached {
+		t.Fatalf("re-attach to same kernel: %v, want ErrAttached", err)
+	}
+	// k2 must be untouched by the refused attach: its run produces no
+	// events in rec.
+	specs, err := workload.Benchmark("swaptions", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if _, err := k2.Spawn(&specs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k2.Run(100e6); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count(kernel.TraceSlice) != 0 {
+		t.Fatalf("refused attach still delivered %d slice events", rec.Count(kernel.TraceSlice))
+	}
+}
+
+// tracedScenario runs one traced scenario and returns the recorder —
+// the building block for the concurrency regression test below.
+func tracedScenario(seed uint64) (*Recorder, error) {
+	m, err := machine.New(arch.QuadHMP())
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(m, balancer.Vanilla{}, kernel.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	rec, err := NewRecorder(1 << 16)
+	if err != nil {
+		return nil, err
+	}
+	if err := rec.Attach(k); err != nil {
+		return nil, err
+	}
+	specs, err := workload.Benchmark("swaptions", 4, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := range specs {
+		if _, err := k.Spawn(&specs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if err := k.Run(300e6); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// TestRecordersConcurrentKernels is the parallel-sweep regression: two
+// kernels with their own recorders running on concurrent goroutines
+// (exercised under go test -race) observe exactly the event counts a
+// serial rerun of each scenario observes.
+func TestRecordersConcurrentKernels(t *testing.T) {
+	seeds := []uint64{1, 2}
+	recs := make([]*Recorder, len(seeds))
+	errs := make([]error, len(seeds))
+	done := make(chan int, len(seeds))
+	for i := range seeds {
+		go func(i int) {
+			recs[i], errs[i] = tracedScenario(seeds[i])
+			done <- i
+		}(i)
+	}
+	for range seeds {
+		<-done
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent scenario %d: %v", i, err)
+		}
+	}
+	for i, seed := range seeds {
+		serial, err := tracedScenario(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []kernel.TraceKind{
+			kernel.TraceSpawn, kernel.TraceSlice, kernel.TraceMigrate,
+			kernel.TraceFinish, kernel.TraceEpoch,
+		} {
+			if got, want := recs[i].Count(kind), serial.Count(kind); got != want {
+				t.Errorf("seed %d %s: concurrent %d != serial %d", seed, kind, got, want)
+			}
+		}
+		if recs[i].TotalInstructions() != serial.TotalInstructions() {
+			t.Errorf("seed %d: concurrent instr %d != serial %d",
+				seed, recs[i].TotalInstructions(), serial.TotalInstructions())
+		}
+	}
+}

@@ -23,6 +23,9 @@ go run ./cmd/sbvet ./...
 echo "== go build ./..."
 go build ./...
 
+echo "== sweep-check"
+./scripts/sweep_check.sh
+
 echo "== go test -race ./..."
 go test -race ./...
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# sweep_check.sh — the sbsweep determinism + cache gate: run a small
+# scenario grid twice against one cache directory. The warm rerun must
+# be served entirely from the cache (exit 2 otherwise, via
+# -expect-cached) and print byte-identical canonical output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/sbsweep" ./cmd/sbsweep
+
+args=(-platforms quad -balancers vanilla,pinned -workloads Mix1,swaptions
+      -threads 2 -seeds 1-2 -dur 60 -cache "$tmp/cache" -json)
+
+"$tmp/sbsweep" "${args[@]}" >"$tmp/cold.jsonl" 2>"$tmp/cold.log"
+"$tmp/sbsweep" "${args[@]}" -expect-cached >"$tmp/warm.jsonl" 2>"$tmp/warm.log" || {
+    echo "sweep-check: warm rerun was not fully cached:" >&2
+    cat "$tmp/warm.log" >&2
+    exit 1
+}
+
+if ! cmp -s "$tmp/cold.jsonl" "$tmp/warm.jsonl"; then
+    echo "sweep-check: warm output diverged from cold:" >&2
+    diff "$tmp/cold.jsonl" "$tmp/warm.jsonl" >&2 || true
+    exit 1
+fi
+
+echo "ok: cold and warm sweeps byte-identical, warm fully cache-served"

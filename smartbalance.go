@@ -355,13 +355,17 @@ type TraceRecorder = trace.Recorder
 
 // EnableTrace attaches a scheduling-trace recorder retaining up to
 // limit raw events (aggregate statistics cover the whole run). Call
-// before Run.
+// before Run. Each call makes a fresh recorder bound to this system's
+// kernel alone (recorders are one-per-kernel; see internal/trace), and
+// replaces any recorder a previous call installed.
 func (s *System) EnableTrace(limit int) (*TraceRecorder, error) {
 	rec, err := trace.NewRecorder(limit)
 	if err != nil {
 		return nil, err
 	}
-	s.k.SetObserver(rec.Observe)
+	if err := rec.Attach(s.k); err != nil {
+		return nil, err
+	}
 	return rec, nil
 }
 

@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet sbvet sweep-check check
+.PHONY: build test race vet sbvet sweep-check fault-check check
 
 build:
 	go build ./...
@@ -19,6 +19,9 @@ sbvet:
 
 sweep-check:
 	./scripts/sweep_check.sh
+
+fault-check:
+	./scripts/fault_check.sh
 
 check:
 	./scripts/check.sh

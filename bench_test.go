@@ -210,6 +210,13 @@ func BenchmarkAblationSensorNoise(b *testing.B) {
 	runArtefact(b, "A12", "min-gain-under-noise")
 }
 
+// BenchmarkAblationFaultRobustness (A13) sweeps injected sensing and
+// migration faults from clean to a total counter blackout — the
+// graceful-degradation contract of the hardened loop (DESIGN.md §9).
+func BenchmarkAblationFaultRobustness(b *testing.B) {
+	runArtefact(b, "A13", "gain-at-full-dropout", "min-gain-under-faults")
+}
+
 // benchReplicate replicates one artefact over a small seed set with the
 // given sweep worker-pool size — the serial/parallel pair below
 // measures the engine's wall-clock win while the equivalence tests in

@@ -6,6 +6,7 @@
 //	sbsim -platform quad -workload Mix1 -threads 4 -balancer smartbalance
 //	sbsim -platform biglittle -workload bodytrack -balancer gts -dur 2000
 //	sbsim -platform scaling:16 -workload imb:HTHI -balancer vanilla
+//	sbsim -workload Mix1 -balancer smartbalance -fault "drop=0.3;migfail=0.1"
 package main
 
 import (
@@ -29,6 +30,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "workload/optimiser seed")
 		perTask  = flag.Bool("tasks", false, "also print per-task statistics")
 		traceN   = flag.Int("trace", 0, "print a scheduling-trace summary and the last N events (0 disables)")
+		faultStr = flag.String("fault", "", `fault-injection plan, e.g. "drop=0.3;stale=0.1;migfail=0.2" (empty runs clean)`)
 	)
 	flag.Parse()
 
@@ -44,7 +46,21 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	sys, err := smartbalance.NewSystem(plat, bal)
+	cfg := smartbalance.DefaultKernelConfig()
+	plan, err := smartbalance.ParseFaultPlan(*faultStr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var inj *smartbalance.FaultInjector
+	if !plan.IsZero() {
+		// Same seed derivation as the sweep engine: the run seed xor a
+		// fixed tag, decorrelating the fault stream from the kernel's.
+		if inj, err = smartbalance.NewFaultInjector(plan, *seed^faultSeedTag); err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Faults = inj
+	}
+	sys, err := smartbalance.NewSystemWithConfig(plat, bal, cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -63,6 +79,11 @@ func main() {
 	st := sys.Stats()
 	fmt.Printf("platform : %s\n", plat)
 	fmt.Printf("workload : %s x %d threads (%d tasks)\n", *wl, *threads, len(specs))
+	if inj != nil {
+		fs := inj.Stats()
+		fmt.Printf("faults   : %s -> drops=%d stale=%d corrupt=%d powerdrop=%d powerspike=%d migfail=%d over %d epochs\n",
+			plan, fs.Dropped, fs.Staled, fs.Corrupted, fs.PowerDrops, fs.PowerSpikes, fs.MigrateFails, fs.Epochs)
+	}
 	fmt.Print(st.String())
 	fmt.Printf("energy efficiency: %.4g IPS/W (%.4g instructions/joule)\n",
 		st.EnergyEfficiency(), st.EnergyEfficiency())
@@ -87,6 +108,11 @@ func main() {
 		}
 	}
 }
+
+// faultSeedTag matches the sweep engine's injector-seed derivation, so
+// `sbsim -fault ... -seed N` and a sweep cell with the same plan and
+// seed inject the identical fault sequence.
+const faultSeedTag = 0xFA_17_1A_9E_5D
 
 func parsePlatform(s string) (*smartbalance.Platform, error) {
 	switch {

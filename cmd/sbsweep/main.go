@@ -1,6 +1,7 @@
 // Command sbsweep expands a scenario grid (platform x balancer x
-// workload x threads x seed) and runs it on the deterministic parallel
-// sweep engine, with optional content-addressed result caching.
+// workload x threads x seed x fault plan) and runs it on the
+// deterministic parallel sweep engine, with optional content-addressed
+// result caching.
 //
 // Canonical results — the table or JSON lines — go to stdout and are
 // byte-identical for any worker count and any cache state; timing,
@@ -45,6 +46,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		workloads = fs.String("workloads", "Mix1", "comma-separated workloads: benchmark name, MixN, or imb:<T><I>")
 		threads   = fs.String("threads", "4", "comma-separated worker-thread counts")
 		seeds     = fs.String("seeds", "1", "comma-separated seeds; a-b expands the inclusive range")
+		faults    = fs.String("faults", "", `comma-separated fault plans, e.g. "none,drop=0.3;migfail=0.1" (empty sweeps clean)`)
 		durMs     = fs.Int64("dur", 1500, "simulated duration per scenario in milliseconds")
 		workers   = fs.Int("workers", 0, "sweep worker pool size (<= 0 selects GOMAXPROCS)")
 		cacheDir  = fs.String("cache", "", "content-addressed result-cache directory (empty disables caching)")
@@ -62,6 +64,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		Platforms:  splitList(*platforms),
 		Balancers:  splitList(*balancers),
 		Workloads:  splitList(*workloads),
+		Faults:     splitList(*faults),
 		DurationNs: *durMs * 1e6,
 	}
 	var err error
@@ -143,8 +146,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		s.Jobs, s.OK, s.Failed, s.Cached, sweep.Workers(*workers), wall.Round(time.Millisecond))
 	if cache != nil {
 		cs := cache.Stats()
-		fmt.Fprintf(stderr, "sbsweep: cache %s: hits=%d misses=%d writes=%d write-errors=%d\n",
-			cache.Dir(), cs.Hits, cs.Misses, cs.Writes, cs.WriteErrs)
+		fmt.Fprintf(stderr, "sbsweep: cache %s: hits=%d misses=%d writes=%d write-errors=%d corrupt-evicted=%d\n",
+			cache.Dir(), cs.Hits, cs.Misses, cs.Writes, cs.WriteErrs, cs.Corrupt)
 	}
 	for _, st := range s.Stacks {
 		fmt.Fprintf(stderr, "sbsweep: recovered panic in %s\n", st)

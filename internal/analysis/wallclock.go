@@ -22,6 +22,7 @@ var DefaultSimPackages = []string{
 	"smartbalance/internal/thermal",
 	"smartbalance/internal/exp",
 	"smartbalance/internal/sweep",
+	"smartbalance/internal/fault",
 }
 
 // Wallclock returns the analyzer forbidding time.Now and time.Since in

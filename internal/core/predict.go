@@ -3,10 +3,18 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"smartbalance/internal/arch"
 	"smartbalance/internal/regress"
 )
+
+// ErrNotUsable marks a prediction that must not reach the optimiser: a
+// non-finite output, symptomatic of a degenerate regression fit (e.g. a
+// rank-deficient training corpus leaving NaN coefficients) or of
+// corrupt measurement inputs. Callers detect it with errors.Is and skip
+// the epoch rather than optimise over garbage.
+var ErrNotUsable = errors.New("core: prediction not usable")
 
 // NumFeatures is the width of the predictor feature vector — the ten
 // columns of the paper's Table 4: FR, mr$i, mr$d, I_msh, I_bsh, mr_b,
@@ -135,6 +143,9 @@ func (p *Predictor) PredictIPC(m *Measurement, dst arch.CoreTypeID) (float64, er
 		return 0, errors.New("core: prediction from invalid measurement")
 	}
 	if dst == m.SrcType {
+		if !isFinite(m.IPC) {
+			return 0, fmt.Errorf("%w: non-finite measured ipc %g", ErrNotUsable, m.IPC)
+		}
 		return m.IPC, nil
 	}
 	model := p.theta[m.SrcType][dst]
@@ -144,6 +155,11 @@ func (p *Predictor) PredictIPC(m *Measurement, dst arch.CoreTypeID) (float64, er
 	}
 	fr := p.types[dst].FreqMHz / p.types[m.SrcType].FreqMHz
 	ipc := model.Predict(Features(m, fr))
+	if !isFinite(ipc) {
+		// NaN survives both clamp comparisons below; reject explicitly.
+		return 0, fmt.Errorf("%w: non-finite ipc prediction for %s->%s",
+			ErrNotUsable, p.types[m.SrcType].Name, p.types[dst].Name)
+	}
 	if ipc < 0.01 {
 		ipc = 0.01
 	}
@@ -152,6 +168,9 @@ func (p *Predictor) PredictIPC(m *Measurement, dst arch.CoreTypeID) (float64, er
 	}
 	return ipc, nil
 }
+
+// isFinite reports whether v is neither NaN nor an infinity.
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // PredictIPS converts a predicted IPC into instructions per second on
 // the destination type: ips_hat = ipc_hat * F_dst.
@@ -170,11 +189,25 @@ func (p *Predictor) PredictPower(m *Measurement, dst arch.CoreTypeID) (float64, 
 		return 0, errors.New("core: prediction from invalid measurement")
 	}
 	if dst == m.SrcType {
+		if !isFinite(m.PowerW) {
+			return 0, fmt.Errorf("%w: non-finite measured power %g", ErrNotUsable, m.PowerW)
+		}
 		return m.PowerW, nil
 	}
 	ipc, err := p.PredictIPC(m, dst)
 	if err != nil {
 		return 0, err
 	}
-	return p.power[dst].Predict(ipc), nil
+	pw := p.power[dst].Predict(ipc)
+	if !isFinite(pw) {
+		return 0, fmt.Errorf("%w: non-finite power prediction on %s",
+			ErrNotUsable, p.types[dst].Name)
+	}
+	// Plausibility clamp to the Table 2 anchor: the trained fits satisfy
+	// Predict(PeakIPC) < PeakPowerW (the clamp is a no-op on sane fits),
+	// so only a corrupt fit or input can reach it.
+	if cap := p.types[dst].PeakPowerW; cap > 0 && pw > cap {
+		pw = cap
+	}
+	return pw, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"math"
 	"testing"
 
 	"smartbalance/internal/arch"
@@ -241,5 +243,101 @@ func BenchmarkTrainQuad(b *testing.B) {
 		if _, err := Train(arch.Table2Types(), DefaultTrainConfig()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestRankDeficientCorpusNeverYieldsSilentNaN(t *testing.T) {
+	// A degenerate training corpus — every sample identical, so the
+	// design matrix has rank 1 against NumFeatures columns — must
+	// produce either an explicit fit error or finite, usable
+	// coefficients (the ridge fallback); never NaN that flows silently
+	// into predictions.
+	row := []float64{1.2, 0.01, 0.02, 0.3, 0.1, 0.05, 0.001, 0.002, 1.5, 1}
+	rows := make([][]float64, NumFeatures+2)
+	y := make([]float64, len(rows))
+	for i := range rows {
+		rows[i] = row
+		y[i] = 0.8
+	}
+	model, err := regress.Fit(rows, y)
+	if err != nil {
+		return // explicit rejection is acceptable
+	}
+	for i, c := range model.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("rank-deficient fit produced non-finite coef[%d] = %g", i, c)
+		}
+	}
+	types := arch.Table2Types()
+	p, err := NewPredictor(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetModel(0, 1, model); err != nil {
+		t.Fatal(err)
+	}
+	m := Measurement{SrcType: 0, IPC: 1.5, PowerW: 1.0, Valid: true}
+	ipc, err := p.PredictIPC(&m, 1)
+	if err != nil {
+		t.Fatalf("finite rank-deficient model rejected: %v", err)
+	}
+	if !(ipc > 0 && ipc <= types[1].PeakIPC) {
+		t.Fatalf("prediction %g outside (0, %g]", ipc, types[1].PeakIPC)
+	}
+}
+
+func TestPredictRejectsNonFiniteModelOutputs(t *testing.T) {
+	// NaN coefficients — the signature of a corpus poisoned by corrupt
+	// measurements — must surface as ErrNotUsable, not as a NaN that
+	// survives the clamps (NaN fails both < and > comparisons).
+	types := arch.Table2Types()
+	p, err := NewPredictor(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &regress.Model{Coef: make([]float64, NumFeatures)}
+	bad.Coef[0] = math.NaN()
+	if err := p.SetModel(0, 1, bad); err != nil {
+		t.Fatal(err)
+	}
+	p.SetPowerFit(1, PowerFit{Alpha1: math.NaN(), Alpha0: 1})
+	m := Measurement{SrcType: 0, IPC: 1.5, PowerW: 1.0, Valid: true}
+	if _, err := p.PredictIPC(&m, 1); !errors.Is(err, ErrNotUsable) {
+		t.Fatalf("NaN model output: want ErrNotUsable, got %v", err)
+	}
+	if _, err := p.PredictPower(&m, 1); !errors.Is(err, ErrNotUsable) {
+		t.Fatalf("NaN power output: want ErrNotUsable, got %v", err)
+	}
+	// Non-finite measured values on the same-type path are rejected too.
+	inf := Measurement{SrcType: 1, IPC: math.Inf(1), PowerW: math.NaN(), Valid: true}
+	if _, err := p.PredictIPC(&inf, 1); !errors.Is(err, ErrNotUsable) {
+		t.Fatalf("Inf measured ipc: want ErrNotUsable, got %v", err)
+	}
+	if _, err := p.PredictPower(&inf, 1); !errors.Is(err, ErrNotUsable) {
+		t.Fatalf("NaN measured power: want ErrNotUsable, got %v", err)
+	}
+}
+
+func TestPredictPowerClampedToPeak(t *testing.T) {
+	types := arch.Table2Types()
+	p, err := NewPredictor(types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wildly optimistic (but finite) power fit is clamped to the
+	// destination type's Table 2 peak-power anchor.
+	ident := &regress.Model{Coef: make([]float64, NumFeatures)}
+	ident.Coef[NumFeatures-2] = 1 // ipc_src passthrough
+	if err := p.SetModel(0, 1, ident); err != nil {
+		t.Fatal(err)
+	}
+	p.SetPowerFit(1, PowerFit{Alpha1: 1e6, Alpha0: 0})
+	m := Measurement{SrcType: 0, IPC: 1.5, PowerW: 1.0, Valid: true}
+	pw, err := p.PredictPower(&m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw != types[1].PeakPowerW {
+		t.Fatalf("runaway power fit predicted %g, want clamp at %g", pw, types[1].PeakPowerW)
 	}
 }

@@ -13,6 +13,8 @@
 package core
 
 import (
+	"math"
+
 	"smartbalance/internal/arch"
 	"smartbalance/internal/hpc"
 )
@@ -50,12 +52,62 @@ type Measurement struct {
 	Valid bool
 }
 
+// SenseStatus classifies the outcome of sensing one thread's epoch
+// sample (DESIGN.md §9): the balancer treats SenseNoSample as benign
+// (the thread slept; fall back to its last characterisation at full
+// confidence) and SenseInvalid as sensor damage (fall back with decayed
+// confidence, count toward the degraded-epoch majority).
+type SenseStatus int
+
+const (
+	// SenseOK: the sample is present and physically plausible.
+	SenseOK SenseStatus = iota
+	// SenseNoSample: the thread has no usable counters this epoch. On
+	// clean sensing this only happens when it never ran (or ran
+	// zero-instruction slivers); whether it is benign depends on the
+	// scheduler's own run-time accounting, which the caller owns.
+	SenseNoSample
+	// SenseInvalid: counters exist but fail plausibility — non-finite
+	// or negative values, or rates outside the core type's physical
+	// envelope. Impossible on clean sensing; treat as a fault.
+	SenseInvalid
+)
+
+// String names the status.
+func (s SenseStatus) String() string {
+	switch s {
+	case SenseOK:
+		return "ok"
+	case SenseNoSample:
+		return "nosample"
+	case SenseInvalid:
+		return "invalid"
+	default:
+		return "unknown"
+	}
+}
+
+// Plausibility envelope headrooms. The measured IPC/IPS can run
+// slightly past the Table 2 peak anchor through rounding in the
+// counter-to-rate conversion, and measured power legitimately exceeds
+// the peak-throughput anchor under instruction mixes more expensive
+// than the calibration mix plus sensor noise — hence generous slack.
+// Faults this envelope is built to catch (saturated counters, spiked
+// power sensors) overshoot it by orders of magnitude.
+const (
+	ipcHeadroom   = 1.05
+	powerHeadroom = 4.0
+)
+
 // Sense converts one thread's epoch counter sample into a Measurement,
 // implementing the estimation step of Section 4.2.1: per-thread
 // averages over the L scheduling periods of the epoch. typeOf maps a
-// core id to its type. ok is false when the thread never ran during the
-// epoch (it slept throughout), in which case the caller falls back to
-// its last known measurement.
+// core id to its type. ok is false when the thread has no usable
+// counters (it slept throughout), in which case the caller falls back
+// to its last known measurement.
+//
+// Sense performs no plausibility checking; balancers exposed to
+// imperfect sensors use SenseChecked.
 func Sense(sample *hpc.ThreadEpochSample, util float64, typeOf func(arch.CoreID) arch.CoreTypeID) (Measurement, bool) {
 	if sample == nil {
 		return Measurement{}, false
@@ -65,9 +117,74 @@ func Sense(sample *hpc.ThreadEpochSample, util float64, typeOf func(arch.CoreID)
 		return Measurement{}, false
 	}
 	core := arch.CoreID(coreInt)
-	m := Measurement{
+	return assemble(core, typeOf(core), counters, util), true
+}
+
+// SenseChecked is the hardened estimation step: it assembles the same
+// Measurement as Sense and then validates it against the platform's
+// physical envelope. A sample that is missing or empty yields
+// SenseNoSample; one that is present but implausible — non-finite
+// values, negative energy, a dominant core off the platform, IPC/IPS
+// beyond the core type's peak, power outside (0, 4x peak] — yields
+// SenseInvalid and must not reach Eq. 8-11.
+//
+// On clean sensing SenseChecked is behaviourally identical to Sense:
+// every plausible sample maps to (m, SenseOK) with the exact same
+// Measurement, and every slept epoch to SenseNoSample.
+func SenseChecked(sample *hpc.ThreadEpochSample, util float64, plat *arch.Platform) (Measurement, SenseStatus) {
+	if sample == nil {
+		return Measurement{}, SenseNoSample
+	}
+	coreInt, counters, ok := sample.DominantCore()
+	if !ok {
+		return Measurement{}, SenseNoSample
+	}
+	if coreInt < 0 || coreInt >= plat.NumCores() {
+		return Measurement{}, SenseInvalid
+	}
+	if counters.Instructions == 0 || counters.RunNs <= 0 {
+		// No committed work on the dominant core: on clean sensing this
+		// is a thread that slept (or ran only zero-instruction
+		// slivers). A zero-wiped sample lands here too; the caller
+		// disambiguates against the scheduler's run-time accounting.
+		return Measurement{}, SenseNoSample
+	}
+	core := arch.CoreID(coreInt)
+	ct := plat.Type(core)
+	m := assemble(core, plat.TypeID(core), counters, util)
+
+	for _, v := range []float64{
+		m.IPC, m.IPS, m.PowerW, m.MissL1I, m.MissL1D, m.MemShare,
+		m.BranchShare, m.Mispredict, m.MissITLB, m.MissDTLB, m.Util,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Measurement{}, SenseInvalid
+		}
+	}
+	if counters.EnergyJ < 0 || m.PowerW <= 0 {
+		// Negative energy is unphysical; exactly-zero power over a
+		// slice that committed instructions is a dead power sensor (the
+		// hpc noise clamp floors individual draws at zero, but a whole
+		// sampled slice burning no energy does not happen).
+		return Measurement{}, SenseInvalid
+	}
+	if m.IPC > ct.PeakIPC*ipcHeadroom {
+		return Measurement{}, SenseInvalid
+	}
+	if m.IPS > ct.PeakIPC*ct.FreqHz()*ipcHeadroom {
+		return Measurement{}, SenseInvalid
+	}
+	if m.PowerW > ct.PeakPowerW*powerHeadroom {
+		return Measurement{}, SenseInvalid
+	}
+	return m, SenseOK
+}
+
+// assemble builds the Measurement from a dominant-core counter set.
+func assemble(core arch.CoreID, srcType arch.CoreTypeID, counters *hpc.Counters, util float64) Measurement {
+	return Measurement{
 		Core:        core,
-		SrcType:     typeOf(core),
+		SrcType:     srcType,
 		IPC:         counters.IPC(),
 		IPS:         counters.IPS(),
 		PowerW:      counters.PowerW(),
@@ -81,5 +198,4 @@ func Sense(sample *hpc.ThreadEpochSample, util float64, typeOf func(arch.CoreID)
 		Util:        util,
 		Valid:       true,
 	}
-	return m, true
 }

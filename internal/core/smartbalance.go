@@ -24,6 +24,63 @@ type Config struct {
 	// measurement. nil selects RealClock (host time) — appropriate at
 	// the cmd/ boundary; deterministic runs inject a FakeClock.
 	Clock Clock
+	// Degrade tunes the graceful-degradation fallback (DESIGN.md §9);
+	// zero-valued fields select the defaults.
+	Degrade DegradeConfig
+}
+
+// DegradeConfig tunes how the controller degrades under sensing faults.
+// The zero value selects the defaults noted per field.
+type DegradeConfig struct {
+	// Decay is the per-epoch multiplicative confidence decay applied to
+	// a degraded thread's last-known-good measurement: a measurement
+	// aged a epochs carries confidence Decay^a (default 0.5).
+	Decay float64
+	// MinConfidence floors the decayed confidence so a long-degraded
+	// thread keeps a small voice instead of vanishing from the
+	// optimisation (default 0.1).
+	MinConfidence float64
+	// RecoveryEpochs is the hysteresis width: after a majority-degraded
+	// epoch forces a skipped rebalance, this many consecutive clean
+	// epochs must pass before optimisation re-arms (default 2).
+	RecoveryEpochs int
+}
+
+// withDefaults resolves zero-valued fields.
+func (d DegradeConfig) withDefaults() DegradeConfig {
+	if d.Decay <= 0 || d.Decay > 1 {
+		d.Decay = 0.5
+	}
+	if d.MinConfidence <= 0 || d.MinConfidence > 1 {
+		d.MinConfidence = 0.1
+	}
+	if d.RecoveryEpochs <= 0 {
+		d.RecoveryEpochs = 2
+	}
+	return d
+}
+
+// Health reports the controller's exposure to sensing faults — the
+// observable side of the degradation contract, consumed by the
+// fault-robustness ablation and by tests.
+type Health struct {
+	// DegradedThreadEpochs counts thread-epochs served from a decayed
+	// last-known-good fallback because the fresh sample was invalid or
+	// missing while the thread demonstrably ran.
+	DegradedThreadEpochs int
+	// UnmeasurableThreadEpochs counts thread-epochs where a degraded
+	// thread had no last-known-good measurement at all and was left in
+	// place.
+	UnmeasurableThreadEpochs int
+	// SkippedEpochs counts rebalances skipped because a majority of
+	// sensed threads were degraded.
+	SkippedEpochs int
+	// RecoveryHolds counts clean epochs spent waiting out the
+	// hysteresis after a majority-degraded epoch.
+	RecoveryHolds int
+	// DegradedMode reports whether the controller is currently holding
+	// placement (inside a degraded episode or its recovery window).
+	DegradedMode bool
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -68,6 +125,15 @@ type SmartBalance struct {
 	// lastMeasure retains each thread's most recent valid measurement
 	// so threads that slept through an epoch keep informed predictions.
 	lastMeasure map[kernel.ThreadID]Measurement
+	// lastGood records the epoch of each thread's most recent fresh
+	// (SenseOK) measurement, the age base for confidence decay.
+	lastGood map[kernel.ThreadID]int
+
+	degrade DegradeConfig
+	health  Health
+	// cleanStreak counts consecutive non-majority-degraded epochs while
+	// in degraded mode (the recovery hysteresis).
+	cleanStreak int
 
 	overhead PhaseOverhead
 	epochs   int
@@ -93,6 +159,8 @@ func New(pred *Predictor, cfg Config) (*SmartBalance, error) {
 		cfg:         cfg,
 		clock:       clk,
 		lastMeasure: make(map[kernel.ThreadID]Measurement),
+		lastGood:    make(map[kernel.ThreadID]int),
+		degrade:     cfg.Degrade.withDefaults(),
 	}, nil
 }
 
@@ -108,6 +176,30 @@ func (s *SmartBalance) SetWeights(w []float64) { s.cfg.Weights = w }
 // Overhead returns the accumulated per-phase wall-clock costs.
 func (s *SmartBalance) Overhead() PhaseOverhead { return s.overhead }
 
+// Health returns the controller's accumulated degradation telemetry.
+func (s *SmartBalance) Health() Health { return s.health }
+
+// confidence returns the exponentially age-decayed trust in a thread's
+// last-known-good measurement: Decay^age floored at MinConfidence. A
+// thread with no fresh measurement on record decays from epoch zero.
+func (s *SmartBalance) confidence(id kernel.ThreadID) float64 {
+	age := s.epochs - s.lastGood[id]
+	if age < 1 {
+		age = 1
+	}
+	c := 1.0
+	for i := 0; i < age; i++ {
+		c *= s.degrade.Decay
+		if c <= s.degrade.MinConfidence {
+			return s.degrade.MinConfidence
+		}
+	}
+	if c < s.degrade.MinConfidence {
+		return s.degrade.MinConfidence
+	}
+	return c
+}
+
 // Rebalance implements kernel.Balancer: one full
 // sense-predict-balance iteration.
 func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
@@ -121,7 +213,6 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	s.epochs++
 	s.overhead.Epochs++
 	epochNs := k.Config().EpochNs
-	typeOf := func(c arch.CoreID) arch.CoreTypeID { return plat.TypeID(c) }
 
 	// ---- Phase 1: sensing & measurement (Section 4.1, Eq. 4-7). ----
 	t0 := s.clock.Now()
@@ -132,6 +223,7 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	}
 	var optTasks []*kernel.Task
 	var meas []Measurement
+	sensed, degraded := 0, 0
 	for _, task := range tasks {
 		if task.IsKernelThread() {
 			// Section 5.1: the user-level threads dominate, so kernel
@@ -139,23 +231,46 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 			continue
 		}
 		util := task.Utilization(epochNs)
-		m, ok := Sense(threads[int(task.ID)], util, typeOf)
-		if !ok {
-			// No sample this epoch (the thread slept throughout): fall
-			// back to its last known characterisation with fresh
-			// utilisation.
-			if last, seen := s.lastMeasure[task.ID]; seen {
-				m = last
-				m.Util = util
-				ok = true
+		m, status := SenseChecked(threads[int(task.ID)], util, plat)
+		if status == SenseNoSample && task.EpochRunNs() > 0 {
+			// The scheduler accounted run time this epoch, so counters
+			// were recorded — a missing/empty sample means the sensing
+			// path lost them (dropout or zero-wipe), not that the
+			// thread slept. Impossible on clean sensing.
+			status = SenseInvalid
+		}
+		sensed++
+		switch status {
+		case SenseOK:
+			s.lastMeasure[task.ID] = m
+			s.lastGood[task.ID] = s.epochs
+		case SenseNoSample:
+			// The thread slept throughout: fall back to its last known
+			// characterisation (still accurate — nothing ran to change
+			// it) with fresh utilisation.
+			last, seen := s.lastMeasure[task.ID]
+			if !seen {
+				// Never measured (e.g. spawned at the very end of the
+				// epoch): leave it where it is this round.
+				continue
 			}
+			m = last
+			m.Util = util
+			s.lastMeasure[task.ID] = m
+		case SenseInvalid:
+			// Sensing fault: fall back to the last-known-good
+			// measurement, discounted by how stale it is (DESIGN.md
+			// §9) so a long-degraded thread sways placement less.
+			degraded++
+			last, seen := s.lastMeasure[task.ID]
+			if !seen {
+				s.health.UnmeasurableThreadEpochs++
+				continue
+			}
+			s.health.DegradedThreadEpochs++
+			m = last
+			m.Util = util * s.confidence(task.ID)
 		}
-		if !ok {
-			// Never measured (e.g. spawned at the very end of the
-			// epoch): leave it where it is this round.
-			continue
-		}
-		s.lastMeasure[task.ID] = m
 		optTasks = append(optTasks, task)
 		meas = append(meas, m)
 	}
@@ -168,10 +283,31 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 		for id := range s.lastMeasure {
 			if !alive[id] {
 				delete(s.lastMeasure, id)
+				delete(s.lastGood, id)
 			}
 		}
 	}
 	s.overhead.Sense += sinceOn(s.clock, t0)
+
+	// Majority-degraded epoch: the sensed picture is mostly fiction, so
+	// optimising over it would thrash placements. Keep the current
+	// allocation and (re-)enter degraded mode; hysteresis below keeps
+	// it held until RecoveryEpochs consecutive clean epochs pass.
+	if sensed > 0 && 2*degraded > sensed {
+		s.health.SkippedEpochs++
+		s.health.DegradedMode = true
+		s.cleanStreak = 0
+		return
+	}
+	if s.health.DegradedMode {
+		s.cleanStreak++
+		if s.cleanStreak < s.degrade.RecoveryEpochs {
+			s.health.RecoveryHolds++
+			return
+		}
+		s.health.DegradedMode = false
+		s.cleanStreak = 0
+	}
 	if len(optTasks) == 0 {
 		return
 	}

@@ -168,6 +168,42 @@ func TestAblationFairness(t *testing.T) {
 	}
 }
 
+func TestAblationFaultRobustness(t *testing.T) {
+	res, err := AblationFaultRobustness(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 3 {
+		t.Fatalf("A13 rows = %d", res.Table.NumRows())
+	}
+	t.Logf("clean=%.3f min=%.3f blackout=%.3f",
+		res.Headline["clean-gain"], res.Headline["min-gain-under-faults"],
+		res.Headline["gain-at-full-dropout"])
+	if res.Headline["clean-gain"] < 1.1 {
+		t.Fatalf("clean gain collapsed: %.2fx", res.Headline["clean-gain"])
+	}
+	// The degradation contract: faults erode the gain but hardened
+	// SmartBalance never does worse than the counter-agnostic vanilla
+	// baseline — under total counter dropout it skips rebalancing and
+	// lands exactly on it.
+	if g := res.Headline["gain-at-full-dropout"]; g < 0.999 {
+		t.Fatalf("blackout dropped SmartBalance below vanilla: %.3fx", g)
+	}
+	if g := res.Headline["min-gain-under-faults"]; g < 0.99 {
+		t.Fatalf("a fault level dropped SmartBalance below vanilla: %.3fx", g)
+	}
+	// Determinism: a second run reproduces the headline bit-for-bit.
+	res2, err := AblationFaultRobustness(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range res.Headline {
+		if res2.Headline[k] != v { //sbvet:allow floateq(determinism check: reruns must be bit-identical)
+			t.Fatalf("headline %q not deterministic: %v vs %v", k, v, res2.Headline[k])
+		}
+	}
+}
+
 func TestAblationSensorNoise(t *testing.T) {
 	res, err := AblationSensorNoise(quickOpts())
 	if err != nil {

@@ -114,6 +114,7 @@ func Registry() []struct {
 		{"A10", AblationObjectiveGoals},
 		{"A11", AblationFairness},
 		{"A12", AblationSensorNoise},
+		{"A13", AblationFaultRobustness},
 	}
 }
 

@@ -223,3 +223,39 @@ func TestCoreEpochPower(t *testing.T) {
 		t.Fatal("zero-window power should be 0")
 	}
 }
+
+func TestHighSigmaNoiseNeverNegative(t *testing.T) {
+	// Regression: at sigma = 0.5 (the maximum NewBank accepts) roughly
+	// 2.3% of Gaussian draws land below -1/sigma, which would flip the
+	// multiplier 1 + sigma*N negative and yield negative energy (and so
+	// negative power and nonsense IPS/W) without the clamp.
+	b, err := NewBank(1, Noise{PowerSigma: 0.5}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	clamped := 0
+	for i := 0; i < n; i++ {
+		if err := b.RecordSlice(1, 0, sampleCounters()); err != nil {
+			t.Fatal(err)
+		}
+		threads, cores := b.Snapshot()
+		e := threads[1].Total().EnergyJ
+		if e < 0 {
+			t.Fatalf("sample %d: negative energy %g", i, e)
+		}
+		if cores[0].Agg.EnergyJ < 0 {
+			t.Fatalf("sample %d: negative core energy %g", i, cores[0].Agg.EnergyJ)
+		}
+		if e == 0 {
+			clamped++
+		}
+	}
+	// The clamp must actually have fired: ~2.3% of 5000 draws.
+	if clamped == 0 {
+		t.Fatal("no sample hit the zero clamp at sigma=0.5; test is vacuous")
+	}
+	if frac := float64(clamped) / n; frac > 0.1 {
+		t.Fatalf("clamped fraction %g implausibly high", frac)
+	}
+}

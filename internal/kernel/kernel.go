@@ -263,6 +263,37 @@ func (k *Kernel) ClearAffinity(id ThreadID) error {
 	return nil
 }
 
+// FaultInjector perturbs what the sensing and migration paths observe,
+// without ever touching ground truth: the kernel's own accounting
+// (energy, run time, statistics) is computed before injection, so
+// faults corrupt only the balancer's view of the machine, exactly like
+// a flaky sensor or a transiently refused set_cpus_allowed_ptr() on
+// real hardware. Implementations must be deterministic functions of
+// their seed and the (simulated-time-ordered) call sequence; the
+// canonical implementation lives in internal/fault.
+type FaultInjector interface {
+	// FilterEpoch maps the epoch's true sensing snapshot to the
+	// (possibly degraded) snapshot the balancer receives. epoch counts
+	// balancer invocations from 1; now is simulated time. The injector
+	// owns the returned map/slice; it must not mutate the inputs it
+	// does not return.
+	FilterEpoch(epoch int, now Time, threads map[int]*ThreadEpochSample, cores []CoreEpochSample) (map[int]*ThreadEpochSample, []CoreEpochSample)
+	// MigrateFault returns a non-nil error when a migration request
+	// that passed all validity checks should be rejected anyway
+	// (transient kernel refusal). A nil return lets the migration
+	// proceed.
+	MigrateFault(now Time, id ThreadID, dst arch.CoreID) error
+}
+
+// ThreadEpochSample and CoreEpochSample are re-exported so fault
+// injectors can be written against kernel types alone.
+type (
+	// ThreadEpochSample is hpc.ThreadEpochSample.
+	ThreadEpochSample = hpc.ThreadEpochSample
+	// CoreEpochSample is hpc.CoreEpochSample.
+	CoreEpochSample = hpc.CoreEpochSample
+)
+
 // Config parameterises a kernel instance.
 type Config struct {
 	// SchedLatencyNs is the CFS target latency: every runnable task runs
@@ -280,6 +311,9 @@ type Config struct {
 	Noise hpc.Noise
 	// Seed drives all kernel-internal randomness (initial placement).
 	Seed uint64
+	// Faults, when non-nil, injects sensing and migration faults (see
+	// FaultInjector). Nil runs with perfect sensing.
+	Faults FaultInjector
 }
 
 // DefaultConfig returns the configuration used across the paper's
@@ -525,6 +559,14 @@ func (k *Kernel) Migrate(id ThreadID, dst arch.CoreID) error {
 	}
 	if !t.AllowedOn(dst) {
 		return fmt.Errorf("kernel: core %d not in task %d's affinity mask", dst, id)
+	}
+	if t.taskState != StateFinished && k.cfg.Faults != nil {
+		// Injected transient refusal: the request was valid, but the
+		// (simulated) kernel rejected it. No state has changed yet, so a
+		// refused migration leaves runqueue accounting untouched.
+		if err := k.cfg.Faults.MigrateFault(k.now, id, dst); err != nil {
+			return err
+		}
 	}
 	switch t.taskState {
 	case StateFinished:

@@ -209,6 +209,11 @@ func (k *Kernel) handleEpoch() {
 		t.pelt.Observe(k.now)
 	}
 	threads, cores := k.bank.Snapshot()
+	if k.cfg.Faults != nil {
+		// Sensor faults degrade only what the balancer observes; the
+		// true samples above already fed the kernel's own accounting.
+		threads, cores = k.cfg.Faults.FilterEpoch(k.epochs, k.now, threads, cores)
+	}
 	k.balancer.Rebalance(k, k.now, threads, cores)
 	for _, t := range k.tasks {
 		t.epochRunNs = 0

@@ -17,11 +17,15 @@ import (
 // invalidation is automatic: change any input and the address changes.
 //
 // Layout: <dir>/<hh>/<rest-of-hash>.json, where hh is the first hex
-// byte of the hash (a fan-out directory, keeping listings short). Reads
-// of missing or unreadable entries are misses, never errors; writes are
-// atomic (temp file + rename) so a crashed sweep cannot leave a
-// torn entry behind. Failed writes degrade the sweep to uncached and
-// are counted in Stats. All methods are safe for concurrent use.
+// byte of the hash (a fan-out directory, keeping listings short).
+// Payloads are JSON documents (every producer in this repository
+// serializes results as JSON), which gives Get a content check: reads
+// of missing, unreadable, or non-JSON entries are misses, never errors,
+// and a present-but-unusable entry is evicted on detection so it
+// misses exactly once. Writes are atomic (temp file + rename) so a
+// crashed sweep cannot leave a torn entry behind. Failed writes degrade
+// the sweep to uncached and are counted in Stats. All methods are safe
+// for concurrent use.
 type Cache struct {
 	dir string
 
@@ -30,6 +34,7 @@ type Cache struct {
 	misses    int
 	writes    int
 	writeErrs int
+	corrupt   int
 }
 
 // CacheStats is a point-in-time snapshot of cache traffic.
@@ -43,6 +48,10 @@ type CacheStats struct {
 	// WriteErrs counts failed stores (the sweep still completed, just
 	// uncached).
 	WriteErrs int
+	// Corrupt counts entries found present but unusable (unreadable or
+	// not valid JSON) and evicted. Each corrupt entry also counts as a
+	// miss, but — because detection evicts it — only once.
+	Corrupt int
 }
 
 // OpenCache opens (creating if needed) a result cache rooted at dir.
@@ -84,21 +93,42 @@ func (c *Cache) path(fp []byte) string {
 }
 
 // Get returns the stored payload for fp. Any read problem — absent
-// entry, permission error, torn file — is reported as a miss.
+// entry, permission error, torn file, non-JSON content — is reported as
+// a miss, never an error. A present-but-unusable entry is additionally
+// evicted (best-effort) and counted in Stats.Corrupt, so it costs
+// exactly one miss instead of one per future Get.
 func (c *Cache) Get(fp []byte) ([]byte, bool) {
-	data, err := os.ReadFile(c.path(fp))
+	path := c.path(fp)
+	data, err := os.ReadFile(path)
+	corrupt := false
+	if err == nil && !json.Valid(data) {
+		err = errors.New("sweep: cache entry is not valid JSON")
+		data = nil
+	}
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		// Something is there but unusable: evict it so the slot heals
+		// on the next Put. RemoveAll covers the pathological
+		// directory-where-a-file-belongs case.
+		corrupt = true
+		_ = os.RemoveAll(path)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
 		c.misses++
+		if corrupt {
+			c.corrupt++
+		}
 		return nil, false
 	}
 	c.hits++
 	return data, true
 }
 
-// Put stores the payload for fp atomically. On failure the entry is
-// simply absent (a future miss) and the failure is counted in Stats.
+// Put stores the payload for fp atomically. The payload is expected to
+// be a JSON document (Get treats anything else as corrupt). On failure
+// the entry is simply absent (a future miss) and the failure is counted
+// in Stats.
 func (c *Cache) Put(fp, data []byte) {
 	err := c.write(c.path(fp), data)
 	c.mu.Lock()
@@ -140,5 +170,5 @@ func (c *Cache) write(path string, data []byte) error {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Writes: c.writes, WriteErrs: c.writeErrs}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Writes: c.writes, WriteErrs: c.writeErrs, Corrupt: c.corrupt}
 }

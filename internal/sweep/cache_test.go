@@ -48,9 +48,9 @@ func TestCacheRoundTrip(t *testing.T) {
 	if _, ok := c.Get(fp); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.Put(fp, []byte("payload"))
+	c.Put(fp, []byte(`"payload"`))
 	data, ok := c.Get(fp)
-	if !ok || string(data) != "payload" {
+	if !ok || string(data) != `"payload"` {
 		t.Fatalf("round trip: %q, %v", data, ok)
 	}
 	if _, ok := c.Get([]byte("fingerprint-2")); ok {
@@ -193,5 +193,68 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	}
 	if _, ok := cache.Get(fp); ok {
 		t.Fatal("unreadable entry served as a hit")
+	}
+}
+
+func TestCacheCorruptEntryMissesExactlyOnce(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := []byte("fp-corrupt")
+	p := cache.path(fp)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// A torn/garbage entry: present on disk but not valid JSON.
+	if err := os.WriteFile(p, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not evicted: stat err %v", err)
+	}
+	// Second Get: the entry is gone, so this is an ordinary (absent)
+	// miss, not a corrupt one.
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("hit after eviction")
+	}
+	st := cache.Stats()
+	if st.Corrupt != 1 {
+		t.Fatalf("want exactly 1 corrupt detection, got %+v", st)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("want 2 misses, got %+v", st)
+	}
+	// The slot heals: a Put after eviction serves hits again.
+	cache.Put(fp, []byte(`{"ok":true}`))
+	if data, ok := cache.Get(fp); !ok || string(data) != `{"ok":true}` {
+		t.Fatalf("healed slot: %q, %v", data, ok)
+	}
+	if st := cache.Stats(); st.Corrupt != 1 {
+		t.Fatalf("healed hit recounted as corrupt: %+v", st)
+	}
+}
+
+func TestCacheDirectoryEntryEvicted(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := []byte("fp-dir")
+	p := cache.path(fp)
+	if err := os.MkdirAll(p, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("directory entry served as a hit")
+	}
+	if st := cache.Stats(); st.Corrupt != 1 {
+		t.Fatalf("directory entry not counted corrupt: %+v", st)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("directory entry not evicted: stat err %v", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"smartbalance/internal/arch"
 	"smartbalance/internal/balancer"
 	"smartbalance/internal/core"
+	"smartbalance/internal/fault"
 	"smartbalance/internal/kernel"
 	"smartbalance/internal/machine"
 	"smartbalance/internal/workload"
@@ -34,12 +35,23 @@ type Scenario struct {
 	Threads    int    `json:"threads"`
 	Seed       uint64 `json:"seed"`
 	DurationNs int64  `json:"duration_ns"`
+	// Fault is a fault-injection plan in fault.ParsePlan's spec grammar
+	// (e.g. "drop=0.3;migfail=0.1"); empty or "none" runs clean. The
+	// omitempty tag keeps clean scenarios' fingerprints — and therefore
+	// their cache entries — identical to builds that predate the axis.
+	Fault string `json:"fault,omitempty"`
 }
 
-// Key canonically identifies the scenario within a sweep.
+// Key canonically identifies the scenario within a sweep. Clean
+// scenarios keep the historical key shape; a fault plan appends one
+// segment.
 func (s Scenario) Key() string {
-	return fmt.Sprintf("%s/%s/%s/t%d/s%d/d%dms",
+	key := fmt.Sprintf("%s/%s/%s/t%d/s%d/d%dms",
 		s.Platform, s.Balancer, s.Workload, s.Threads, s.Seed, s.DurationNs/1e6)
+	if s.Fault != "" && s.Fault != "none" {
+		key += "/f[" + s.Fault + "]"
+	}
+	return key
 }
 
 // validate rejects statically malformed scenarios (name resolution
@@ -58,6 +70,9 @@ func (s Scenario) validate() error {
 	case s.DurationNs <= 0:
 		return fmt.Errorf("sweep: non-positive duration %d", s.DurationNs)
 	}
+	if _, err := fault.ParsePlan(s.Fault); err != nil {
+		return fmt.Errorf("sweep: scenario fault plan: %w", err)
+	}
 	return nil
 }
 
@@ -69,6 +84,9 @@ type Grid struct {
 	Threads    []int
 	Seeds      []uint64
 	DurationNs int64
+	// Faults is the optional fault-plan axis (fault.ParsePlan specs);
+	// empty expands as a single clean cell.
+	Faults []string
 }
 
 // Expand materialises the grid in canonical job order — platform-major,
@@ -79,24 +97,34 @@ func (g Grid) Expand() ([]Scenario, error) {
 		len(g.Threads) == 0 || len(g.Seeds) == 0 {
 		return nil, errors.New("sweep: every grid axis needs at least one value")
 	}
+	faults := g.Faults
+	if len(faults) == 0 {
+		faults = []string{""}
+	}
 	var scs []Scenario
 	for _, plat := range g.Platforms {
 		for _, bal := range g.Balancers {
 			for _, wl := range g.Workloads {
 				for _, tc := range g.Threads {
 					for _, seed := range g.Seeds {
-						sc := Scenario{
-							Platform:   plat,
-							Balancer:   bal,
-							Workload:   wl,
-							Threads:    tc,
-							Seed:       seed,
-							DurationNs: g.DurationNs,
+						for _, fp := range faults {
+							if fp == "none" || fp == "off" {
+								fp = ""
+							}
+							sc := Scenario{
+								Platform:   plat,
+								Balancer:   bal,
+								Workload:   wl,
+								Threads:    tc,
+								Seed:       seed,
+								DurationNs: g.DurationNs,
+								Fault:      fp,
+							}
+							if err := sc.validate(); err != nil {
+								return nil, err
+							}
+							scs = append(scs, sc)
 						}
-						if err := sc.validate(); err != nil {
-							return nil, err
-						}
-						scs = append(scs, sc)
 					}
 				}
 			}
@@ -118,6 +146,10 @@ type Outcome struct {
 	Migrations   int      `json:"migrations"`
 	Epochs       int      `json:"epochs"`
 }
+
+// faultSeedTag decorrelates the fault injector's seed stream from the
+// kernel's for the same scenario seed.
+const faultSeedTag = 0xFA_17_1A_9E_5D
 
 // RunScenario executes one scenario end to end: resolve the platform,
 // workload, and balancer, simulate for the scenario's duration, check
@@ -144,6 +176,22 @@ func RunScenario(sc Scenario) (*Outcome, error) {
 	}
 	cfg := kernel.DefaultConfig()
 	cfg.Seed = sc.Seed
+	if sc.Fault != "" {
+		plan, err := fault.ParsePlan(sc.Fault)
+		if err != nil {
+			return nil, err
+		}
+		if !plan.IsZero() {
+			// The injector seed derives from the scenario seed (xor a
+			// fixed tag to decorrelate it from the kernel's stream), so
+			// one seed knob reproduces the whole faulty run.
+			inj, err := fault.New(plan, sc.Seed^faultSeedTag)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Faults = inj
+		}
+	}
 	k, err := kernel.New(m, bal, cfg)
 	if err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -172,5 +173,87 @@ func TestScenarioErrorValuedResult(t *testing.T) {
 func TestDecodeOutcomeRejectsGarbage(t *testing.T) {
 	if _, err := DecodeOutcome([]byte("not json")); err == nil {
 		t.Fatal("garbage decoded")
+	}
+}
+
+func TestFaultAxisFingerprintAndKey(t *testing.T) {
+	clean := Scenario{Platform: "quad", Balancer: "vanilla", Workload: "Mix1",
+		Threads: 2, Seed: 1, DurationNs: 100e6}
+	faulty := clean
+	faulty.Fault = "drop=0.5"
+
+	if clean.Key() == faulty.Key() {
+		t.Fatal("fault plan not reflected in the scenario key")
+	}
+	fpClean, err := Fingerprint(SchemaVersion, clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpFaulty, err := Fingerprint(SchemaVersion, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fpClean) == string(fpFaulty) {
+		t.Fatal("fault plan not part of the fingerprint")
+	}
+	// Backward compatibility: a clean scenario's canonical JSON (and so
+	// its content address) must not mention the fault field at all —
+	// cache entries written before the axis existed must still hit.
+	if strings.Contains(string(fpClean), "fault") {
+		t.Fatalf("clean fingerprint leaks the fault axis: %s", fpClean)
+	}
+
+	bad := clean
+	bad.Fault = "drop=2"
+	if _, err := RunScenario(bad); err == nil {
+		t.Fatal("invalid fault plan accepted")
+	}
+}
+
+func TestGridFaultAxisExpansion(t *testing.T) {
+	g := Grid{
+		Platforms: []string{"quad"}, Balancers: []string{"vanilla"},
+		Workloads: []string{"Mix1"}, Threads: []int{2}, Seeds: []uint64{1},
+		DurationNs: 100e6, Faults: []string{"none", "drop=0.5"},
+	}
+	scs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("want 2 scenarios, got %d", len(scs))
+	}
+	if scs[0].Fault != "" {
+		t.Fatalf(`"none" should normalise to the empty plan, got %q`, scs[0].Fault)
+	}
+	if scs[1].Fault != "drop=0.5" {
+		t.Fatalf("fault plan lost in expansion: %q", scs[1].Fault)
+	}
+}
+
+func TestRunScenarioWithFaultsDeterministic(t *testing.T) {
+	sc := Scenario{Platform: "quad", Balancer: "smartbalance", Workload: "Mix1",
+		Threads: 4, Seed: 3, DurationNs: 400e6, Fault: "drop=0.4;migfail=0.3"}
+	a, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("faulty scenario not deterministic:\n%s\n%s", ja, jb)
+	}
+	clean := sc
+	clean.Fault = ""
+	c, err := RunScenario(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Instructions == 0 || a.Instructions == 0 {
+		t.Fatal("scenarios retired no instructions")
 	}
 }

@@ -26,6 +26,9 @@ go build ./...
 echo "== sweep-check"
 ./scripts/sweep_check.sh
 
+echo "== fault-check"
+./scripts/fault_check.sh
+
 echo "== go test -race ./..."
 go test -race ./...
 

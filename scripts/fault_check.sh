@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# fault_check.sh — the fault-injection robustness gate. Two fixed-seed
+# runs of the A13 ablation must print byte-identical artefacts (modulo
+# the operator-facing "(regenerated in ...)" timing line — faulty runs
+# are exactly as reproducible as clean ones), and the headline must
+# show hardened SmartBalance holding at or above the counter-agnostic
+# vanilla baseline under a total counter blackout.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/smartbench" ./cmd/smartbench
+
+args=(-run A13 -quick -dur 400 -threads 2 -seed 7)
+"$tmp/smartbench" "${args[@]}" | grep -v '(regenerated in' >"$tmp/a.txt"
+"$tmp/smartbench" "${args[@]}" | grep -v '(regenerated in' >"$tmp/b.txt"
+
+if ! cmp -s "$tmp/a.txt" "$tmp/b.txt"; then
+    echo "fault-check: fixed-seed A13 reruns diverged:" >&2
+    diff "$tmp/a.txt" "$tmp/b.txt" >&2 || true
+    exit 1
+fi
+
+gain=$(awk '/headline gain-at-full-dropout:/ {print $3}' "$tmp/a.txt")
+if [ -z "$gain" ]; then
+    echo "fault-check: gain-at-full-dropout headline missing from A13 output:" >&2
+    cat "$tmp/a.txt" >&2
+    exit 1
+fi
+if ! awk -v g="$gain" 'BEGIN { exit !(g >= 0.999) }'; then
+    echo "fault-check: blackout gain ${gain}x puts SmartBalance below vanilla" >&2
+    exit 1
+fi
+
+echo "ok: A13 deterministic across reruns; blackout gain ${gain}x >= vanilla"

@@ -39,6 +39,7 @@ import (
 	"smartbalance/internal/balancer"
 	"smartbalance/internal/core"
 	"smartbalance/internal/exp"
+	"smartbalance/internal/fault"
 	"smartbalance/internal/kernel"
 	"smartbalance/internal/machine"
 	"smartbalance/internal/powermodel"
@@ -233,6 +234,36 @@ func NewSmartBalanceController(pred *Predictor, cfg SmartBalanceConfig) (*SmartB
 // DefaultKernelConfig returns the scheduling-substrate defaults used in
 // the paper's experiments (12 ms CFS latency, 60 ms epoch).
 func DefaultKernelConfig() KernelConfig { return kernel.DefaultConfig() }
+
+// Fault injection (DESIGN.md §9): deterministic sensing and migration
+// faults, applied to what the balancer observes — never to the
+// simulation's ground truth.
+
+// FaultPlan describes a deterministic fault-injection campaign:
+// per-thread-epoch probabilities of dropped, stale, corrupt, and
+// power-faulted sensor readings, plus a per-call migration-refusal
+// rate. The zero plan injects nothing.
+type FaultPlan = fault.Plan
+
+// FaultInjector perturbs the balancer's view of the machine according
+// to a FaultPlan; install it via KernelConfig.Faults. Deterministic per
+// (plan, seed).
+type FaultInjector = fault.Injector
+
+// FaultStats counts the faults an injector has materialised.
+type FaultStats = fault.Stats
+
+// ParseFaultPlan parses the canonical fault-plan spec grammar, e.g.
+// "drop=0.3;stale=0.1;migfail=0.2". "", "none", and "off" all mean the
+// zero plan.
+func ParseFaultPlan(spec string) (FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// NewFaultInjector builds a deterministic injector for the plan. seed
+// drives the fault stream when the plan does not pin its own Seed;
+// derive it from the run seed so one knob reproduces the whole run.
+func NewFaultInjector(plan FaultPlan, seed uint64) (*FaultInjector, error) {
+	return fault.New(plan, seed)
+}
 
 // ThermalTracker estimates per-core die temperature from the power
 // sensors with a first-order RC model.

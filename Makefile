@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet sbvet sweep-check fault-check check
+.PHONY: build test race vet sbvet sweep-check fault-check telemetry-check check
 
 build:
 	go build ./...
@@ -22,6 +22,9 @@ sweep-check:
 
 fault-check:
 	./scripts/fault_check.sh
+
+telemetry-check:
+	./scripts/telemetry_check.sh
 
 check:
 	./scripts/check.sh

@@ -217,6 +217,45 @@ func BenchmarkAblationFaultRobustness(b *testing.B) {
 	runArtefact(b, "A13", "gain-at-full-dropout", "min-gain-under-faults")
 }
 
+// TestTelemetryDisabledZeroAlloc pins the telemetry layer's
+// disabled-cost contract: a system without EnableTelemetry holds a nil
+// collector, and the exact per-epoch call sequence the controller and
+// kernel adapter issue against it must not allocate. Every attr-built
+// span in the hot path is additionally guarded by Enabled(), so the
+// variadic slices below are the worst case, not the common one.
+func TestTelemetryDisabledZeroAlloc(t *testing.T) {
+	var tel *TelemetryCollector
+	if tel.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		tel.BeginEpoch(1, 60e6)
+		tel.Counter("smartbalance_epochs_total").Inc()
+		tel.Counter("smartbalance_migrations_total").Add(3)
+		tel.Gauge("smartbalance_degraded_mode").Set(0)
+		tel.Gauge("smartbalance_epoch_ee").Set(1e9)
+		tel.Histogram("smartbalance_epoch_ee_dist", nil).Observe(1e9)
+		tel.Span("sense", 60e6, 0)
+		tel.Anomaly(60e6, "reason", "detail")
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocates %.1f times per epoch, want 0", allocs)
+	}
+}
+
+// BenchmarkEpochTelemetryEnabled sizes the enabled-path cost of the
+// same per-epoch sequence, for comparison against the zero above.
+func BenchmarkEpochTelemetryEnabled(b *testing.B) {
+	tel := NewTelemetryCollector(TelemetryConfig{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tel.BeginEpoch(i+1, int64(i)*60e6)
+		tel.Counter("smartbalance_epochs_total").Inc()
+		tel.Gauge("smartbalance_epoch_ee").Set(1e9)
+		tel.Span("sense", int64(i)*60e6, 0)
+	}
+}
+
 // benchReplicate replicates one artefact over a small seed set with the
 // given sweep worker-pool size — the serial/parallel pair below
 // measures the engine's wall-clock win while the equivalence tests in

@@ -31,6 +31,7 @@ func main() {
 		perTask  = flag.Bool("tasks", false, "also print per-task statistics")
 		traceN   = flag.Int("trace", 0, "print a scheduling-trace summary and the last N events (0 disables)")
 		faultStr = flag.String("fault", "", `fault-injection plan, e.g. "drop=0.3;stale=0.1;migfail=0.2" (empty runs clean)`)
+		telPath  = flag.String("telemetry", "", "write a telemetry trace (canonical JSONL) to this file; composes with -trace")
 	)
 	flag.Parse()
 
@@ -70,6 +71,18 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	var tel *smartbalance.TelemetryCollector
+	if *telPath != "" {
+		tel = sys.EnableTelemetry(smartbalance.TelemetryConfig{})
+		tel.SetMeta("platform", *platName)
+		tel.SetMeta("workload", *wl)
+		tel.SetMeta("threads", strconv.Itoa(*threads))
+		tel.SetMeta("seed", strconv.FormatUint(*seed, 10))
+		tel.SetMeta("dur_ms", strconv.FormatInt(*durMs, 10))
+		if *faultStr != "" {
+			tel.SetMeta("fault", *faultStr)
+		}
+	}
 	if err := sys.SpawnAll(specs); err != nil {
 		fatalf("%v", err)
 	}
@@ -106,6 +119,30 @@ func main() {
 		if err := rec.Dump(os.Stdout, *traceN); err != nil {
 			fatalf("trace dump: %v", err)
 		}
+	}
+	if tel != nil {
+		if inj != nil {
+			fs := inj.Stats()
+			tel.Counter("fault_dropped_total").Add(int64(fs.Dropped))
+			tel.Counter("fault_staled_total").Add(int64(fs.Staled))
+			tel.Counter("fault_corrupted_total").Add(int64(fs.Corrupted))
+			tel.Counter("fault_power_drops_total").Add(int64(fs.PowerDrops))
+			tel.Counter("fault_power_spikes_total").Add(int64(fs.PowerSpikes))
+			tel.Counter("fault_migrate_fails_total").Add(int64(fs.MigrateFails))
+		}
+		f, err := os.Create(*telPath)
+		if err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		if err := smartbalance.WriteTelemetryJSONL(f, tel.Trace()); err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("telemetry: %v", err)
+		}
+		tr := tel.Trace()
+		fmt.Printf("telemetry: %d epochs, %d metrics, %d anomalies -> %s\n",
+			len(tr.Epochs), len(tr.Metrics), len(tr.Anomalies), *telPath)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"smartbalance/internal/core"
 	"smartbalance/internal/sweep"
+	"smartbalance/internal/telemetry"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		times     = fs.Bool("times", false, "print per-scenario wall times to stderr")
 		progress  = fs.Bool("progress", false, "print live per-job status to stderr")
 		expectHit = fs.Bool("expect-cached", false, "exit 2 if any job executed instead of being served from the cache")
+		telPath   = fs.String("telemetry", "", "write the sweep's merged telemetry to this file (.prom writes Prometheus text, anything else canonical JSONL)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 1
@@ -93,6 +95,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		// timing below is operator-facing only and never reaches the
 		// canonical stdout report.
 		NewClock: core.RealClock,
+	}
+	var tel *telemetry.Collector
+	if *telPath != "" {
+		tel = telemetry.New(telemetry.Config{})
+		tel.SetMeta("tool", "sbsweep")
+		opts.Telemetry = tel
 	}
 	var cache *sweep.Cache
 	if *cacheDir != "" {
@@ -152,6 +160,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	for _, st := range s.Stacks {
 		fmt.Fprintf(stderr, "sbsweep: recovered panic in %s\n", st)
 	}
+	if tel != nil {
+		sweep.RecordTelemetry(tel, results, cache)
+		if err := writeTelemetry(*telPath, tel); err != nil {
+			fmt.Fprintf(stderr, "sbsweep: telemetry: %v\n", err)
+			return 1
+		}
+	}
 
 	if s.Failed > 0 {
 		return 1
@@ -161,6 +176,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// writeTelemetry exports the merged sweep telemetry: Prometheus text
+// for .prom paths, canonical JSONL otherwise.
+func writeTelemetry(path string, tel *telemetry.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tr := tel.Trace()
+	if strings.HasSuffix(path, ".prom") {
+		err = telemetry.WriteProm(f, tr)
+	} else {
+		err = telemetry.WriteJSONL(f, tr)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // splitList splits a comma-separated flag value, dropping empty items.

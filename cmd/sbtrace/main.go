@@ -1,0 +1,224 @@
+// Command sbtrace inspects telemetry traces produced by sbsim
+// -telemetry and sbsweep -telemetry (the canonical JSONL interchange
+// format).
+//
+// Usage:
+//
+//	sbtrace summary run.jsonl
+//	sbtrace grep 'phase=migrate.*to=0' run.jsonl
+//	sbtrace diff a.jsonl b.jsonl
+//	sbtrace convert -format chrome run.jsonl > run.trace.json
+//
+// diff compares two traces epoch-first and reports the first divergent
+// epoch — the bisection primitive for "these two runs should have been
+// identical". Exit status: 0 when identical, 1 when the traces
+// diverge, 2 on usage or I/O errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+
+	"smartbalance/internal/telemetry"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus os.Exit, so tests can drive the full binary flow.
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch argv[0] {
+	case "summary":
+		return runSummary(argv[1:], stdout, stderr)
+	case "grep":
+		return runGrep(argv[1:], stdout, stderr)
+	case "diff":
+		return runDiff(argv[1:], stdout, stderr)
+	case "convert":
+		return runConvert(argv[1:], stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	}
+	fmt.Fprintf(stderr, "sbtrace: unknown command %q\n", argv[0])
+	usage(stderr)
+	return 2
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  sbtrace summary FILE             aggregate statistics of one trace
+  sbtrace grep PATTERN FILE        print trace lines matching a regexp
+  sbtrace diff A B                 first divergent epoch of two traces
+  sbtrace convert -format F FILE   re-render as jsonl | chrome | prom
+`)
+}
+
+// load reads one canonical JSONL trace.
+func load(path string) (*telemetry.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return telemetry.ReadJSONL(f)
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "sbtrace: summary wants exactly one trace file")
+		return 2
+	}
+	tr, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "sbtrace: %v\n", err)
+		return 2
+	}
+	for _, k := range sortedKeys(tr.Meta) {
+		fmt.Fprintf(stdout, "meta %-12s %s\n", k, tr.Meta[k])
+	}
+	spans := 0
+	byPhase := map[string]int{}
+	for _, e := range tr.Epochs {
+		spans += len(e.Spans)
+		for _, s := range e.Spans {
+			byPhase[s.Phase]++
+		}
+	}
+	fmt.Fprintf(stdout, "epochs    %d\n", len(tr.Epochs))
+	fmt.Fprintf(stdout, "spans     %d\n", spans)
+	for _, p := range sortedKeySetOf(byPhase) {
+		fmt.Fprintf(stdout, "  %-12s %d\n", p, byPhase[p])
+	}
+	fmt.Fprintf(stdout, "metrics   %d\n", len(tr.Metrics))
+	fmt.Fprintf(stdout, "anomalies %d\n", len(tr.Anomalies))
+	for _, a := range tr.Anomalies {
+		fmt.Fprintf(stdout, "  %s\n", a.String())
+	}
+	fmt.Fprintf(stdout, "dumps     %d\n", len(tr.Dumps))
+	return 0
+}
+
+func runGrep(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "sbtrace: grep wants PATTERN FILE")
+		return 2
+	}
+	re, err := regexp.Compile(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "sbtrace: bad pattern: %v\n", err)
+		return 2
+	}
+	tr, err := load(args[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "sbtrace: %v\n", err)
+		return 2
+	}
+	matched := 0
+	emit := func(line string) {
+		if re.MatchString(line) {
+			fmt.Fprintln(stdout, line)
+			matched++
+		}
+	}
+	for _, e := range tr.Epochs {
+		for _, s := range e.Spans {
+			emit(s.String())
+		}
+	}
+	for _, m := range tr.Metrics {
+		emit(m.String())
+	}
+	for _, a := range tr.Anomalies {
+		emit(a.String())
+	}
+	if matched == 0 {
+		return 1
+	}
+	return 0
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	if len(args) != 2 {
+		fmt.Fprintln(stderr, "sbtrace: diff wants two trace files")
+		return 2
+	}
+	a, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "sbtrace: %v\n", err)
+		return 2
+	}
+	b, err := load(args[1])
+	if err != nil {
+		fmt.Fprintf(stderr, "sbtrace: %v\n", err)
+		return 2
+	}
+	d := telemetry.FirstDivergence(a, b)
+	if d == nil {
+		fmt.Fprintln(stdout, "traces are identical")
+		return 0
+	}
+	fmt.Fprintln(stdout, d.String())
+	return 1
+}
+
+func runConvert(args []string, stdout, stderr io.Writer) int {
+	format := "jsonl"
+	if len(args) >= 2 && args[0] == "-format" {
+		format = args[1]
+		args = args[2:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(stderr, "sbtrace: convert wants [-format jsonl|chrome|prom] FILE")
+		return 2
+	}
+	tr, err := load(args[0])
+	if err != nil {
+		fmt.Fprintf(stderr, "sbtrace: %v\n", err)
+		return 2
+	}
+	switch format {
+	case "jsonl":
+		err = telemetry.WriteJSONL(stdout, tr)
+	case "chrome":
+		err = telemetry.WriteChrome(stdout, tr)
+	case "prom":
+		err = telemetry.WriteProm(stdout, tr)
+	default:
+		fmt.Fprintf(stderr, "sbtrace: unknown format %q (jsonl | chrome | prom)\n", format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "sbtrace: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+// sortedKeys returns a string map's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedKeySetOf returns an int-valued map's keys in sorted order.
+func sortedKeySetOf(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

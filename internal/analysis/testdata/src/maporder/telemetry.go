@@ -1,0 +1,43 @@
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// The telemetry-shaped cases: a metrics registry is backed by maps, and
+// exporting it by ranging over them directly makes every export file
+// shuffle between runs.
+
+// BadMetricsExport streams registry entries to the writer in map order.
+func BadMetricsExport(w io.Writer, counters map[string]int64) {
+	for k, v := range counters {
+		fmt.Fprintf(w, "%s %d\n", k, v)
+	}
+}
+
+// BadMetricsLines accumulates export lines in map order.
+func BadMetricsLines(counters map[string]int64) []string {
+	var lines []string
+	for k, v := range counters {
+		lines = append(lines, fmt.Sprintf("%s %d", k, v))
+	}
+	return lines
+}
+
+// OKSnapshotSorted is the registry's actual export idiom: collect the
+// keys, sort, then walk deterministically.
+func OKSnapshotSorted(counters map[string]int64) string {
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %d\n", k, counters[k])
+	}
+	return sb.String()
+}

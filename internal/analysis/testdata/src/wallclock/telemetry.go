@@ -1,0 +1,26 @@
+package wallclock
+
+import "time"
+
+// The telemetry-shaped cases: an observability layer is the classic
+// place wall time sneaks into a simulation package, because "just
+// timestamp the span" feels harmless. It isn't — exports stop being
+// byte-identical across runs.
+
+type span struct {
+	StartNs int64
+	DurNs   int64
+}
+
+// BadSpanTimestamp stamps a span from the host clock; both reads must
+// be flagged.
+func BadSpanTimestamp() span {
+	t0 := time.Now()
+	return span{StartNs: t0.UnixNano(), DurNs: int64(time.Since(t0))}
+}
+
+// OKSimulatedSpan stamps the span from simulated nanoseconds handed in
+// by the kernel; no host time is involved.
+func OKSimulatedSpan(nowNs, durNs int64) span {
+	return span{StartNs: nowNs, DurNs: durNs}
+}

@@ -23,6 +23,7 @@ var DefaultSimPackages = []string{
 	"smartbalance/internal/exp",
 	"smartbalance/internal/sweep",
 	"smartbalance/internal/fault",
+	"smartbalance/internal/telemetry",
 }
 
 // Wallclock returns the analyzer forbidding time.Now and time.Since in

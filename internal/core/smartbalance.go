@@ -8,6 +8,7 @@ import (
 	"smartbalance/internal/arch"
 	"smartbalance/internal/hpc"
 	"smartbalance/internal/kernel"
+	"smartbalance/internal/telemetry"
 )
 
 // Config parameterises the SmartBalance controller.
@@ -137,6 +138,16 @@ type SmartBalance struct {
 
 	overhead PhaseOverhead
 	epochs   int
+
+	// tel, when non-nil, receives per-phase spans, metrics, and anomaly
+	// triggers. The nil collector is free on the hot path; attribute
+	// construction is additionally guarded by Enabled() because variadic
+	// slices allocate at the caller.
+	tel *telemetry.Collector
+	// prevEE is the previous epoch's measured energy efficiency
+	// (instructions per joule), the baseline for the negative-EE-gain
+	// anomaly trigger.
+	prevEE float64
 }
 
 // New constructs a SmartBalance controller around a trained predictor.
@@ -179,6 +190,41 @@ func (s *SmartBalance) Overhead() PhaseOverhead { return s.overhead }
 // Health returns the controller's accumulated degradation telemetry.
 func (s *SmartBalance) Health() Health { return s.health }
 
+// SetTelemetry installs (or, with nil, removes) the telemetry
+// collector the controller reports into: per-phase spans with
+// structured attributes, health gauges, and the flight-recorder
+// anomaly triggers (majority-degraded epoch, negative EE gain, refused
+// migration burst).
+func (s *SmartBalance) SetTelemetry(c *telemetry.Collector) { s.tel = c }
+
+// refusedBurst is the per-epoch refused-migration count at which the
+// controller flags an anomaly: a couple of refusals are routine
+// (tasks exit between decide and migrate), a burst means the plan and
+// the kernel disagree about the world.
+const refusedBurst = 3
+
+// eeBuckets are the fixed upper bounds of the per-epoch
+// energy-efficiency histogram, spanning the instructions-per-joule
+// range the simulated platforms produce. Fixed at compile time so
+// every run and every sweep worker shares one bucket layout.
+var eeBuckets = []float64{1e8, 3e8, 1e9, 3e9, 1e10, 3e10, 1e11}
+
+// epochEE computes the finished epoch's measured energy efficiency
+// (total instructions per total joule, Eq. 2) from the per-core
+// samples; 0 when no energy was metered.
+func epochEE(cores []hpc.CoreEpochSample) float64 {
+	var instr float64
+	var energy float64
+	for i := range cores {
+		instr += float64(cores[i].Agg.Instructions)
+		energy += cores[i].Agg.EnergyJ + cores[i].SleepEnergyJ
+	}
+	if energy <= 0 {
+		return 0
+	}
+	return instr / energy
+}
+
 // confidence returns the exponentially age-decayed trust in a thread's
 // last-known-good measurement: Decay^age floored at MinConfidence. A
 // thread with no fresh measurement on record decays from epoch zero.
@@ -213,6 +259,22 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	s.epochs++
 	s.overhead.Epochs++
 	epochNs := k.Config().EpochNs
+
+	if s.tel.Enabled() {
+		// The kernel adapter announces the same boundary from the
+		// TraceEpoch event; BeginEpoch is idempotent so whichever runs
+		// first wins and the other is a no-op.
+		s.tel.BeginEpoch(s.epochs, now)
+		s.tel.Counter("smartbalance_epochs_total").Inc()
+		ee := epochEE(cores)
+		s.tel.Gauge("smartbalance_epoch_ee").Set(ee)
+		s.tel.Histogram("smartbalance_epoch_ee_dist", eeBuckets).Observe(ee)
+		if s.prevEE > 0 && ee < 0.75*s.prevEE {
+			s.tel.Anomaly(now, telemetry.AnomalyNegativeEEGain,
+				fmt.Sprintf("epoch ee %.4g fell below 0.75 x previous %.4g", ee, s.prevEE))
+		}
+		s.prevEE = ee
+	}
 
 	// ---- Phase 1: sensing & measurement (Section 4.1, Eq. 4-7). ----
 	t0 := s.clock.Now()
@@ -288,6 +350,15 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 		}
 	}
 	s.overhead.Sense += sinceOn(s.clock, t0)
+	if s.tel.Enabled() {
+		s.tel.Span(telemetry.PhaseSense, now, 0,
+			telemetry.Int("tasks", int64(len(tasks))),
+			telemetry.Int("sensed", int64(sensed)),
+			telemetry.Int("degraded", int64(degraded)),
+			telemetry.Bool("degraded_mode", s.health.DegradedMode))
+		s.tel.Gauge("smartbalance_health_degraded_thread_epochs").Set(float64(s.health.DegradedThreadEpochs))
+		s.tel.Gauge("smartbalance_health_unmeasurable_thread_epochs").Set(float64(s.health.UnmeasurableThreadEpochs))
+	}
 
 	// Majority-degraded epoch: the sensed picture is mostly fiction, so
 	// optimising over it would thrash placements. Keep the current
@@ -297,17 +368,27 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 		s.health.SkippedEpochs++
 		s.health.DegradedMode = true
 		s.cleanStreak = 0
+		if s.tel.Enabled() {
+			s.tel.Counter("smartbalance_skipped_epochs_total").Inc()
+			s.tel.Gauge("smartbalance_degraded_mode").Set(1)
+			s.tel.Anomaly(now, telemetry.AnomalyDegradedEpoch,
+				fmt.Sprintf("%d of %d sensed threads degraded; holding placement", degraded, sensed))
+		}
 		return
 	}
 	if s.health.DegradedMode {
 		s.cleanStreak++
 		if s.cleanStreak < s.degrade.RecoveryEpochs {
 			s.health.RecoveryHolds++
+			if s.tel.Enabled() {
+				s.tel.Counter("smartbalance_recovery_holds_total").Inc()
+			}
 			return
 		}
 		s.health.DegradedMode = false
 		s.cleanStreak = 0
 	}
+	s.tel.Gauge("smartbalance_degraded_mode").Set(0)
 	if len(optTasks) == 0 {
 		return
 	}
@@ -321,6 +402,11 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	}
 	prob.Allowed = affinityMatrix(optTasks, plat.NumCores())
 	s.overhead.Predict += sinceOn(s.clock, t1)
+	if s.tel.Enabled() {
+		s.tel.Span(telemetry.PhasePredict, now, 0,
+			telemetry.Int("threads", int64(len(optTasks))),
+			telemetry.Int("types", int64(plat.NumTypes())))
+	}
 
 	// ---- Phase 3: balance — Algorithm 1 over allocations. ----
 	t2 := s.clock.Now()
@@ -339,18 +425,51 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	if err != nil {
 		return
 	}
+	if s.tel.Enabled() {
+		s.tel.Span(telemetry.PhaseDecide, now, 0,
+			telemetry.F64("objective", result.Objective),
+			telemetry.Int("iterations", int64(result.Iterations)),
+			telemetry.Int("accepted", int64(result.Accepted)))
+	}
 
 	// ---- Phase 4: apply Ψ via migration (set_cpus_allowed_ptr). ----
 	t3 := s.clock.Now()
+	applied, refused := 0, 0
 	for i, task := range optTasks {
 		dst := result.Allocation[i]
 		if dst != task.Core() {
+			src := task.Core()
 			if err := k.Migrate(task.ID, dst); err == nil {
 				s.overhead.Migrations++
+				applied++
+				if s.tel.Enabled() {
+					s.tel.Span(telemetry.PhaseMigrate, now, 0,
+						telemetry.Int("thread", int64(task.ID)),
+						telemetry.Int("from", int64(src)),
+						telemetry.Int("to", int64(dst)),
+						telemetry.F64("pred_ips", prob.IPS[i][int(dst)]),
+						telemetry.F64("pred_power", prob.Power[i][int(dst)]),
+						telemetry.F64("meas_ips", meas[i].IPS),
+						telemetry.F64("meas_power", meas[i].PowerW))
+				}
+			} else {
+				refused++
 			}
 		}
 	}
 	s.overhead.Migrate += sinceOn(s.clock, t3)
+	if s.tel.Enabled() {
+		s.tel.Counter("smartbalance_migrations_total").Add(int64(applied))
+		s.tel.Counter("smartbalance_migrations_refused_total").Add(int64(refused))
+		s.tel.Span(telemetry.PhaseMigrate, now, 0,
+			telemetry.Int("requested", int64(applied+refused)),
+			telemetry.Int("applied", int64(applied)),
+			telemetry.Int("refused", int64(refused)))
+		if refused >= refusedBurst {
+			s.tel.Anomaly(now, telemetry.AnomalyRefusedBurst,
+				fmt.Sprintf("%d of %d requested migrations refused this epoch", refused, applied+refused))
+		}
+	}
 }
 
 // BuildProblem assembles the optimisation input from the epoch's

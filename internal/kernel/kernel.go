@@ -405,8 +405,11 @@ type Kernel struct {
 	horizon   Time
 	nextEpoch Time
 
-	// observer, when set, receives scheduling trace events.
-	observer Observer
+	// observers receive scheduling trace events; slots are assigned by
+	// AddObserver and never reused. setSlot is the slot owned by the
+	// single-observer SetObserver compatibility hook (-1 when none).
+	observers []Observer
+	setSlot   int
 }
 
 // New constructs a kernel over machine m with the given balancing
@@ -435,6 +438,7 @@ func New(m *machine.Machine, b Balancer, cfg Config) (*Kernel, error) {
 		tasks:    make(map[ThreadID]*Task),
 		bank:     bank,
 		r:        rng.New(cfg.Seed),
+		setSlot:  -1,
 	}
 	for i := range k.cores {
 		k.cores[i] = coreRun{id: arch.CoreID(i), sleeping: true}
@@ -453,6 +457,10 @@ func (k *Kernel) Machine() *machine.Machine { return k.mach }
 
 // Config returns the kernel configuration.
 func (k *Kernel) Config() Config { return k.cfg }
+
+// Balancer returns the installed balancing policy (useful for
+// attaching observability to policies that support it).
+func (k *Kernel) Balancer() Balancer { return k.balancer }
 
 // Task returns the task with the given id, or nil.
 func (k *Kernel) Task(id ThreadID) *Task { return k.tasks[id] }

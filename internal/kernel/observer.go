@@ -81,12 +81,53 @@ func (e TraceEvent) String() string {
 // call back into the kernel.
 type Observer func(TraceEvent)
 
-// SetObserver installs (or, with nil, removes) the trace observer.
-func (k *Kernel) SetObserver(o Observer) { k.observer = o }
+// AddObserver installs an additional trace observer and returns its
+// slot id for RemoveObserver. Observers compose: every event fans out
+// to all installed observers in installation order, so a trace recorder
+// and a telemetry collector (for example) can watch the same kernel
+// without fighting over a single hook.
+func (k *Kernel) AddObserver(o Observer) int {
+	if o == nil {
+		return -1
+	}
+	k.observers = append(k.observers, o)
+	return len(k.observers) - 1
+}
 
-// emit delivers an event to the observer, if any.
+// RemoveObserver uninstalls the observer with the given slot id;
+// unknown and negative ids are ignored. Slot ids are not reused, so a
+// stale id can never detach a later observer.
+func (k *Kernel) RemoveObserver(id int) {
+	if id < 0 || id >= len(k.observers) {
+		return
+	}
+	k.observers[id] = nil
+	if id == k.setSlot {
+		k.setSlot = -1
+	}
+}
+
+// SetObserver installs (or, with nil, removes) a single trace observer.
+// Kept for single-observer call sites; it owns one slot, so repeated
+// calls replace rather than accumulate, and it coexists with observers
+// installed through AddObserver.
+func (k *Kernel) SetObserver(o Observer) {
+	if o == nil {
+		k.RemoveObserver(k.setSlot)
+		return
+	}
+	if k.setSlot >= 0 && k.setSlot < len(k.observers) {
+		k.observers[k.setSlot] = o
+		return
+	}
+	k.setSlot = k.AddObserver(o)
+}
+
+// emit delivers an event to every installed observer.
 func (k *Kernel) emit(e TraceEvent) {
-	if k.observer != nil {
-		k.observer(e)
+	for _, o := range k.observers {
+		if o != nil {
+			o(e)
+		}
 	}
 }

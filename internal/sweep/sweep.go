@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"smartbalance/internal/core"
+	"smartbalance/internal/telemetry"
 )
 
 // Task is one independent unit of a sweep.
@@ -113,6 +114,15 @@ type Options struct {
 	NewClock func() core.Clock
 	// OnProgress, when non-nil, receives live status updates.
 	OnProgress func(Progress)
+	// Telemetry, when non-nil, receives the sweep's engine telemetry:
+	// per-job records (one epoch per canonical job index, holding a
+	// "job" span with the job's key and status) and job/cache counters.
+	// Each worker records into a private collector — collectors are not
+	// safe for concurrent use — and Execute merges them; because every
+	// job occupies its own epoch number, the merged trace is identical
+	// for any worker count and schedule. Job wall time is deliberately
+	// excluded: it would break that equivalence.
+	Telemetry *telemetry.Collector
 }
 
 // Result is one task's outcome. Execute returns results in canonical
@@ -198,9 +208,13 @@ func Execute(tasks []Task, opts Options) ([]Result, error) {
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	workerTel := make([]*telemetry.Collector, workers)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		if opts.Telemetry.Enabled() {
+			workerTel[w] = telemetry.New(telemetry.Config{})
+		}
+		go func(w int) {
 			defer wg.Done()
 			var clk core.Clock
 			if opts.NewClock != nil {
@@ -209,26 +223,53 @@ func Execute(tasks []Task, opts Options) ([]Result, error) {
 				clk = core.NewFakeClock(0)
 			}
 			for i := range idx {
-				results[i] = runOne(i, len(tasks), &tasks[i], opts.Cache, clk, emit)
+				results[i] = runOne(i, len(tasks), &tasks[i], opts.Cache, clk, workerTel[w], emit)
 			}
-		}()
+		}(w)
 	}
 	for i := range tasks {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
+	for _, wt := range workerTel {
+		opts.Telemetry.Merge(wt)
+	}
 	return results, nil
 }
 
-// runOne executes (or cache-serves) a single task on a worker.
-func runOne(i, total int, t *Task, cache *Cache, clk core.Clock, emit func(Progress)) Result {
+// runOne executes (or cache-serves) a single task on a worker,
+// recording its outcome into the worker's telemetry collector under
+// epoch i+1 (timestamps are the canonical job index — the sweep has no
+// simulated clock of its own, and wall time would make parallel and
+// serial traces diverge).
+func runOne(i, total int, t *Task, cache *Cache, clk core.Clock, tel *telemetry.Collector, emit func(Progress)) Result {
 	emit(Progress{Index: i, Total: total, Key: t.Key, Status: StatusRunning})
+	record := func(status Status) {
+		if !tel.Enabled() {
+			return
+		}
+		at := int64(i + 1)
+		tel.BeginEpoch(i+1, at)
+		tel.Span("job", at, 0,
+			telemetry.Str("key", t.Key),
+			telemetry.Str("status", status.String()))
+		tel.Counter("sweep_jobs_total").Inc()
+		switch status {
+		case StatusCached:
+			tel.Counter("sweep_jobs_cached_total").Inc()
+		case StatusFailed:
+			tel.Counter("sweep_jobs_failed_total").Inc()
+		default:
+			tel.Counter("sweep_jobs_executed_total").Inc()
+		}
+	}
 	res := Result{Index: i, Key: t.Key}
 	if cache != nil && len(t.Fingerprint) > 0 {
 		if data, ok := cache.Get(t.Fingerprint); ok {
 			res.Data = data
 			res.Cached = true
+			record(StatusCached)
 			emit(Progress{Index: i, Total: total, Key: t.Key, Status: StatusCached})
 			return res
 		}
@@ -238,6 +279,7 @@ func runOne(i, total int, t *Task, cache *Cache, clk core.Clock, emit func(Progr
 	res.WallNs = clk.Now().Sub(t0).Nanoseconds()
 	res.Data, res.Err = data, err
 	if err != nil {
+		record(StatusFailed)
 		emit(Progress{Index: i, Total: total, Key: t.Key, Status: StatusFailed, WallNs: res.WallNs, Err: err})
 		return res
 	}
@@ -246,6 +288,7 @@ func runOne(i, total int, t *Task, cache *Cache, clk core.Clock, emit func(Progr
 		// they are surfaced through CacheStats, not as task errors.
 		cache.Put(t.Fingerprint, data)
 	}
+	record(StatusDone)
 	emit(Progress{Index: i, Total: total, Key: t.Key, Status: StatusDone, WallNs: res.WallNs})
 	return res
 }

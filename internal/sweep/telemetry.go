@@ -1,0 +1,43 @@
+package sweep
+
+import (
+	"smartbalance/internal/telemetry"
+)
+
+// eeBuckets are the fixed upper bounds of the sweep-level
+// energy-efficiency histogram (instructions per joule), matching the
+// controller's per-epoch distribution so the two are comparable.
+var eeBuckets = []float64{1e8, 3e8, 1e9, 3e9, 1e10, 3e10, 1e11}
+
+// RecordTelemetry folds a finished sweep's outcome-level telemetry
+// into c: the cache's traffic statistics as counters (explicit zeros
+// when cache is nil, so "no misses" is assertable either way) and each
+// decodable scenario outcome's energy efficiency into a histogram,
+// walking results in canonical job order so the export is identical
+// for any worker count. Call it once, after Execute returns.
+func RecordTelemetry(c *telemetry.Collector, results []Result, cache *Cache) {
+	if !c.Enabled() {
+		return
+	}
+	var st CacheStats
+	if cache != nil {
+		st = cache.Stats()
+	}
+	c.Counter("sweep_cache_hits_total").Add(int64(st.Hits))
+	c.Counter("sweep_cache_misses_total").Add(int64(st.Misses))
+	c.Counter("sweep_cache_writes_total").Add(int64(st.Writes))
+	c.Counter("sweep_cache_write_errors_total").Add(int64(st.WriteErrs))
+	c.Counter("sweep_cache_corrupt_total").Add(int64(st.Corrupt))
+
+	h := c.Histogram("sweep_scenario_ee", eeBuckets)
+	for i := range results {
+		if results[i].Err != nil || results[i].Data == nil {
+			continue
+		}
+		out, err := DecodeOutcome(results[i].Data)
+		if err != nil {
+			continue
+		}
+		h.Observe(out.EnergyEff)
+	}
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"smartbalance/internal/kernel"
+)
+
+// KernelObserver adapts a Collector to the kernel's trace-observer
+// hook: every scheduling event increments a per-kind counter, slices
+// additionally feed per-core slice/instruction counters, and epoch
+// boundaries rotate the collector's epoch record (1-based, matching
+// the controller's own epoch count, so the idempotent BeginEpoch dedups
+// the two announcements). The returned observer composes with any
+// number of others through Kernel.AddObserver.
+//
+// Handles are resolved once up front and cached, so the per-event cost
+// is array indexing, not map lookups.
+func KernelObserver(c *Collector) kernel.Observer {
+	if c == nil {
+		return func(kernel.TraceEvent) {}
+	}
+	kinds := []kernel.TraceKind{
+		kernel.TraceSpawn, kernel.TraceSlice, kernel.TraceSleep,
+		kernel.TraceWake, kernel.TraceMigrate, kernel.TraceFinish,
+		kernel.TraceEpoch, kernel.TraceCoreIdle, kernel.TraceCoreBusy,
+	}
+	byKind := make([]*Counter, len(kinds))
+	for _, k := range kinds {
+		byKind[int(k)] = c.Counter(Name("kernel_events_total", "kind", k.String()))
+	}
+	instr := c.Counter("kernel_instructions_total")
+	sliceNs := c.Counter("kernel_slice_ns_total")
+	var perCoreSlices []*Counter
+	coreSlices := func(core int) *Counter {
+		for core >= len(perCoreSlices) {
+			perCoreSlices = append(perCoreSlices, nil)
+		}
+		if perCoreSlices[core] == nil {
+			perCoreSlices[core] = c.Counter(Name("kernel_core_slices_total", "core", itoa(core)))
+		}
+		return perCoreSlices[core]
+	}
+	epoch := 0
+	return func(e kernel.TraceEvent) {
+		if int(e.Kind) < len(byKind) && byKind[int(e.Kind)] != nil {
+			byKind[int(e.Kind)].Inc()
+		}
+		switch e.Kind {
+		case kernel.TraceSlice:
+			instr.Add(int64(e.Instr))
+			sliceNs.Add(e.DurNs)
+			if e.Core >= 0 {
+				coreSlices(int(e.Core)).Inc()
+			}
+		case kernel.TraceEpoch:
+			epoch++
+			c.BeginEpoch(epoch, int64(e.At))
+		}
+	}
+}

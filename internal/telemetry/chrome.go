@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// chromeEvent is one trace-event in the Chrome trace-event format
+// (the JSON consumed by chrome://tracing and Perfetto). Timestamps are
+// microseconds; ours derive from simulated nanoseconds, so the
+// rendered timeline is the simulation's, not the host's.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level trace-event container.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome track (tid) assignments.
+const (
+	chromeTidEpochs    = 0
+	chromeTidPhases    = 1
+	chromeTidAnomalies = 2
+)
+
+// WriteChrome renders the trace in Chrome trace-event format: epoch
+// boundaries as instant events on one track, phase spans as complete
+// events on another, anomalies as instant events on a third, and the
+// run metadata as process metadata. Deterministic: event order follows
+// the trace document and encoding/json sorts the args maps.
+func WriteChrome(w io.Writer, tr *Trace) error {
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	add := func(e chromeEvent) {
+		e.Pid = 1
+		doc.TraceEvents = append(doc.TraceEvents, e)
+	}
+
+	add(chromeEvent{Name: "process_name", Ph: "M", Args: map[string]string{"name": "smartbalance"}})
+	add(chromeEvent{Name: "thread_name", Ph: "M", Tid: chromeTidEpochs, Args: map[string]string{"name": "epochs"}})
+	add(chromeEvent{Name: "thread_name", Ph: "M", Tid: chromeTidPhases, Args: map[string]string{"name": "phases"}})
+	add(chromeEvent{Name: "thread_name", Ph: "M", Tid: chromeTidAnomalies, Args: map[string]string{"name": "anomalies"}})
+	if len(tr.Meta) > 0 {
+		add(chromeEvent{Name: "run_meta", Ph: "i", Ts: 0, Tid: chromeTidEpochs, S: "g", Args: tr.Meta})
+	}
+
+	for _, e := range tr.Epochs {
+		add(chromeEvent{
+			Name: "epoch", Ph: "i", Ts: us(e.StartNs), Tid: chromeTidEpochs, S: "t",
+			Args: map[string]string{"epoch": itoa(e.Epoch)},
+		})
+		for _, s := range e.Spans {
+			args := make(map[string]string, len(s.Attrs)+1)
+			args["epoch"] = itoa(s.Epoch)
+			for _, a := range s.Attrs {
+				args[a.K] = a.V
+			}
+			add(chromeEvent{
+				Name: s.Phase, Ph: "X", Ts: us(s.StartNs), Dur: us(s.DurNs),
+				Tid: chromeTidPhases, Args: args,
+			})
+		}
+	}
+	for _, a := range tr.Anomalies {
+		add(chromeEvent{
+			Name: a.Reason, Ph: "i", Ts: us(a.AtNs), Tid: chromeTidAnomalies, S: "g",
+			Args: map[string]string{"epoch": itoa(a.Epoch), "detail": a.Detail},
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// us converts simulated nanoseconds to trace-event microseconds.
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+// itoa is strconv.Itoa, local to keep call sites short.
+func itoa(v int) string { return strconv.Itoa(v) }

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFirstDivergenceIdentical(t *testing.T) {
+	a, b := sampleCollector().Trace(), sampleCollector().Trace()
+	if d := FirstDivergence(a, b); d != nil {
+		t.Fatalf("identical traces diverge: %s", d)
+	}
+}
+
+func TestFirstDivergenceLocalisesEpoch(t *testing.T) {
+	a, b := sampleCollector().Trace(), sampleCollector().Trace()
+	// Perturb one attribute deep in epoch 2 of b.
+	b.Epochs[1].Spans[1].Attrs[3] = F64("pred_ips", 9.9e9)
+	d := FirstDivergence(a, b)
+	if d == nil {
+		t.Fatal("perturbed trace reported identical")
+	}
+	if d.Kind != "epoch" || d.Epoch != 2 {
+		t.Fatalf("divergence = %+v, want kind=epoch epoch=2", d)
+	}
+	if !strings.Contains(d.String(), "first divergent epoch 2") {
+		t.Fatalf("String() = %q, want it to name epoch 2", d.String())
+	}
+}
+
+func TestFirstDivergenceEpochBeatsMeta(t *testing.T) {
+	a, b := sampleCollector().Trace(), sampleCollector().Trace()
+	b.Meta["seed"] = "43"
+	b.Epochs[2].Spans[0].DurNs++
+	d := FirstDivergence(a, b)
+	if d == nil || d.Kind != "epoch" || d.Epoch != 3 {
+		t.Fatalf("divergence = %+v, want the epoch difference, not the meta one", d)
+	}
+}
+
+func TestFirstDivergenceEpochCount(t *testing.T) {
+	a, b := sampleCollector().Trace(), sampleCollector().Trace()
+	b.Epochs = b.Epochs[:2]
+	d := FirstDivergence(a, b)
+	if d == nil || d.Kind != "epoch" || d.Epoch != 3 {
+		t.Fatalf("divergence = %+v, want truncation reported at epoch 3", d)
+	}
+}
+
+func TestFirstDivergenceMetrics(t *testing.T) {
+	a, b := sampleCollector().Trace(), sampleCollector().Trace()
+	b.Metrics[0].Value++
+	d := FirstDivergence(a, b)
+	if d == nil || d.Kind != "metrics" {
+		t.Fatalf("divergence = %+v, want kind=metrics", d)
+	}
+}
+
+func TestFirstDivergenceMetaOnly(t *testing.T) {
+	a, b := sampleCollector().Trace(), sampleCollector().Trace()
+	b.Meta["note"] = "relabelled"
+	d := FirstDivergence(a, b)
+	if d == nil || d.Kind != "meta" {
+		t.Fatalf("divergence = %+v, want kind=meta", d)
+	}
+}
+
+func TestFirstDivergenceAnomalies(t *testing.T) {
+	a, b := sampleCollector().Trace(), sampleCollector().Trace()
+	b.Anomalies[0].Reason = AnomalyRefusedBurst
+	d := FirstDivergence(a, b)
+	if d == nil || d.Kind != "anomalies" || d.Epoch != 3 {
+		t.Fatalf("divergence = %+v, want kind=anomalies epoch=3", d)
+	}
+}

@@ -1,0 +1,439 @@
+// Package telemetry is the deterministic observability layer for the
+// sense→predict→balance loop: a metrics registry (counters, gauges,
+// fixed-bucket histograms), epoch-scoped spans timestamped in simulated
+// nanoseconds, and a bounded flight recorder that snapshots the last K
+// epochs around anomalies. Exporters render the collected trace as
+// JSONL (the canonical interchange format, readable back by
+// ReadJSONL), Chrome trace-event JSON (loadable in chrome://tracing),
+// and Prometheus-style text.
+//
+// # Determinism contract (DESIGN.md §10)
+//
+// Everything this package emits is a pure function of the simulated
+// run: timestamps are simulated nanoseconds (wall clock never enters —
+// the sbvet wallclock invariant covers this package), map-backed state
+// is exported in sorted key order, and span order within an epoch is
+// the order of emission, which simulation code keeps deterministic.
+// Two runs with the same seed therefore produce byte-identical
+// exports, and a parallel sweep's merged telemetry is byte-identical
+// to a serial one.
+//
+// # Disabled cost contract
+//
+// A nil *Collector is the disabled state: every method on it — and on
+// the nil metric handles it returns — is a safe no-op that performs no
+// allocation, so instrumented hot paths pay a pointer test and nothing
+// else when telemetry is off. Callers that build attribute lists must
+// still guard the construction with Enabled(), since variadic argument
+// slices are allocated by the caller.
+//
+// Collectors are not safe for concurrent use: like trace.Recorder they
+// inherit the single-threadedness of the kernel feeding them. Parallel
+// sweeps give every worker its own collector and merge afterwards
+// (Merge), in canonical job order.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// Schema identifies the telemetry interchange format; it participates
+// in every JSONL export and readers reject other schemas.
+const Schema = "sbtelemetry-v1"
+
+// Phase names for the spans the SmartBalance controller emits. Any
+// string is a valid span phase; these are the conventional ones.
+const (
+	PhaseSense   = "sense"
+	PhasePredict = "predict"
+	PhaseDecide  = "decide"
+	PhaseMigrate = "migrate"
+)
+
+// Anomaly reasons the flight recorder triggers on. Any string is a
+// valid reason; these are the conventional ones.
+const (
+	AnomalyNegativeEEGain = "negative-ee-gain"
+	AnomalyDegradedEpoch  = "majority-degraded"
+	AnomalyRefusedBurst   = "refused-migration-burst"
+)
+
+// Attr is one structured span attribute. Values are pre-rendered to
+// canonical strings by the typed constructors, which keeps spans
+// trivially comparable and every export format deterministic.
+type Attr struct {
+	K string `json:"k"`
+	V string `json:"v"`
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{K: k, V: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{K: k, V: strconv.FormatInt(v, 10)} }
+
+// F64 builds a float attribute with the shortest exact rendering.
+func F64(k string, v float64) Attr { return Attr{K: k, V: formatFloat(v)} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{K: k, V: strconv.FormatBool(v)} }
+
+// formatFloat renders a float canonically (shortest form that
+// round-trips, same across platforms).
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Span is one phase of one epoch. StartNs/DurNs are simulated
+// nanoseconds; a zero-duration span marks an instant.
+type Span struct {
+	Epoch   int    `json:"epoch"`
+	Seq     int    `json:"seq"`
+	Phase   string `json:"phase"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// String renders the span canonically — the unit of comparison for
+// trace diffing.
+func (s Span) String() string {
+	out := fmt.Sprintf("epoch=%d seq=%d phase=%s start=%dns dur=%dns",
+		s.Epoch, s.Seq, s.Phase, s.StartNs, s.DurNs)
+	for _, a := range s.Attrs {
+		out += " " + a.K + "=" + a.V
+	}
+	return out
+}
+
+// EpochRecord groups the spans of one epoch.
+type EpochRecord struct {
+	Epoch   int    `json:"epoch"`
+	StartNs int64  `json:"start_ns"`
+	Spans   []Span `json:"spans,omitempty"`
+}
+
+// Anomaly is one flight-recorder trigger.
+type Anomaly struct {
+	Epoch  int    `json:"epoch"`
+	AtNs   int64  `json:"at_ns"`
+	Reason string `json:"reason"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the anomaly canonically.
+func (a Anomaly) String() string {
+	out := fmt.Sprintf("epoch=%d at=%dns reason=%s", a.Epoch, a.AtNs, a.Reason)
+	if a.Detail != "" {
+		out += " detail=" + a.Detail
+	}
+	return out
+}
+
+// Dump is one flight-recorder snapshot: the last-K-epoch window as it
+// stood when an anomaly fired, plus the metrics at that instant.
+type Dump struct {
+	Anomaly Anomaly       `json:"anomaly"`
+	Window  []EpochRecord `json:"window,omitempty"`
+	Metrics []Metric      `json:"metrics,omitempty"`
+}
+
+// Config tunes a Collector. The zero value selects the noted defaults.
+type Config struct {
+	// FlightEpochs is K, the number of most-recent epochs an anomaly
+	// dump snapshots (default 8).
+	FlightEpochs int
+	// MaxDumps caps how many anomaly dumps are retained; further
+	// anomalies are still recorded in the anomaly list, just without a
+	// window snapshot (default 4).
+	MaxDumps int
+	// MaxEpochs bounds the retained epoch history; older epochs are
+	// evicted oldest-first and counted in DroppedEpochs (default 0 =
+	// unlimited, appropriate for bounded simulation runs).
+	MaxEpochs int
+}
+
+// withDefaults resolves zero-valued fields.
+func (c Config) withDefaults() Config {
+	if c.FlightEpochs <= 0 {
+		c.FlightEpochs = 8
+	}
+	if c.MaxDumps <= 0 {
+		c.MaxDumps = 4
+	}
+	return c
+}
+
+// Collector accumulates one run's telemetry: metadata, metrics, epoch
+// spans, anomalies, and flight-recorder dumps. The nil Collector is
+// the zero-cost disabled state; see the package comment.
+type Collector struct {
+	cfg  Config
+	meta map[string]string
+	reg  Registry
+
+	epochs  []EpochRecord // closed epochs, oldest first
+	dropped int           // epochs evicted under MaxEpochs
+	cur     *EpochRecord
+	seq     int // next span sequence number within cur
+
+	anomalies []Anomaly
+	dumps     []Dump
+}
+
+// New builds an enabled collector.
+func New(cfg Config) *Collector {
+	return &Collector{
+		cfg:  cfg.withDefaults(),
+		meta: make(map[string]string),
+		reg:  newRegistry(),
+	}
+}
+
+// Enabled reports whether the collector records anything; nil-safe.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// SetMeta records one run-level metadata pair (platform, workload,
+// seed, ...). Keys export in sorted order.
+func (c *Collector) SetMeta(k, v string) {
+	if c == nil {
+		return
+	}
+	c.meta[k] = v
+}
+
+// Counter returns the named counter handle, creating it on first use.
+// Returns nil on a nil collector; nil handles are no-op.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Counter(name)
+}
+
+// Gauge returns the named gauge handle, creating it on first use.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Gauge(name)
+}
+
+// Histogram returns the named fixed-bucket histogram handle, creating
+// it with the given upper bounds on first use (later calls reuse the
+// original bounds).
+func (c *Collector) Histogram(name string, bounds []float64) *Histogram {
+	if c == nil {
+		return nil
+	}
+	return c.reg.Histogram(name, bounds)
+}
+
+// BeginEpoch closes the current epoch record (if any) and starts a new
+// one. Calling it again with the same epoch number is a no-op, so the
+// kernel adapter and the controller can both announce the same epoch
+// boundary without double-rotating the flight recorder.
+func (c *Collector) BeginEpoch(epoch int, nowNs int64) {
+	if c == nil {
+		return
+	}
+	if c.cur != nil && c.cur.Epoch == epoch {
+		return
+	}
+	c.closeEpoch()
+	c.cur = &EpochRecord{Epoch: epoch, StartNs: nowNs}
+	c.seq = 0
+}
+
+// closeEpoch pushes the in-progress epoch into history, evicting the
+// oldest epoch when MaxEpochs is exceeded.
+func (c *Collector) closeEpoch() {
+	if c.cur == nil {
+		return
+	}
+	c.epochs = append(c.epochs, *c.cur)
+	c.cur = nil
+	if c.cfg.MaxEpochs > 0 && len(c.epochs) > c.cfg.MaxEpochs {
+		n := len(c.epochs) - c.cfg.MaxEpochs
+		c.dropped += n
+		c.epochs = append(c.epochs[:0], c.epochs[n:]...)
+	}
+}
+
+// Span appends one span to the current epoch. Spans emitted before any
+// BeginEpoch land in an implicit epoch 0 record.
+func (c *Collector) Span(phase string, startNs, durNs int64, attrs ...Attr) {
+	if c == nil {
+		return
+	}
+	if c.cur == nil {
+		c.cur = &EpochRecord{Epoch: 0, StartNs: startNs}
+		c.seq = 0
+	}
+	c.cur.Spans = append(c.cur.Spans, Span{
+		Epoch:   c.cur.Epoch,
+		Seq:     c.seq,
+		Phase:   phase,
+		StartNs: startNs,
+		DurNs:   durNs,
+		Attrs:   attrs,
+	})
+	c.seq++
+}
+
+// Anomaly records a flight-recorder trigger at the current epoch and,
+// while fewer than MaxDumps dumps exist, snapshots the last
+// FlightEpochs epochs (including the in-progress one) plus the current
+// metrics into a Dump.
+func (c *Collector) Anomaly(atNs int64, reason, detail string) {
+	if c == nil {
+		return
+	}
+	epoch := 0
+	if c.cur != nil {
+		epoch = c.cur.Epoch
+	} else if n := len(c.epochs); n > 0 {
+		epoch = c.epochs[n-1].Epoch
+	}
+	an := Anomaly{Epoch: epoch, AtNs: atNs, Reason: reason, Detail: detail}
+	c.anomalies = append(c.anomalies, an)
+	if len(c.dumps) >= c.cfg.MaxDumps {
+		return
+	}
+	c.dumps = append(c.dumps, Dump{
+		Anomaly: an,
+		Window:  c.window(),
+		Metrics: c.reg.Snapshot(),
+	})
+}
+
+// window copies the flight-recorder view: the last FlightEpochs epochs
+// including the in-progress one.
+func (c *Collector) window() []EpochRecord {
+	all := c.epochs
+	if c.cur != nil {
+		all = append(append([]EpochRecord(nil), all...), *c.cur)
+	}
+	if len(all) > c.cfg.FlightEpochs {
+		all = all[len(all)-c.cfg.FlightEpochs:]
+	}
+	out := make([]EpochRecord, len(all))
+	for i := range all {
+		out[i] = all[i]
+		out[i].Spans = append([]Span(nil), all[i].Spans...)
+	}
+	return out
+}
+
+// Anomalies returns the recorded anomalies in order.
+func (c *Collector) Anomalies() []Anomaly {
+	if c == nil {
+		return nil
+	}
+	return append([]Anomaly(nil), c.anomalies...)
+}
+
+// Dumps returns the retained flight-recorder dumps in order.
+func (c *Collector) Dumps() []Dump {
+	if c == nil {
+		return nil
+	}
+	return append([]Dump(nil), c.dumps...)
+}
+
+// DroppedEpochs reports how many epoch records were evicted under
+// MaxEpochs.
+func (c *Collector) DroppedEpochs() int {
+	if c == nil {
+		return 0
+	}
+	return c.dropped
+}
+
+// Trace snapshots everything collected so far into an export-ready
+// document. The in-progress epoch is included; collection may
+// continue afterwards.
+func (c *Collector) Trace() *Trace {
+	if c == nil {
+		return &Trace{Meta: map[string]string{"schema": Schema}}
+	}
+	meta := make(map[string]string, len(c.meta)+1)
+	for k, v := range c.meta {
+		meta[k] = v
+	}
+	meta["schema"] = Schema
+	epochs := make([]EpochRecord, 0, len(c.epochs)+1)
+	for _, e := range c.epochs {
+		e.Spans = append([]Span(nil), e.Spans...)
+		epochs = append(epochs, e)
+	}
+	if c.cur != nil {
+		e := *c.cur
+		e.Spans = append([]Span(nil), e.Spans...)
+		epochs = append(epochs, e)
+	}
+	return &Trace{
+		Meta:      meta,
+		Epochs:    epochs,
+		Metrics:   c.reg.Snapshot(),
+		Anomalies: append([]Anomaly(nil), c.anomalies...),
+		Dumps:     append([]Dump(nil), c.dumps...),
+	}
+}
+
+// Merge folds src into c: counters and histograms sum, gauges take
+// src's value when src set one (last-merged wins), meta entries copy
+// (src wins), and epoch records concatenate and re-sort stably by
+// epoch number. Callers merging per-worker collectors must merge in
+// canonical order for gauge and meta determinism; spans are
+// canonicalised by the epoch sort regardless of merge order.
+func (c *Collector) Merge(src *Collector) {
+	if c == nil || src == nil {
+		return
+	}
+	for _, k := range sortedKeys(src.meta) {
+		c.meta[k] = src.meta[k]
+	}
+	c.reg.merge(&src.reg)
+	src.closeEpoch()
+	c.closeEpoch()
+	c.epochs = append(c.epochs, src.epochs...)
+	sort.SliceStable(c.epochs, func(i, j int) bool {
+		return c.epochs[i].Epoch < c.epochs[j].Epoch
+	})
+	c.dropped += src.dropped
+	c.anomalies = append(c.anomalies, src.anomalies...)
+	sort.SliceStable(c.anomalies, func(i, j int) bool {
+		return c.anomalies[i].Epoch < c.anomalies[j].Epoch
+	})
+	for _, d := range src.dumps {
+		if len(c.dumps) >= c.cfg.MaxDumps {
+			break
+		}
+		c.dumps = append(c.dumps, d)
+	}
+	sort.SliceStable(c.dumps, func(i, j int) bool {
+		return c.dumps[i].Anomaly.Epoch < c.dumps[j].Anomaly.Epoch
+	})
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Trace is the export-ready snapshot of one collector (or of several,
+// merged): the document every exporter renders and ReadJSONL
+// reconstructs.
+type Trace struct {
+	Meta      map[string]string
+	Epochs    []EpochRecord
+	Metrics   []Metric
+	Anomalies []Anomaly
+	Dumps     []Dump
+}

@@ -1,0 +1,251 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleCollector builds a small, fully deterministic trace exercising
+// every feature: meta, all three metric kinds, multiple epochs with
+// spans and attrs, one anomaly with a flight dump.
+func sampleCollector() *Collector {
+	c := New(Config{FlightEpochs: 2})
+	c.SetMeta("platform", "odroid-xu3")
+	c.SetMeta("seed", "42")
+	c.Counter("migrations_total").Add(3)
+	c.Gauge("last_ee").Set(1.25)
+	h := c.Histogram("sense_latency_us", []float64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+	for e := 1; e <= 3; e++ {
+		start := int64(e) * 1_000_000
+		c.BeginEpoch(e, start)
+		c.Span(PhaseSense, start, 1500, Int("cores", 8))
+		c.Span(PhaseMigrate, start+1500, 800,
+			Int("thread", 4), Int("from", 0), Int("to", 5), F64("pred_ips", 2.5e9))
+	}
+	c.Anomaly(3_500_000, AnomalyDegradedEpoch, "5/8 cores degraded")
+	return c
+}
+
+func TestCollectorNilIsSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	c.SetMeta("k", "v")
+	c.Counter("x").Inc()
+	c.Gauge("g").Set(1)
+	c.Histogram("h", []float64{1}).Observe(2)
+	c.BeginEpoch(1, 0)
+	c.Span("sense", 0, 1)
+	c.Anomaly(0, "r", "")
+	c.Merge(New(Config{}))
+	if got := c.Counter("x").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d, want 0", got)
+	}
+	if n := len(c.Trace().Epochs); n != 0 {
+		t.Fatalf("nil collector trace has %d epochs", n)
+	}
+	if c.Anomalies() != nil || c.Dumps() != nil || c.DroppedEpochs() != 0 {
+		t.Fatal("nil collector leaks state")
+	}
+}
+
+func TestBeginEpochIdempotent(t *testing.T) {
+	c := New(Config{})
+	c.BeginEpoch(1, 100)
+	c.Span("sense", 100, 10)
+	c.BeginEpoch(1, 999) // duplicate announcement must not rotate
+	c.Span("decide", 110, 10)
+	c.BeginEpoch(2, 200)
+	tr := c.Trace()
+	if len(tr.Epochs) != 2 {
+		t.Fatalf("epochs = %d, want 2", len(tr.Epochs))
+	}
+	if len(tr.Epochs[0].Spans) != 2 {
+		t.Fatalf("epoch 1 spans = %d, want 2 (duplicate BeginEpoch rotated)", len(tr.Epochs[0].Spans))
+	}
+	if tr.Epochs[0].StartNs != 100 {
+		t.Fatalf("epoch 1 start = %d, want 100 (duplicate BeginEpoch reset it)", tr.Epochs[0].StartNs)
+	}
+}
+
+func TestSpanBeforeBeginEpoch(t *testing.T) {
+	c := New(Config{})
+	c.Span("boot", 5, 1)
+	tr := c.Trace()
+	if len(tr.Epochs) != 1 || tr.Epochs[0].Epoch != 0 {
+		t.Fatalf("want implicit epoch 0, got %+v", tr.Epochs)
+	}
+}
+
+func TestMaxEpochsEviction(t *testing.T) {
+	c := New(Config{MaxEpochs: 3})
+	for e := 1; e <= 6; e++ {
+		c.BeginEpoch(e, int64(e))
+	}
+	tr := c.Trace()
+	// Epochs 1..5 are closed (6 is in progress); MaxEpochs=3 keeps 3..5.
+	want := []int{3, 4, 5, 6}
+	if len(tr.Epochs) != len(want) {
+		t.Fatalf("epochs = %d, want %d", len(tr.Epochs), len(want))
+	}
+	for i, e := range want {
+		if tr.Epochs[i].Epoch != e {
+			t.Fatalf("epoch[%d] = %d, want %d (eviction must be oldest-first)", i, tr.Epochs[i].Epoch, e)
+		}
+	}
+	if c.DroppedEpochs() != 2 {
+		t.Fatalf("dropped = %d, want 2", c.DroppedEpochs())
+	}
+}
+
+func TestFlightRecorderWindowAndDumpCap(t *testing.T) {
+	c := New(Config{FlightEpochs: 2, MaxDumps: 2})
+	for e := 1; e <= 5; e++ {
+		c.BeginEpoch(e, int64(e)*100)
+		c.Span("sense", int64(e)*100, 1)
+	}
+	for i := 0; i < 4; i++ {
+		c.Anomaly(550, AnomalyNegativeEEGain, "")
+	}
+	if got := len(c.Anomalies()); got != 4 {
+		t.Fatalf("anomalies = %d, want 4", got)
+	}
+	dumps := c.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("dumps = %d, want MaxDumps=2", len(dumps))
+	}
+	w := dumps[0].Window
+	if len(w) != 2 || w[0].Epoch != 4 || w[1].Epoch != 5 {
+		t.Fatalf("window = %+v, want last 2 epochs [4 5]", w)
+	}
+	if dumps[0].Anomaly.Epoch != 5 {
+		t.Fatalf("dump anomaly epoch = %d, want 5", dumps[0].Anomaly.Epoch)
+	}
+}
+
+func TestCounterMonotone(t *testing.T) {
+	c := New(Config{})
+	ctr := c.Counter("x")
+	ctr.Add(2)
+	ctr.Add(-5)
+	if got := ctr.Value(); got != 2 {
+		t.Fatalf("counter = %d, want 2 (negative adds ignored)", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	c := New(Config{})
+	h := c.Histogram("h", []float64{100, 10}) // unsorted on purpose
+	for _, v := range []float64{1, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	var m Metric
+	for _, s := range c.Trace().Metrics {
+		if s.Key == "h" {
+			m = s
+		}
+	}
+	want := "h histogram count=4 sum=1022 le=10:2 le=100:1 le=+Inf:1"
+	if got := m.String(); got != want {
+		t.Fatalf("histogram snapshot:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSnapshotSortedAndZeroValued(t *testing.T) {
+	c := New(Config{})
+	c.Counter("zz_touched").Inc()
+	c.Counter("aa_untouched") // registered only
+	c.Gauge("mm_gauge")
+	ms := c.Trace().Metrics
+	var keys []string
+	for _, m := range ms {
+		keys = append(keys, m.Key)
+	}
+	if got, want := strings.Join(keys, ","), "aa_untouched,mm_gauge,zz_touched"; got != want {
+		t.Fatalf("snapshot keys = %s, want %s", got, want)
+	}
+	if ms[0].Value != 0 {
+		t.Fatalf("untouched counter exports %v, want explicit 0", ms[0].Value)
+	}
+}
+
+func TestMergeCanonicalisesWorkerOrder(t *testing.T) {
+	build := func(epochs ...int) *Collector {
+		c := New(Config{})
+		for _, e := range epochs {
+			c.BeginEpoch(e, int64(e)*10)
+			c.Span("job", int64(e)*10, 3, Int("epoch", int64(e)))
+			c.Counter("jobs_total").Inc()
+		}
+		return c
+	}
+	// Two merge orders simulating different parallel schedules.
+	a := New(Config{})
+	a.Merge(build(1, 4))
+	a.Merge(build(2, 3))
+	b := New(Config{})
+	b.Merge(build(2, 3))
+	b.Merge(build(1, 4))
+	// Counters must sum either way.
+	if av, bv := a.Counter("jobs_total").Value(), b.Counter("jobs_total").Value(); av != 4 || bv != 4 {
+		t.Fatalf("merged counters = %d/%d, want 4/4", av, bv)
+	}
+	if d := FirstDivergence(a.Trace(), b.Trace()); d != nil {
+		t.Fatalf("merge order leaked into trace: %s", d)
+	}
+	for i, e := range a.Trace().Epochs {
+		if e.Epoch != i+1 {
+			t.Fatalf("merged epoch[%d] = %d, want sorted order", i, e.Epoch)
+		}
+	}
+}
+
+func TestMergeGaugeLastWinsAndMeta(t *testing.T) {
+	a := New(Config{})
+	a.Gauge("g").Set(1)
+	a.SetMeta("k", "a")
+	b := New(Config{})
+	b.Gauge("g").Set(2)
+	b.SetMeta("k", "b")
+	dst := New(Config{})
+	dst.Merge(a)
+	dst.Merge(b)
+	if got := dst.Gauge("g").Value(); got != 2 {
+		t.Fatalf("merged gauge = %v, want last-merged 2", got)
+	}
+	if got := dst.Trace().Meta["k"]; got != "b" {
+		t.Fatalf("merged meta = %q, want %q", got, "b")
+	}
+	// An unset gauge merges as a registered zero, not an absence.
+	e := New(Config{})
+	e.Gauge("unset")
+	dst2 := New(Config{})
+	dst2.Merge(e)
+	found := false
+	for _, m := range dst2.Trace().Metrics {
+		if m.Key == "unset" && m.Kind == KindGauge {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("unset gauge vanished in merge")
+	}
+}
+
+func TestTraceDeterministicAcrossCalls(t *testing.T) {
+	c := sampleCollector()
+	var a, b strings.Builder
+	if err := WriteJSONL(&a, c.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, c.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two Trace() snapshots of the same collector serialise differently")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"smartbalance/internal/core"
 	"smartbalance/internal/hpc"
 	"smartbalance/internal/kernel"
+	"smartbalance/internal/telemetry"
 )
 
 // Aware wraps a SmartBalance controller with temperature feedback: each
@@ -51,6 +52,11 @@ func (a *Aware) Name() string { return "smartbalance-thermal" }
 
 // Tracker exposes the temperature estimator (for stats and tests).
 func (a *Aware) Tracker() *Tracker { return a.tracker }
+
+// SetTelemetry forwards the telemetry collector to the wrapped
+// SmartBalance controller, so a thermally wrapped system reports the
+// same spans and metrics as a bare one.
+func (a *Aware) SetTelemetry(c *telemetry.Collector) { a.inner.SetTelemetry(c) }
 
 // Validate checks the derating thresholds.
 func (a *Aware) Validate() error {

@@ -37,8 +37,11 @@ type Recorder struct {
 	// dropped counts events evicted from the ring.
 	dropped int
 	// attached flips on the first Attach, pinning the recorder to that
-	// kernel for life.
+	// kernel for life. k and slot identify the observer registration so
+	// Detach can undo it.
 	attached bool
+	k        *kernel.Kernel
+	slot     int
 
 	kindCounts map[kernel.TraceKind]int
 	// switchesPerCore counts TraceSlice events per core.
@@ -75,8 +78,21 @@ func (r *Recorder) Attach(k *kernel.Kernel) error {
 		return ErrAttached
 	}
 	r.attached = true
-	k.SetObserver(r.Observe)
+	r.k = k
+	r.slot = k.AddObserver(r.Observe)
 	return nil
+}
+
+// Detach uninstalls the recorder from its kernel. The recorder stays
+// pinned to that kernel (re-Attach still returns ErrAttached — its
+// statistics describe that kernel and must not mix streams); Detach
+// only stops further events from arriving, e.g. before installing a
+// replacement recorder on the same kernel.
+func (r *Recorder) Detach() {
+	if r.k != nil {
+		r.k.RemoveObserver(r.slot)
+		r.k = nil
+	}
 }
 
 // Observe is the kernel.Observer callback.

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -88,6 +89,117 @@ func TestRecorderRingEviction(t *testing.T) {
 	// Counts still cover everything.
 	if rec.Count(kernel.TraceSlice) <= 16 {
 		t.Fatal("statistics should outlive the ring")
+	}
+}
+
+// TestRingEvictsOldestFirst feeds a synthetic, strictly ordered event
+// stream through a tiny ring and pins down the eviction policy: the
+// retained window is always the most recent events, evicted oldest
+// first, and the dropped counter accounts exactly for the difference.
+func TestRingEvictsOldestFirst(t *testing.T) {
+	rec, err := NewRecorder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 21
+	for i := 0; i < total; i++ {
+		rec.Observe(kernel.TraceEvent{At: int64(i), Kind: kernel.TraceWake, Core: 0, Thread: 1})
+	}
+	evs := rec.Events()
+	if len(evs)+rec.Dropped() != total {
+		t.Fatalf("retained %d + dropped %d != observed %d", len(evs), rec.Dropped(), total)
+	}
+	// The retained window must be the contiguous tail of the stream.
+	for i, e := range evs {
+		want := int64(total - len(evs) + i)
+		if e.At != want {
+			t.Fatalf("retained[%d].At = %d, want %d (eviction must be oldest-first)", i, e.At, want)
+		}
+	}
+	// Statistics still cover every event, evicted or not.
+	if rec.Count(kernel.TraceWake) != total {
+		t.Fatalf("kind count %d, want %d", rec.Count(kernel.TraceWake), total)
+	}
+}
+
+// TestSummaryReportsDropped pins the dropped count into the text
+// summary, where a human reading -trace output learns the ring
+// overflowed.
+func TestSummaryReportsDropped(t *testing.T) {
+	rec, _ := tracedRun(t, 16)
+	if rec.Dropped() == 0 {
+		t.Fatal("tiny ring did not overflow; test needs a longer run")
+	}
+	want := fmt.Sprintf("(%d dropped)", rec.Dropped())
+	if s := rec.Summary(); !strings.Contains(s, want) {
+		t.Fatalf("summary missing %q:\n%s", want, s)
+	}
+}
+
+func TestDetachStopsEvents(t *testing.T) {
+	k := newQuadKernel(t)
+	rec, err := NewRecorder(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Attach(k); err != nil {
+		t.Fatal(err)
+	}
+	rec.Detach()
+	specs, err := workload.Benchmark("swaptions", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if _, err := k.Spawn(&specs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(100e6); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Count(kernel.TraceSlice); n != 0 {
+		t.Fatalf("detached recorder still received %d slice events", n)
+	}
+	// Detach does not unpin: the recorder's statistics belong to k.
+	if err := rec.Attach(newQuadKernel(t)); err != ErrAttached {
+		t.Fatalf("attach after detach: %v, want ErrAttached", err)
+	}
+}
+
+// TestRecordersComposeOnOneKernel is the multi-observer composition
+// check from the trace side: two recorders attached to the same kernel
+// both see the full event stream.
+func TestRecordersComposeOnOneKernel(t *testing.T) {
+	k := newQuadKernel(t)
+	r1, _ := NewRecorder(1 << 16)
+	r2, _ := NewRecorder(1 << 16)
+	if err := r1.Attach(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Attach(k); err != nil {
+		t.Fatal(err)
+	}
+	specs, err := workload.Benchmark("swaptions", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if _, err := k.Spawn(&specs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(200e6); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count(kernel.TraceSlice) == 0 {
+		t.Fatal("first recorder saw nothing")
+	}
+	if r1.Count(kernel.TraceSlice) != r2.Count(kernel.TraceSlice) ||
+		r1.TotalInstructions() != r2.TotalInstructions() {
+		t.Fatalf("composed recorders disagree: %d/%d slices, %d/%d instr",
+			r1.Count(kernel.TraceSlice), r2.Count(kernel.TraceSlice),
+			r1.TotalInstructions(), r2.TotalInstructions())
 	}
 }
 

@@ -29,6 +29,9 @@ echo "== sweep-check"
 echo "== fault-check"
 ./scripts/fault_check.sh
 
+echo "== telemetry-check"
+./scripts/telemetry_check.sh
+
 echo "== go test -race ./..."
 go test -race ./...
 

@@ -15,7 +15,8 @@ args=(-platforms quad -balancers vanilla,pinned -workloads Mix1,swaptions
       -threads 2 -seeds 1-2 -dur 60 -cache "$tmp/cache" -json)
 
 "$tmp/sbsweep" "${args[@]}" >"$tmp/cold.jsonl" 2>"$tmp/cold.log"
-"$tmp/sbsweep" "${args[@]}" -expect-cached >"$tmp/warm.jsonl" 2>"$tmp/warm.log" || {
+"$tmp/sbsweep" "${args[@]}" -expect-cached -telemetry "$tmp/warm.prom" \
+    >"$tmp/warm.jsonl" 2>"$tmp/warm.log" || {
     echo "sweep-check: warm rerun was not fully cached:" >&2
     cat "$tmp/warm.log" >&2
     exit 1
@@ -27,4 +28,17 @@ if ! cmp -s "$tmp/cold.jsonl" "$tmp/warm.jsonl"; then
     exit 1
 fi
 
-echo "ok: cold and warm sweeps byte-identical, warm fully cache-served"
+# The warm run's telemetry must agree: zero cache misses, every job
+# served from the cache.
+if ! grep -q '^sweep_cache_misses_total 0$' "$tmp/warm.prom"; then
+    echo "sweep-check: telemetry reports cache misses on the warm run:" >&2
+    grep '^sweep_cache' "$tmp/warm.prom" >&2 || cat "$tmp/warm.prom" >&2
+    exit 1
+fi
+if grep -q '^sweep_jobs_executed_total [^0]' "$tmp/warm.prom"; then
+    echo "sweep-check: telemetry reports executed jobs on the warm run:" >&2
+    grep '^sweep_jobs' "$tmp/warm.prom" >&2
+    exit 1
+fi
+
+echo "ok: cold and warm sweeps byte-identical, warm fully cache-served (telemetry: 0 misses)"

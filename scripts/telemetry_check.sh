@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# telemetry_check.sh — the telemetry determinism gate, end to end
+# through the real binaries:
+#
+#   1. one fixed-seed sbsim scenario run twice must export byte-identical
+#      canonical JSONL (telemetry is a pure function of the seed);
+#   2. sbtrace diff on the two same-seed traces must exit 0;
+#   3. sbtrace diff against a different-seed trace must exit 1 and name
+#      the first divergent epoch — the bisection contract.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/sbsim" ./cmd/sbsim
+go build -o "$tmp/sbtrace" ./cmd/sbtrace
+
+args=(-platform quad -workload Mix1 -threads 2 -balancer smartbalance -dur 400)
+
+"$tmp/sbsim" "${args[@]}" -seed 1 -telemetry "$tmp/a.jsonl" >/dev/null
+"$tmp/sbsim" "${args[@]}" -seed 1 -telemetry "$tmp/b.jsonl" >/dev/null
+"$tmp/sbsim" "${args[@]}" -seed 2 -telemetry "$tmp/c.jsonl" >/dev/null
+
+if ! cmp -s "$tmp/a.jsonl" "$tmp/b.jsonl"; then
+    echo "telemetry-check: same-seed telemetry exports differ:" >&2
+    diff "$tmp/a.jsonl" "$tmp/b.jsonl" >&2 || true
+    exit 1
+fi
+
+if ! "$tmp/sbtrace" diff "$tmp/a.jsonl" "$tmp/b.jsonl" >"$tmp/same.out"; then
+    echo "telemetry-check: sbtrace diff flagged identical traces:" >&2
+    cat "$tmp/same.out" >&2
+    exit 1
+fi
+
+set +e
+"$tmp/sbtrace" diff "$tmp/a.jsonl" "$tmp/c.jsonl" >"$tmp/diff.out"
+rc=$?
+set -e
+if [ "$rc" -ne 1 ]; then
+    echo "telemetry-check: sbtrace diff on different seeds exited $rc, want 1" >&2
+    cat "$tmp/diff.out" >&2
+    exit 1
+fi
+if ! grep -q 'first divergent epoch' "$tmp/diff.out"; then
+    echo "telemetry-check: diff output does not localise the divergence:" >&2
+    cat "$tmp/diff.out" >&2
+    exit 1
+fi
+
+echo "ok: same-seed telemetry byte-identical; $(cat "$tmp/diff.out")"

@@ -43,6 +43,7 @@ import (
 	"smartbalance/internal/kernel"
 	"smartbalance/internal/machine"
 	"smartbalance/internal/powermodel"
+	"smartbalance/internal/telemetry"
 	"smartbalance/internal/thermal"
 	"smartbalance/internal/trace"
 	"smartbalance/internal/workload"
@@ -303,6 +304,13 @@ func NewThermalSmartBalance(p *Platform, seed uint64) (*ThermalAwareBalancer, *T
 type System struct {
 	k    *kernel.Kernel
 	plat *Platform
+
+	// rec is the recorder the last EnableTrace call installed; tel and
+	// telObs track the telemetry collector and its kernel observer slot
+	// (-1 when none). Both observers compose on the kernel's fan-out.
+	rec    *trace.Recorder
+	tel    *telemetry.Collector
+	telObs int
 }
 
 // NewSystem builds a System over the platform with the given balancer
@@ -335,7 +343,7 @@ func NewSystemFull(p *Platform, b Balancer, cfg KernelConfig, mopts MachineOptio
 	if err != nil {
 		return nil, err
 	}
-	return &System{k: k, plat: p}, nil
+	return &System{k: k, plat: p, telObs: -1}, nil
 }
 
 // Platform returns the system's platform.
@@ -394,10 +402,96 @@ func (s *System) EnableTrace(limit int) (*TraceRecorder, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.rec != nil {
+		s.rec.Detach()
+	}
 	if err := rec.Attach(s.k); err != nil {
 		return nil, err
 	}
+	s.rec = rec
 	return rec, nil
+}
+
+// Telemetry collection (DESIGN.md §10): deterministic spans, metrics,
+// and flight-recorder dumps for the whole sense-predict-balance loop.
+
+// TelemetryCollector accumulates one run's telemetry; export it with
+// WriteTelemetryJSONL and friends, or inspect it with cmd/sbtrace.
+type TelemetryCollector = telemetry.Collector
+
+// TelemetryConfig tunes the collector (flight-recorder window, dump
+// cap, history bound); the zero value selects the defaults.
+type TelemetryConfig = telemetry.Config
+
+// TelemetryTrace is the export-ready snapshot of a collector.
+type TelemetryTrace = telemetry.Trace
+
+// NewTelemetryCollector builds a standalone collector, for callers
+// that aggregate telemetry outside a System (the way sbsweep merges a
+// whole sweep into one trace). Systems use EnableTelemetry instead.
+func NewTelemetryCollector(cfg TelemetryConfig) *TelemetryCollector {
+	return telemetry.New(cfg)
+}
+
+// EnableTelemetry attaches a telemetry collector: kernel scheduling
+// events feed event/instruction counters and epoch rotation, and a
+// SmartBalance controller (bare or thermally wrapped) additionally
+// reports per-phase spans, health gauges, and anomaly triggers. Call
+// before Run. Repeated calls replace the previous collector; the
+// collector composes with EnableTrace — both observe the same kernel.
+func (s *System) EnableTelemetry(cfg TelemetryConfig) *TelemetryCollector {
+	c := telemetry.New(cfg)
+	c.SetMeta("balancer", s.k.Balancer().Name())
+	c.SetMeta("cores", fmt.Sprintf("%d", s.plat.NumCores()))
+	if s.telObs >= 0 {
+		s.k.RemoveObserver(s.telObs)
+	}
+	s.telObs = s.k.AddObserver(telemetry.KernelObserver(c))
+	if sink, ok := s.k.Balancer().(interface {
+		SetTelemetry(*telemetry.Collector)
+	}); ok {
+		sink.SetTelemetry(c)
+	}
+	s.tel = c
+	return c
+}
+
+// Telemetry returns the collector installed by EnableTelemetry, or nil
+// (the zero-cost disabled collector) when telemetry is off.
+func (s *System) Telemetry() *TelemetryCollector { return s.tel }
+
+// WriteTelemetryJSONL renders a telemetry trace in the canonical JSONL
+// interchange format (byte-identical across equal runs).
+func WriteTelemetryJSONL(w io.Writer, tr *TelemetryTrace) error {
+	return telemetry.WriteJSONL(w, tr)
+}
+
+// WriteTelemetryChrome renders a telemetry trace in Chrome trace-event
+// format for chrome://tracing or Perfetto.
+func WriteTelemetryChrome(w io.Writer, tr *TelemetryTrace) error {
+	return telemetry.WriteChrome(w, tr)
+}
+
+// WriteTelemetryProm renders a telemetry trace's metrics in the
+// Prometheus text exposition format.
+func WriteTelemetryProm(w io.Writer, tr *TelemetryTrace) error {
+	return telemetry.WriteProm(w, tr)
+}
+
+// ReadTelemetryJSONL parses a canonical JSONL telemetry export.
+func ReadTelemetryJSONL(r io.Reader) (*TelemetryTrace, error) {
+	return telemetry.ReadJSONL(r)
+}
+
+// TelemetryDivergence localises the first difference between two
+// telemetry traces.
+type TelemetryDivergence = telemetry.Divergence
+
+// FirstTelemetryDivergence compares two telemetry traces and returns
+// the first divergence (epoch-first), or nil when identical — the
+// primitive behind `sbtrace diff`.
+func FirstTelemetryDivergence(a, b *TelemetryTrace) *TelemetryDivergence {
+	return telemetry.FirstDivergence(a, b)
 }
 
 // Experiment regeneration.

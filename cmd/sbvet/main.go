@@ -1,17 +1,24 @@
-// Command sbvet runs the repository's determinism and scheduler-safety
-// analyzers (internal/analysis) over package patterns.
+// Command sbvet runs the repository's determinism, scheduler-safety,
+// and hot-path purity analyzers (internal/analysis) over package
+// patterns.
 //
 // Usage:
 //
 //	sbvet ./...                 # whole repository (the CI gate)
 //	sbvet -json ./internal/...  # machine-readable diagnostics
 //	sbvet -floateq=false ./...  # disable one analyzer
+//	sbvet -allows ./...         # inventory every //sbvet:allow annotation
 //
-// Exit status: 0 when clean, 1 when violations were found, 2 on usage
-// or load errors. Suppress a single finding at its call site with
-// an annotated reason, e.g.
+// Exit status: 0 when clean, 1 when violations were found (or, under
+// -allows, when malformed/stale annotations exist), 2 on usage or load
+// errors. Suppress a single finding at its call site with an annotated
+// reason, e.g.
 //
 //	t := time.Now() //sbvet:allow wallclock(host benchmark boundary)
+//
+// Mark a function as an epoch hot-path root with //sbvet:hotpath in its
+// doc comment; the hotpath analyzer then checks its whole transitive
+// call graph inside the module.
 package main
 
 import (
@@ -31,7 +38,8 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sbvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit results as JSON")
+	allows := fs.Bool("allows", false, "inventory //sbvet:allow annotations instead of analyzing")
 	all := analysis.All()
 	enabled := make(map[string]*bool, len(all))
 	for _, a := range all {
@@ -44,16 +52,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "sbvet:", err)
+		return 2
+	}
+	if *allows {
+		return runAllows(cwd, patterns, *jsonOut, stdout, stderr)
+	}
 	var active []*analysis.Analyzer
 	for _, a := range all {
 		if *enabled[a.Name] {
 			active = append(active, a)
 		}
-	}
-	cwd, err := os.Getwd()
-	if err != nil {
-		fmt.Fprintln(stderr, "sbvet:", err)
-		return 2
 	}
 	diags, err := analysis.Run(cwd, patterns, active)
 	if err != nil {
@@ -61,12 +72,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		if err := encodeJSON(stdout, diags); err != nil {
 			fmt.Fprintln(stderr, "sbvet:", err)
 			return 2
 		}
@@ -80,4 +89,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runAllows implements `sbvet -allows`: the suppression audit surface.
+// Well-formed annotations are listed (text or JSON); malformed ones —
+// including annotations naming analyzers that no longer exist — fail
+// the run so stale suppressions cannot linger silently.
+func runAllows(cwd string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	recs, bad, err := analysis.CollectAllows(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "sbvet:", err)
+		return 2
+	}
+	if jsonOut {
+		if recs == nil {
+			recs = []analysis.AllowRecord{}
+		}
+		if err := encodeJSON(stdout, recs); err != nil {
+			fmt.Fprintln(stderr, "sbvet:", err)
+			return 2
+		}
+	} else {
+		for _, r := range recs {
+			fmt.Fprintf(stdout, "%s:%d: %s(%s)\n", r.File, r.Line, r.Analyzer, r.Reason)
+		}
+		fmt.Fprintf(stdout, "%d allow annotation(s)\n", len(recs))
+	}
+	if len(bad) > 0 {
+		for _, d := range bad {
+			fmt.Fprintln(stderr, d.String())
+		}
+		fmt.Fprintf(stderr, "sbvet: %d malformed or stale annotation(s)\n", len(bad))
+		return 1
+	}
+	return 0
+}
+
+func encodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }

@@ -52,3 +52,54 @@ func TestRunBadPattern(t *testing.T) {
 		t.Errorf("exit %d on bad pattern, want 2", code)
 	}
 }
+
+const hotpathFixture = "../../internal/analysis/testdata/src/hotpath"
+const allowdupFixture = "../../internal/analysis/testdata/src/allowdup"
+
+// TestRunAllowsText covers the -allows audit surface end to end: the
+// hotpath fixture's one justified suppression is listed with its
+// analyzer, reason, and count, and the run exits 0.
+func TestRunAllowsText(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-allows", hotpathFixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "hotpath(fixture: demonstrates a justified suppression)") {
+		t.Errorf("missing inventoried suppression in output:\n%s", s)
+	}
+	if !strings.Contains(s, "1 allow annotation(s)") {
+		t.Errorf("missing inventory count in output:\n%s", s)
+	}
+}
+
+// TestRunAllowsJSON pins the machine-readable inventory: -allows -json
+// emits the AllowRecord array verbatim.
+func TestRunAllowsJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-allows", "-json", hotpathFixture}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	var recs []analysis.AllowRecord
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not an AllowRecord array: %v\n%s", err, out.String())
+	}
+	if len(recs) != 1 || recs[0].Analyzer != "hotpath" || recs[0].Reason == "" {
+		t.Errorf("unexpected records: %+v", recs)
+	}
+}
+
+// TestRunAllowsMalformedFails covers the staleness gate: an empty-reason
+// annotation makes -allows exit 1 and name the problem on stderr.
+func TestRunAllowsMalformedFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-allows", allowdupFixture}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d on malformed annotation, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "malformed or stale annotation(s)") {
+		t.Errorf("stderr does not flag the malformed annotation:\n%s", errb.String())
+	}
+}

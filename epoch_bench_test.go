@@ -1,0 +1,144 @@
+package smartbalance
+
+// Epoch hot-path benchmarks: the cost of one sense→predict→balance
+// iteration in isolation, the quantity ROADMAP item 2 tracks across
+// PRs via BENCH_core.json (`make bench`). The harness runs a real
+// system long enough to capture one representative epoch's sensing
+// snapshot, then replays the controller's Rebalance against it so the
+// numbers isolate the balancer (Fig. 7's overhead claim) from the
+// workload simulation around it.
+
+import (
+	"testing"
+	"time"
+
+	"smartbalance/internal/hpc"
+	"smartbalance/internal/kernel"
+)
+
+// captureBalancer wraps the SmartBalance controller and keeps the last
+// epoch's sensing snapshot so benchmarks can replay it.
+type captureBalancer struct {
+	inner   *SmartBalanceController
+	threads map[int]*hpc.ThreadEpochSample
+	cores   []hpc.CoreEpochSample
+	now     kernel.Time
+}
+
+func (c *captureBalancer) Name() string { return c.inner.Name() }
+
+func (c *captureBalancer) Rebalance(k *kernel.Kernel, now kernel.Time,
+	threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample) {
+	c.threads, c.cores, c.now = threads, cores, now
+	c.inner.Rebalance(k, now, threads, cores)
+}
+
+// epochHotHarness builds a quad-core HMP system under SmartBalance,
+// runs it for enough epochs to warm every per-epoch scratch buffer, and
+// returns the controller plus a captured epoch snapshot to replay.
+func epochHotHarness(tb testing.TB, telemetry bool) (*captureBalancer, *kernel.Kernel) {
+	tb.Helper()
+	plat := QuadHMP()
+	pred, err := TrainPredictor(plat.Types, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cfg := DefaultSmartBalanceConfig()
+	cfg.Clock = NewFakeClock(time.Microsecond)
+	inner, err := NewSmartBalanceController(pred, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cap := &captureBalancer{inner: inner}
+	sys, err := NewSystem(plat, cap)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if telemetry {
+		tcfg := TelemetryConfig{MaxEpochs: 64}
+		inner.SetTelemetry(sys.EnableTelemetry(tcfg))
+	}
+	specs, err := Mix("Mix1", 8, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := sys.SpawnAll(specs); err != nil {
+		tb.Fatal(err)
+	}
+	// 12 epochs: enough for every thread to have been sensed and for
+	// amortised scratch capacities to stabilise.
+	if err := sys.Run(12 * 50 * time.Millisecond); err != nil {
+		tb.Fatal(err)
+	}
+	if cap.threads == nil {
+		tb.Fatal("no epoch snapshot captured")
+	}
+	return cap, sys.Kernel()
+}
+
+// epochAllocs measures steady-state heap allocations per replayed
+// sense→predict→balance epoch.
+func epochAllocs(tb testing.TB, telemetry bool) float64 {
+	tb.Helper()
+	cap, k := epochHotHarness(tb, telemetry)
+	// Warm the controller's scratch buffers beyond the captured state.
+	for i := 0; i < 16; i++ {
+		cap.inner.Rebalance(k, cap.now, cap.threads, cap.cores)
+	}
+	return testing.AllocsPerRun(200, func() {
+		cap.inner.Rebalance(k, cap.now, cap.threads, cap.cores)
+	})
+}
+
+// TestEpochAllocsReport prints the measured allocs/epoch for both
+// telemetry states (informational; the pinned ceilings live in
+// TestEpochHotAllocsPinned).
+func TestEpochAllocsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	t.Logf("allocs/epoch telemetry-off: %.1f", epochAllocs(t, false))
+	t.Logf("allocs/epoch telemetry-on:  %.1f", epochAllocs(t, true))
+}
+
+// TestEpochHotAllocsPinned pins the steady-state allocation budget of
+// the epoch path — the enforcement half of the sbvet hotpath contract
+// (DESIGN.md §11). With telemetry disabled the epoch is allocation-free;
+// enabled, the only allocations left are the ones the suppressions in
+// internal/telemetry document (retained span history, canonical attr
+// rendering, arena amortisation). The pre-refactor baseline was ~10,774
+// allocs/epoch in both states.
+func TestEpochHotAllocsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if got := epochAllocs(t, false); got != 0 {
+		t.Errorf("telemetry-off epoch allocates: %.1f allocs/epoch, want 0", got)
+	}
+	const maxEnabled = 8
+	if got := epochAllocs(t, true); got > maxEnabled {
+		t.Errorf("telemetry-on epoch allocates %.1f allocs/epoch, want <= %d", got, maxEnabled)
+	}
+}
+
+// BenchmarkEpochHot measures one replayed sense→predict→balance epoch
+// with telemetry disabled — the ns/epoch headline of BENCH_core.json.
+func BenchmarkEpochHot(b *testing.B) {
+	cap, k := epochHotHarness(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cap.inner.Rebalance(k, cap.now, cap.threads, cap.cores)
+	}
+}
+
+// BenchmarkEpochHotTelemetry is the same epoch replay with the
+// telemetry collector enabled — the enabled-path cost contract.
+func BenchmarkEpochHotTelemetry(b *testing.B) {
+	cap, k := epochHotHarness(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cap.inner.Rebalance(k, cap.now, cap.threads, cap.cores)
+	}
+}

@@ -47,12 +47,16 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzer is one sbvet check: a name (used in enable flags and allow
-// annotations), a one-line contract, and a Run function that inspects a
-// type-checked package through its Pass.
+// annotations), a one-line contract, and exactly one of two run hooks.
+// Run inspects a single type-checked package through its Pass;
+// RunModule sees every loaded package of the module at once through a
+// ModulePass (with its call graph), for checks whose facts must cross
+// package boundaries.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
 }
 
 // knownAnalyzerNames is the closed set of names valid in
@@ -65,12 +69,15 @@ var knownAnalyzerNames = map[string]bool{
 	"maporder":  true,
 	"mutexcopy": true,
 	"seedflow":  true,
+	"hotpath":   true,
 }
 
 // allowMark is one parsed //sbvet:allow annotation.
 type allowMark struct {
 	line     int
+	col      int
 	analyzer string
+	reason   string
 }
 
 // Pass carries the state one analyzer sees for one package: the parsed
@@ -85,6 +92,7 @@ type Pass struct {
 
 	analyzer   string                 // name of the analyzer currently running
 	allows     map[string][]allowMark // filename -> annotations in that file
+	hotRoots   map[string][]int       // filename -> lines of //sbvet:hotpath marks
 	diags      []Diagnostic
 	Suppressed int // diagnostics silenced by a valid allow annotation
 }
@@ -94,12 +102,13 @@ type Pass struct {
 // under the pseudo-analyzer name "sbvet".
 func newPass(pkg *Package) *Pass {
 	p := &Pass{
-		Fset:    pkg.Fset,
-		Files:   pkg.Files,
-		PkgPath: pkg.Path,
-		Pkg:     pkg.Types,
-		Info:    pkg.Info,
-		allows:  make(map[string][]allowMark),
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		PkgPath:  pkg.Path,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		allows:   make(map[string][]allowMark),
+		hotRoots: make(map[string][]int),
 	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -119,8 +128,12 @@ func (p *Pass) scanComment(c *ast.Comment) {
 	}
 	pos := p.Fset.Position(c.Slash)
 	rest := strings.TrimPrefix(text, "sbvet:")
+	if strings.TrimSpace(rest) == "hotpath" {
+		p.hotRoots[pos.Filename] = append(p.hotRoots[pos.Filename], pos.Line)
+		return
+	}
 	if !strings.HasPrefix(rest, "allow ") {
-		p.addDiag(pos, "sbvet", fmt.Sprintf("malformed sbvet directive %q: only //sbvet:allow name(reason) is recognised", c.Text))
+		p.addDiag(pos, "sbvet", fmt.Sprintf("malformed sbvet directive %q: only //sbvet:allow name(reason) and //sbvet:hotpath are recognised", c.Text))
 		return
 	}
 	spec := strings.TrimSpace(strings.TrimPrefix(rest, "allow "))
@@ -139,7 +152,7 @@ func (p *Pass) scanComment(c *ast.Comment) {
 		p.addDiag(pos, "sbvet", fmt.Sprintf("allow annotation for %q has an empty reason; justify the suppression", name))
 		return
 	}
-	p.allows[pos.Filename] = append(p.allows[pos.Filename], allowMark{line: pos.Line, analyzer: name})
+	p.allows[pos.Filename] = append(p.allows[pos.Filename], allowMark{line: pos.Line, col: pos.Column, analyzer: name, reason: reason})
 }
 
 // allowed reports whether a diagnostic of the running analyzer at the
@@ -190,12 +203,17 @@ func (p *Pass) importedFunc(sel *ast.SelectorExpr, pkgPath, name string) bool {
 	return ok && pn.Imported().Path() == pkgPath
 }
 
-// Analyze runs the given analyzers over one loaded package and returns
-// the diagnostics, sorted by position. Annotation-parsing problems are
-// included regardless of which analyzers are enabled.
+// Analyze runs the given analyzers' per-package tier over one loaded
+// package and returns the diagnostics, sorted by position. Module-tier
+// analyzers are skipped (use Run, which sees the whole module).
+// Annotation-parsing problems are included regardless of which
+// analyzers are enabled.
 func Analyze(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	pass := newPass(pkg)
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass.analyzer = a.Name
 		a.Run(pass)
 	}
@@ -216,6 +234,21 @@ func SortDiagnostics(ds []Diagnostic) {
 		}
 		if a.Col != b.Col {
 			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// SortAllowRecords orders allow records by file, line, and analyzer so
+// inventories are deterministic.
+func SortAllowRecords(rs []AllowRecord) {
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
 		return a.Analyzer < b.Analyzer
 	})

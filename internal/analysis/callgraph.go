@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FuncNode is one function with a body somewhere in this module: a
+// declared function or method (Decl != nil) or a function literal
+// (Lit != nil). Nodes are the vertices of the CallGraph.
+type FuncNode struct {
+	// Obj is the declared object; nil for function literals.
+	Obj *types.Func
+	// Decl/Lit: exactly one is non-nil.
+	Decl *ast.FuncDecl
+	Lit  *ast.FuncLit
+	// Pkg is the package the body lives in.
+	Pkg *Package
+
+	// edges are the node's outgoing call/reference edges, in source
+	// order, deduplicated.
+	edges []*FuncNode
+	seen  map[*FuncNode]bool
+}
+
+// Name renders a stable human-readable identifier: the qualified
+// function name, or "pkg.func@file:line" for a literal.
+func (n *FuncNode) Name() string {
+	if n.Obj != nil {
+		return qualifiedFuncName(n.Obj)
+	}
+	pos := n.Pkg.Fset.Position(n.Lit.Pos())
+	file := pos.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return n.Pkg.Path + ".func@" + file + ":" + strconv.Itoa(pos.Line)
+}
+
+// Body returns the node's function body.
+func (n *FuncNode) Body() *ast.BlockStmt {
+	if n.Decl != nil {
+		return n.Decl.Body
+	}
+	return n.Lit.Body
+}
+
+// Pos returns the node's declaration position.
+func (n *FuncNode) Pos() token.Pos {
+	if n.Decl != nil {
+		return n.Decl.Pos()
+	}
+	return n.Lit.Pos()
+}
+
+// Edges returns the outgoing edges in deterministic (source) order.
+func (n *FuncNode) Edges() []*FuncNode { return n.edges }
+
+func (n *FuncNode) addEdge(to *FuncNode) {
+	if to == nil || to == n {
+		return
+	}
+	if n.seen == nil {
+		n.seen = make(map[*FuncNode]bool)
+	}
+	if n.seen[to] {
+		return
+	}
+	n.seen[to] = true
+	n.edges = append(n.edges, to)
+}
+
+// qualifiedFuncName renders pkgpath.Func or pkgpath.(Recv).Method.
+func qualifiedFuncName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if named, ok := t.(*types.Named); ok {
+			return f.Pkg().Path() + ".(" + ptr + named.Obj().Name() + ")." + f.Name()
+		}
+	}
+	if f.Pkg() == nil {
+		return f.Name()
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// CallGraph is a conservative over-approximation of the module's call
+// structure, built purely from the syntax and type information the
+// loader already has:
+//
+//   - a direct call adds a precise edge;
+//   - a method value, method expression, or any other reference to a
+//     declared function adds an edge from the referencing function (the
+//     value may be called later, so reachability must include it);
+//   - a call through an interface method adds edges to every method of
+//     every module type implementing that interface (class-hierarchy
+//     style over-approximation);
+//   - a function literal gets an edge from its lexically enclosing
+//     function.
+//
+// Calls through plain func-typed variables add no edges of their own:
+// the usual callback pattern is already covered by the reference edges
+// above when the callback value is built in analyzed code, and hot
+// callbacks installed on cold paths are handled by annotating the
+// callback itself as a root. Recursion — direct or mutual — needs no
+// special casing; Reachable visits each node once.
+type CallGraph struct {
+	nodes   map[*types.Func]*FuncNode // declared functions by object
+	lits    map[*ast.FuncLit]*FuncNode
+	ordered []*FuncNode // deterministic iteration order
+}
+
+// NodeOf returns the node of a declared function, or nil.
+func (g *CallGraph) NodeOf(f *types.Func) *FuncNode { return g.nodes[f] }
+
+// LitNode returns the node of a function literal, or nil.
+func (g *CallGraph) LitNode(l *ast.FuncLit) *FuncNode { return g.lits[l] }
+
+// Nodes returns every node in deterministic order.
+func (g *CallGraph) Nodes() []*FuncNode { return g.ordered }
+
+// ifaceMethodKey identifies one interface-dispatch site: the interface
+// type and method name.
+type ifaceMethodKey struct {
+	iface *types.Interface
+	name  string
+}
+
+// BuildCallGraph constructs the graph over the given packages, which
+// must be in deterministic order (node and edge order follow it).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		nodes: make(map[*types.Func]*FuncNode),
+		lits:  make(map[*ast.FuncLit]*FuncNode),
+	}
+	// Pass 1: index every declared function and, nested under it, every
+	// function literal (with the enclosing edge wired immediately).
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &FuncNode{Obj: obj, Decl: fd, Pkg: pkg}
+				g.nodes[obj] = n
+				g.ordered = append(g.ordered, n)
+				g.indexLits(n, fd.Body, pkg)
+			}
+		}
+	}
+	// Pass 2: resolve call and reference edges in every body.
+	impls := buildImplIndex(pkgs)
+	for _, n := range g.ordered {
+		g.resolveEdges(n, impls)
+	}
+	return g
+}
+
+// indexLits registers every function literal lexically inside root,
+// each with an edge from its immediately enclosing function.
+func (g *CallGraph) indexLits(encloser *FuncNode, root ast.Node, pkg *Package) {
+	ast.Inspect(root, func(node ast.Node) bool {
+		lit, ok := node.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		n := &FuncNode{Lit: lit, Pkg: pkg}
+		g.lits[lit] = n
+		g.ordered = append(g.ordered, n)
+		encloser.addEdge(n)
+		g.indexLits(n, lit.Body, pkg)
+		return false // the nested walk above owns this subtree
+	})
+}
+
+// implIndex resolves interface-dispatch keys to implementing module
+// methods, lazily per key, over a pre-built list of module named types.
+type implIndex struct {
+	named []*types.Named
+	cache map[ifaceMethodKey][]*types.Func
+}
+
+// buildImplIndex collects every named non-interface type declared in
+// the given packages, in deterministic order.
+func buildImplIndex(pkgs []*Package) *implIndex {
+	idx := &implIndex{cache: make(map[ifaceMethodKey][]*types.Func)}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil {
+			continue
+		}
+		scope := pkg.Types.Scope()
+		names := scope.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			idx.named = append(idx.named, named)
+		}
+	}
+	return idx
+}
+
+// implementers returns the methods named key.name of every module type
+// implementing key.iface.
+func (idx *implIndex) implementers(key ifaceMethodKey) []*types.Func {
+	if ms, ok := idx.cache[key]; ok {
+		return ms
+	}
+	var out []*types.Func
+	for _, named := range idx.named {
+		var recv types.Type = named
+		if !types.Implements(recv, key.iface) {
+			recv = types.NewPointer(named)
+			if !types.Implements(recv, key.iface) {
+				continue
+			}
+		}
+		ms := types.NewMethodSet(recv)
+		for i := 0; i < ms.Len(); i++ {
+			if f, ok := ms.At(i).Obj().(*types.Func); ok && f.Name() == key.name {
+				out = append(out, f)
+			}
+		}
+	}
+	idx.cache[key] = out
+	return out
+}
+
+// resolveEdges walks one node's own body (nested literals are pruned;
+// their bodies belong to their own nodes) and adds edges.
+func (g *CallGraph) resolveEdges(n *FuncNode, impls *implIndex) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	info := n.Pkg.Info
+	inspectOwn(body, func(node ast.Node) {
+		switch e := node.(type) {
+		case *ast.CallExpr:
+			g.edgeForCall(n, e, info, impls)
+		case *ast.Ident:
+			// A declared function used as a value. The callee position of
+			// a direct call also lands here; the duplicate is deduped.
+			if f, ok := info.Uses[e].(*types.Func); ok {
+				n.addEdge(g.nodes[f])
+			}
+		case *ast.SelectorExpr:
+			// Method value or method expression used as a value; through
+			// an interface it dispatches like a call.
+			sel, ok := info.Selections[e]
+			if !ok {
+				return
+			}
+			if f, ok := sel.Obj().(*types.Func); ok {
+				g.edgeForMethod(n, f, sel, impls)
+			}
+		}
+	})
+}
+
+// edgeForCall resolves one call expression into edges.
+func (g *CallGraph) edgeForCall(n *FuncNode, call *ast.CallExpr, info *types.Info, impls *implIndex) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			n.addEdge(g.nodes[f])
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				g.edgeForMethod(n, f, sel, impls)
+			}
+			return
+		}
+		// Package-qualified call (pkg.Func).
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			n.addEdge(g.nodes[f])
+		}
+	case *ast.FuncLit:
+		n.addEdge(g.lits[fun])
+	}
+}
+
+// edgeForMethod adds the edge(s) for one method selection: precise for
+// a statically bound method, fanned out over module implementers for an
+// interface dispatch.
+func (g *CallGraph) edgeForMethod(n *FuncNode, f *types.Func, sel *types.Selection, impls *implIndex) {
+	if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+		for _, m := range impls.implementers(ifaceMethodKey{iface, f.Name()}) {
+			n.addEdge(g.nodes[m])
+		}
+		return
+	}
+	n.addEdge(g.nodes[f])
+}
+
+// inspectOwn walks the AST rooted at root without descending into
+// nested function literals. The literal node itself is still visited —
+// it is a closure-allocation site in the enclosing function.
+func inspectOwn(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(node ast.Node) bool {
+		if node == nil {
+			return true
+		}
+		fn(node)
+		_, isLit := node.(*ast.FuncLit)
+		return !isLit
+	})
+}
+
+// Reachable returns every node reachable from the given roots
+// (inclusive) in deterministic breadth-first order, together with a map
+// from each reached node to the root it was first reached from (for
+// diagnostic messages).
+func (g *CallGraph) Reachable(roots []*FuncNode) ([]*FuncNode, map[*FuncNode]*FuncNode) {
+	var order []*FuncNode
+	via := make(map[*FuncNode]*FuncNode)
+	queue := make([]*FuncNode, 0, len(roots))
+	for _, r := range roots {
+		if r == nil || via[r] != nil {
+			continue
+		}
+		via[r] = r
+		queue = append(queue, r)
+		order = append(order, r)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.edges {
+			if via[e] != nil {
+				continue
+			}
+			via[e] = via[n]
+			queue = append(queue, e)
+			order = append(order, e)
+		}
+	}
+	return order, via
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureGraph loads the hotpath fixture (root package plus its sub
+// package, pulled in transitively) and builds the module call graph.
+func fixtureGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.LoadDir(filepath.Join("testdata", "src", "hotpath")); err != nil {
+		t.Fatal(err)
+	}
+	return BuildCallGraph(l.Packages())
+}
+
+// nodeNamed finds the unique node whose Name has the given suffix.
+func nodeNamed(t *testing.T, g *CallGraph, suffix string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	for _, n := range g.Nodes() {
+		if strings.HasSuffix(n.Name(), suffix) {
+			if found != nil {
+				t.Fatalf("node suffix %q is ambiguous (%s vs %s)", suffix, found.Name(), n.Name())
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node named *%s", suffix)
+	}
+	return found
+}
+
+func hasEdge(from, to *FuncNode) bool {
+	for _, e := range from.Edges() {
+		if e == to {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCallGraphCrossPackage checks that a direct call into another
+// module package becomes an edge.
+func TestCallGraphCrossPackage(t *testing.T) {
+	g := fixtureGraph(t)
+	tick := nodeNamed(t, g, "hotpath.Tick")
+	helper := nodeNamed(t, g, "sub.Helper")
+	if !hasEdge(tick, helper) {
+		t.Error("missing cross-package edge Tick -> sub.Helper")
+	}
+}
+
+// TestCallGraphInterfaceDispatch checks the conservative
+// over-approximation: a call through Stepper.Step fans out to every
+// module implementation, including the one Tick never actually
+// receives.
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := fixtureGraph(t)
+	tick := nodeNamed(t, g, "hotpath.Tick")
+	fast := nodeNamed(t, g, "(Fast).Step")
+	slow := nodeNamed(t, g, "(Slow).Step")
+	if !hasEdge(tick, fast) {
+		t.Error("interface dispatch missed Fast.Step")
+	}
+	if !hasEdge(tick, slow) {
+		t.Error("interface dispatch missed Slow.Step (conservative fan-out)")
+	}
+}
+
+// TestCallGraphMethodValue checks that a method used as a value (not
+// called) still produces an edge: the value may be invoked later.
+func TestCallGraphMethodValue(t *testing.T) {
+	g := fixtureGraph(t)
+	user := nodeNamed(t, g, "hotpath.methodValueUser")
+	fast := nodeNamed(t, g, "(Fast).Step")
+	if !hasEdge(user, fast) {
+		t.Error("method-value reference f.Step produced no edge")
+	}
+}
+
+// TestCallGraphRecursionCycle checks that mutual recursion neither
+// loses edges nor traps the reachability walk.
+func TestCallGraphRecursionCycle(t *testing.T) {
+	g := fixtureGraph(t)
+	even := nodeNamed(t, g, "hotpath.Even")
+	odd := nodeNamed(t, g, "hotpath.Odd")
+	if !hasEdge(even, odd) || !hasEdge(odd, even) {
+		t.Fatal("mutual recursion edges missing")
+	}
+	reach, via := g.Reachable([]*FuncNode{even})
+	var sawEven, sawOdd bool
+	for _, n := range reach {
+		if n == even {
+			sawEven = true
+		}
+		if n == odd {
+			sawOdd = true
+		}
+	}
+	if !sawEven || !sawOdd {
+		t.Errorf("reachability through the cycle incomplete: even=%v odd=%v", sawEven, sawOdd)
+	}
+	if via[odd] != even {
+		t.Errorf("via attribution of Odd = %v, want Even", via[odd])
+	}
+}
+
+// TestCallGraphClosureEdge checks that a function literal is its own
+// node with an edge from its enclosing function.
+func TestCallGraphClosureEdge(t *testing.T) {
+	g := fixtureGraph(t)
+	maker := nodeNamed(t, g, "hotpath.MakeObserver")
+	var lit *FuncNode
+	for _, e := range maker.Edges() {
+		if e.Lit != nil {
+			lit = e
+		}
+	}
+	if lit == nil {
+		t.Fatal("MakeObserver has no edge to its returned closure")
+	}
+	if !strings.Contains(lit.Name(), "func@hot.go:") {
+		t.Errorf("closure node name = %q, want func@hot.go:<line>", lit.Name())
+	}
+}
+
+// TestCallGraphDeterministicOrder checks that two builds over the same
+// packages produce identical node and edge orderings.
+func TestCallGraphDeterministicOrder(t *testing.T) {
+	render := func(g *CallGraph) string {
+		var sb strings.Builder
+		for _, n := range g.Nodes() {
+			sb.WriteString(n.Name())
+			for _, e := range n.Edges() {
+				sb.WriteString(" -> ")
+				sb.WriteString(e.Name())
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	a := render(fixtureGraph(t))
+	b := render(fixtureGraph(t))
+	if a != b {
+		t.Error("call-graph ordering is not deterministic across builds")
+	}
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// knownAllocFuncs maps qualified stdlib function names (as rendered by
+// qualifiedFuncName) to a short reason why calling them allocates on
+// every call. The table is curated, not exhaustive: it covers the
+// formatting, error-construction, and reflection-backed sorting entry
+// points that actually show up on scheduler hot paths.
+var knownAllocFuncs = map[string]string{
+	"fmt.Sprintf":            "formats into a fresh string",
+	"fmt.Sprint":             "formats into a fresh string",
+	"fmt.Sprintln":           "formats into a fresh string",
+	"fmt.Errorf":             "allocates the error and formats its message",
+	"fmt.Fprintf":            "boxes operands and buffers the output",
+	"fmt.Fprint":             "boxes operands and buffers the output",
+	"fmt.Fprintln":           "boxes operands and buffers the output",
+	"errors.New":             "allocates the error value",
+	"strconv.Itoa":           "builds a fresh string",
+	"strconv.FormatInt":      "builds a fresh string",
+	"strconv.FormatFloat":    "builds a fresh string",
+	"strconv.FormatUint":     "builds a fresh string",
+	"strconv.Quote":          "builds a fresh string",
+	"sort.Slice":             "boxes the slice in an interface and allocates via reflection",
+	"sort.SliceStable":       "boxes the slice in an interface and allocates via reflection",
+	"sort.SliceIsSorted":     "boxes the slice in an interface and allocates via reflection",
+	"strings.Split":          "allocates the result slice and substrings",
+	"strings.Fields":         "allocates the result slice",
+	"strings.Join":           "builds a fresh string",
+	"strings.Repeat":         "builds a fresh string",
+	"strings.ReplaceAll":     "builds a fresh string",
+	"strings.ToUpper":        "builds a fresh string",
+	"strings.ToLower":        "builds a fresh string",
+	"time.(Duration).String": "builds a fresh string",
+}
+
+// Hotpath returns the module-tier analyzer enforcing the hot-path
+// purity contract (DESIGN.md §11): inside the transitive call graph of
+// every function marked //sbvet:hotpath, it reports the allocation and
+// boxing constructs that would invalidate the paper's per-epoch
+// overhead argument — composite literals of slice/map type and
+// heap-escaping &T{} literals, make/new/append, closures, interface
+// boxing at call sites, variadic argument slices, allocating string
+// operations, calls into known-allocating stdlib functions, map
+// iteration, and defer inside loops. Each finding is suppressible with
+// //sbvet:allow hotpath(reason) at its line.
+func Hotpath() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc:  "flag allocation and boxing reachable from //sbvet:hotpath roots",
+		RunModule: func(mp *ModulePass) {
+			roots := mp.HotRoots()
+			if len(roots) == 0 {
+				return
+			}
+			reach, via := mp.Graph.Reachable(roots)
+			for _, n := range reach {
+				checkHotFunc(mp, n, via[n])
+			}
+		},
+	}
+}
+
+// checkHotFunc runs every hot-path check over one reachable function's
+// own body (nested literals are separate graph nodes and get their own
+// visit).
+func checkHotFunc(mp *ModulePass, n, root *FuncNode) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	suffix := ""
+	if root != n {
+		suffix = " [hot via " + root.Name() + "]"
+	}
+	report := func(at token.Pos, format string, args ...any) {
+		mp.Reportf(n.Pkg, at, format+"%s", append(args, suffix)...)
+	}
+	info := n.Pkg.Info
+
+	// Loop body spans, for the defer-in-loop check: a defer whose
+	// position falls inside any loop body runs its allocation and its
+	// deferred call once per iteration.
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	var defers []token.Pos
+
+	inspectOwn(body, func(node ast.Node) {
+		switch e := node.(type) {
+		case *ast.CompositeLit:
+			switch info.TypeOf(e).Underlying().(type) {
+			case *types.Slice:
+				report(e.Pos(), "slice literal allocates per evaluation; use an array or a reused buffer")
+			case *types.Map:
+				report(e.Pos(), "map literal allocates per evaluation; hoist it out of the hot path")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					report(e.Pos(), "&composite literal escapes to the heap; reuse a preallocated value")
+				}
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && !isConstExpr(info, e) && isStringType(info.TypeOf(e)) {
+				report(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(report, info, e)
+		case *ast.FuncLit:
+			report(e.Pos(), "closure allocates; hoist it or restructure into an explicit branch")
+		case *ast.RangeStmt:
+			if isMap(info.TypeOf(e.X)) {
+				report(e.Pos(), "map iteration in hot path; keep a slice of keys or values instead")
+			}
+			loops = append(loops, span{e.Body.Pos(), e.Body.End()})
+		case *ast.ForStmt:
+			loops = append(loops, span{e.Body.Pos(), e.Body.End()})
+		case *ast.DeferStmt:
+			defers = append(defers, e.Pos())
+		}
+	})
+	for _, d := range defers {
+		for _, l := range loops {
+			if d >= l.lo && d < l.hi {
+				report(d, "defer inside a loop allocates and runs once per iteration; move it out")
+				break
+			}
+		}
+	}
+}
+
+// checkHotCall applies the call-site checks: allocating builtins,
+// allocating conversions, the known-allocating stdlib table, interface
+// boxing of arguments, and the variadic argument slice.
+func checkHotCall(report func(token.Pos, string, ...any), info *types.Info, call *ast.CallExpr) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates; reuse a buffer across epochs")
+			case "new":
+				report(call.Pos(), "new allocates; reuse a preallocated value")
+			case "append":
+				report(call.Pos(), "append may grow its backing array; pre-size or reuse the buffer")
+			}
+			return
+		}
+	}
+	// Conversions: string<->[]byte/[]rune copy their data.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type.Underlying()
+		src := info.TypeOf(call.Args[0])
+		if src != nil {
+			switch d := dst.(type) {
+			case *types.Basic:
+				if d.Info()&types.IsString != 0 {
+					if _, ok := src.Underlying().(*types.Slice); ok {
+						report(call.Pos(), "conversion to string copies the bytes")
+					}
+				}
+			case *types.Slice:
+				if b, ok := src.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					report(call.Pos(), "conversion from string copies the bytes")
+				}
+			}
+		}
+		return
+	}
+	// Known-allocating stdlib calls: one focused report subsumes the
+	// boxing/variadic findings the same call would also trigger.
+	if callee := calleeFunc(info, call); callee != nil && callee.Pkg() != nil {
+		if why, ok := knownAllocFuncs[qualifiedFuncName(callee)]; ok {
+			report(call.Pos(), "calls %s, which %s", qualifiedFuncName(callee), why)
+			return
+		}
+	}
+	sig, ok := typeUnderlying(info.TypeOf(call.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	np := params.Len()
+	for i, arg := range call.Args {
+		if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+			break // spread form passes the slice through unboxed
+		}
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			pt = params.At(np - 1).Type().Underlying().(*types.Slice).Elem()
+		case i < np:
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		report(arg.Pos(), "argument boxes a %s into an interface parameter", at.String())
+	}
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= np {
+		report(call.Pos(), "variadic call allocates its argument slice; spread a reused buffer instead")
+	}
+}
+
+// calleeFunc resolves a call's statically known callee, or nil for
+// calls through plain func values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// pointerShaped reports whether boxing a value of type t into an
+// interface needs no heap allocation: pointers, channels, maps,
+// functions, unsafe pointers, and zero-size values ride directly in the
+// interface word.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 0
+	case *types.Array:
+		return u.Len() == 0
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func typeUnderlying(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runHotpathFixture analyzes one fixture directory with the hotpath
+// analyzer through the full module-tier driver (so transitively loaded
+// fixture sub-packages are covered) and returns the diagnostics with
+// paths rewritten to the golden convention (src/<name>/...).
+func runHotpathFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	diags, err := Run(".", []string{filepath.Join("testdata", "src", name)}, []*Analyzer{Hotpath()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range diags {
+		diags[i].File = strings.TrimPrefix(diags[i].File, "internal/analysis/testdata/")
+	}
+	return diags
+}
+
+// TestHotpathGolden pins the analyzer's exact output over the fixture
+// corpus: positives in the root, in interface-dispatched implementers,
+// across the package boundary, and in the annotated closure; negatives
+// (unreachable functions, the justified suppression) by absence.
+func TestHotpathGolden(t *testing.T) {
+	diags := runHotpathFixture(t, "hotpath")
+	if len(diags) == 0 {
+		t.Fatal("hotpath fixture produced no diagnostics")
+	}
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	got := sb.String()
+	golden := filepath.Join("testdata", "golden", "hotpath.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics diverge from %s\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestHotpathNegatives spells out the absence cases the golden file
+// encodes implicitly, so a regression points at the broken property.
+func TestHotpathNegatives(t *testing.T) {
+	diags := runHotpathFixture(t, "hotpath")
+	for _, d := range diags {
+		if strings.Contains(d.Message, "suppression") {
+			t.Errorf("suppressed finding leaked: %s", d)
+		}
+		// The only map literals in the corpus live in unreachable
+		// functions (hot.go Unreached's slice sibling aside, sub.go
+		// ColdHelper) — any map-literal report in sub.go means a cold
+		// function was checked.
+		if d.File == "src/hotpath/sub/sub.go" && strings.Contains(d.Message, "map literal") {
+			t.Errorf("cold cross-package function was checked: %s", d)
+		}
+	}
+}
+
+// TestHotpathCrossPackageAttribution checks that a finding in the sub
+// package names the root that made it hot.
+func TestHotpathCrossPackageAttribution(t *testing.T) {
+	diags := runHotpathFixture(t, "hotpath")
+	var sawSub bool
+	for _, d := range diags {
+		if d.File == "src/hotpath/sub/sub.go" {
+			sawSub = true
+			if !strings.Contains(d.Message, "hotpath.Tick") {
+				t.Errorf("cross-package finding lost its root attribution: %s", d)
+			}
+		}
+	}
+	if !sawSub {
+		t.Error("no findings propagated into the sub package")
+	}
+}
+
+// TestHotpathClosureRoot checks that an annotated function literal is a
+// root of its own: the append inside MakeObserver's returned closure
+// must be reported even though MakeObserver itself is cold.
+func TestHotpathClosureRoot(t *testing.T) {
+	diags := runHotpathFixture(t, "hotpath")
+	var saw bool
+	for _, d := range diags {
+		if d.File == "src/hotpath/hot.go" && strings.Contains(d.Message, "append") && d.Line >= 66 && d.Line <= 70 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("append inside the annotated closure root was not reported")
+	}
+}
+
+// TestEmptyReasonReportedOnce is the regression test for the
+// malformed-annotation edge case: an //sbvet:allow hotpath() with an
+// empty reason covering a line that carries two hotpath diagnostics is
+// itself reported exactly once, while both underlying diagnostics still
+// fire (a malformed annotation must never suppress).
+func TestEmptyReasonReportedOnce(t *testing.T) {
+	diags := runHotpathFixture(t, "allowdup")
+	var emptyReason, onLine int
+	for _, d := range diags {
+		if d.Analyzer == "sbvet" && strings.Contains(d.Message, "empty reason") {
+			emptyReason++
+		}
+		if d.Analyzer == "hotpath" && d.File == "src/allowdup/a.go" && d.Line == 11 {
+			onLine++
+		}
+	}
+	if emptyReason != 1 {
+		t.Errorf("empty-reason annotation reported %d times, want exactly 1", emptyReason)
+	}
+	if onLine != 2 {
+		t.Errorf("got %d hotpath diagnostics on the annotated line, want 2 (append and make must not be suppressed)", onLine)
+	}
+}
+
+// TestDanglingHotpathDirective checks that a //sbvet:hotpath mark that
+// attaches to no function is reported rather than silently dropped.
+func TestDanglingHotpathDirective(t *testing.T) {
+	// The fixture must live inside the module for the loader to accept
+	// it, so build it under testdata and clean up.
+	dir := filepath.Join("testdata", "src", "dangling")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	src := "package dangling\n\n//sbvet:hotpath\n\nvar X = 1\n"
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(".", []string{dir}, []*Analyzer{Hotpath()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saw bool
+	for _, d := range diags {
+		if strings.Contains(d.Message, "marks no function") {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Errorf("dangling //sbvet:hotpath directive was not reported; got %v", diags)
+	}
+}

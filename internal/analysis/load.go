@@ -10,6 +10,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -160,6 +161,21 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	p := &Package{Dir: dir, Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = p
 	return p, nil
+}
+
+// Packages returns every module package loaded so far — requested or
+// pulled in as a dependency — sorted by import path.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, p := range paths {
+		out[i] = l.pkgs[p]
+	}
+	return out
 }
 
 // Import implements types.Importer: module-internal paths are resolved

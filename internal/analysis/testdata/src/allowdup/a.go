@@ -1,0 +1,13 @@
+// Package allowdup is the regression fixture for empty-reason allow
+// annotations: the annotation on the allocation line is malformed
+// (empty reason), so it must be reported exactly once while the two
+// diagnostics it would have suppressed still fire.
+package allowdup
+
+// Root ticks.
+//
+//sbvet:hotpath
+func Root(n int) []int {
+	xs := append(make([]int, 0, n), n) //sbvet:allow hotpath()
+	return xs
+}

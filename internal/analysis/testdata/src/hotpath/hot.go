@@ -1,0 +1,103 @@
+// Package hotpath is the fixture corpus for the hotpath analyzer and
+// the call-graph builder: roots marked //sbvet:hotpath, violations in
+// the root itself, in interface-dispatched implementations, in a
+// cross-package callee (sub), and in an annotated closure — plus
+// functions that are deliberately unreachable and must stay silent.
+package hotpath
+
+import (
+	"fmt"
+
+	"smartbalance/internal/analysis/testdata/src/hotpath/sub"
+)
+
+// Stepper is dispatched through an interface inside Tick, so every
+// module implementation of Step is conservatively hot.
+type Stepper interface {
+	Step(n int) int
+}
+
+// Tick is the epoch root.
+//
+//sbvet:hotpath
+func Tick(s Stepper, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += s.Step(x)
+	}
+	buf := make([]int, 8)
+	buf = append(buf, total)
+	scratch := make([]int, 4) //sbvet:allow hotpath(fixture: demonstrates a justified suppression)
+	_ = scratch
+	msg := fmt.Sprintf("t=%d", total)
+	bs := []byte(msg)
+	_ = string(bs)
+	p := new(int)
+	_ = p
+	f := func() int { return total }
+	_ = f()
+	box(total)
+	_ = vara(1, 2)
+	return sub.Helper(total) + len(buf)
+}
+
+// Even and Odd are mutually recursive and clean; the graph walk must
+// terminate and reach both.
+//
+//sbvet:hotpath
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// MakeObserver builds a hot callback on a cold path: the literal, not
+// the builder, is the root.
+func MakeObserver(sink []int) func(int) []int {
+	//sbvet:hotpath
+	return func(n int) []int {
+		sink = append(sink, n)
+		return sink
+	}
+}
+
+// Fast is a clean Step implementation: hot via dispatch, no findings.
+type Fast struct{ scale int }
+
+func (f Fast) Step(n int) int { return n * f.scale }
+
+// Slow allocates on every step.
+type Slow struct{}
+
+func (Slow) Step(n int) int {
+	m := map[int]int{1: n}
+	out := 0
+	for _, v := range m {
+		out += v
+	}
+	return out
+}
+
+// methodValueUser exercises the method-value reference edge; it is not
+// reachable from any root, so its body is never checked.
+func methodValueUser() func(int) int {
+	f := Fast{scale: 2}
+	return f.Step
+}
+
+func box(v any) { _ = v }
+
+func vara(xs ...int) int { return len(xs) }
+
+// Unreached allocates freely but is outside every root's call graph.
+func Unreached() []int {
+	return []int{1, 2, 3}
+}

@@ -1,0 +1,36 @@
+// Package sub is the cross-package half of the hotpath fixture: it is
+// only hot because the root package calls into it, so every finding
+// here proves facts propagate through the module call graph.
+package sub
+
+type point struct{ x int }
+
+// Helper is reached from hotpath.Tick.
+func Helper(n int) int {
+	xs := []int{n, n + 1}
+	p := &point{x: n}
+	defer release(p)
+	for i := 0; i < n; i++ {
+		defer release(p)
+	}
+	s := "a"
+	s = s + suffix(n)
+	_ = s
+	return xs[0] + chain(n)
+}
+
+// chain keeps one more hop in the graph so attribution survives depth.
+func chain(n int) int {
+	m := make(map[int]int, 1)
+	m[n] = n
+	return m[n]
+}
+
+func release(*point) {}
+
+func suffix(int) string { return "!" }
+
+// ColdHelper is never called from a root and must stay silent.
+func ColdHelper() map[int]int {
+	return map[int]int{1: 2}
+}

@@ -42,10 +42,10 @@ func NewGTS(p *arch.Platform) (*GTS, error) {
 // bind classifies the platform's cores into big and little clusters.
 func (g *GTS) bind(p *arch.Platform) error {
 	if p.NumTypes() != 2 {
-		return fmt.Errorf("balancer: GTS requires exactly 2 core types, platform has %d", p.NumTypes())
+		return fmt.Errorf("balancer: GTS requires exactly 2 core types, platform has %d", p.NumTypes()) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	}
 	if g.UpThreshold <= g.DownThreshold || g.UpThreshold > 1 || g.DownThreshold < 0 {
-		return errors.New("balancer: GTS thresholds must satisfy 0 <= down < up <= 1")
+		return errors.New("balancer: GTS thresholds must satisfy 0 <= down < up <= 1") //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	}
 	bigType := arch.CoreTypeID(0)
 	if p.Types[1].PeakIPC*p.Types[1].FreqMHz > p.Types[0].PeakIPC*p.Types[0].FreqMHz {
@@ -53,13 +53,13 @@ func (g *GTS) bind(p *arch.Platform) error {
 	}
 	for _, c := range p.Cores {
 		if c.Type == bigType {
-			g.big = append(g.big, c.ID)
+			g.big = append(g.big, c.ID) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 		} else {
-			g.little = append(g.little, c.ID)
+			g.little = append(g.little, c.ID) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 		}
 	}
 	if len(g.big) == 0 || len(g.little) == 0 {
-		return errors.New("balancer: GTS needs at least one core of each class")
+		return errors.New("balancer: GTS needs at least one core of each class") //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	}
 	g.initialized = true
 	return nil
@@ -75,7 +75,7 @@ func (g *GTS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEp
 			return
 		}
 	}
-	isBig := make(map[arch.CoreID]bool, len(g.big))
+	isBig := make(map[arch.CoreID]bool, len(g.big)) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	for _, c := range g.big {
 		isBig[c] = true
 	}
@@ -93,16 +93,17 @@ func (g *GTS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEp
 		onBig := isBig[t.Core()]
 		switch {
 		case u >= g.UpThreshold:
-			plan = append(plan, placement{t, true})
+			plan = append(plan, placement{t, true}) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 		case u <= g.DownThreshold:
-			plan = append(plan, placement{t, false})
+			plan = append(plan, placement{t, false}) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 		default:
-			plan = append(plan, placement{t, onBig}) // hysteresis: stay
+			// hysteresis: stay
+			plan = append(plan, placement{t, onBig}) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 		}
 	}
 	// Stable placement: sort by descending tracked load so heavy tasks
 	// claim their class first, then least-loaded fill.
-	sort.SliceStable(plan, func(i, j int) bool {
+	sort.SliceStable(plan, func(i, j int) bool { //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 		return plan[i].t.TrackedLoad() > plan[j].t.TrackedLoad()
 	})
 	// Per-class quotas keep clusters internally balanced (stock CFS does
@@ -117,8 +118,8 @@ func (g *GTS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEp
 	}
 	quotaBig := ceilDiv(nBig, len(g.big))
 	quotaLittle := ceilDiv(nLittle, len(g.little))
-	count := make(map[arch.CoreID]int, k.NumCores())
-	pick := func(cluster []arch.CoreID) arch.CoreID {
+	count := make(map[arch.CoreID]int, k.NumCores())  //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
+	pick := func(cluster []arch.CoreID) arch.CoreID { //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 		best := cluster[0]
 		for _, c := range cluster[1:] {
 			if count[c] < count[best] {

@@ -57,23 +57,23 @@ func (i *IKS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEp
 		return
 	}
 	// Map each physical core to its virtual pair.
-	pairOf := make(map[arch.CoreID]int, 2*len(i.pairs))
+	pairOf := make(map[arch.CoreID]int, 2*len(i.pairs)) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	for pi, pr := range i.pairs {
 		pairOf[pr[0]] = pi
 		pairOf[pr[1]] = pi
 	}
 	// Aggregate utilisation per virtual core, and collect its tasks.
-	util := make([]float64, len(i.pairs))
-	tasks := make([][]*kernel.Task, len(i.pairs))
+	util := make([]float64, len(i.pairs))         //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
+	tasks := make([][]*kernel.Task, len(i.pairs)) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	var unassigned []*kernel.Task
 	for _, t := range k.ActiveTasks() {
 		pi, ok := pairOf[t.Core()]
 		if !ok {
-			unassigned = append(unassigned, t)
+			unassigned = append(unassigned, t) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 			continue
 		}
 		util[pi] += t.TrackedLoad()
-		tasks[pi] = append(tasks[pi], t)
+		tasks[pi] = append(tasks[pi], t) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	}
 	// Switch each pair's active side with hysteresis.
 	for pi := range i.pairs {
@@ -108,7 +108,7 @@ func (i *IKS) spread(k *kernel.Kernel, strays []*kernel.Task) {
 	if len(strays) == 0 {
 		return
 	}
-	sort.SliceStable(strays, func(a, b int) bool { return strays[a].ID < strays[b].ID })
+	sort.SliceStable(strays, func(a, b int) bool { return strays[a].ID < strays[b].ID }) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	for n, t := range strays {
 		_ = k.Migrate(t.ID, i.activeCore(n%len(i.pairs)))
 	}

@@ -36,12 +36,12 @@ func (Vanilla) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadE
 		return
 	}
 	// Collect movable (runnable, not currently running) tasks per core.
-	byCore := make([][]*kernel.Task, n)
-	load := make([]int64, n)
+	byCore := make([][]*kernel.Task, n) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
+	load := make([]int64, n)            //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 	for _, t := range k.ActiveTasks() {
 		switch t.State() {
 		case kernel.StateRunnable:
-			byCore[t.Core()] = append(byCore[t.Core()], t)
+			byCore[t.Core()] = append(byCore[t.Core()], t) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 			load[t.Core()] += t.Weight()
 		case kernel.StateRunning:
 			load[t.Core()] += t.Weight()
@@ -63,7 +63,7 @@ func (Vanilla) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadE
 		}
 		// Pick the lightest queued task whose move shrinks the gap.
 		cands := byCore[busiest]
-		sort.Slice(cands, func(i, j int) bool { return cands[i].Weight() < cands[j].Weight() })
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Weight() < cands[j].Weight() }) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 		moved := false
 		for i, t := range cands {
 			w := t.Weight()
@@ -73,8 +73,8 @@ func (Vanilla) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadE
 			if err := k.Migrate(t.ID, arch.CoreID(idlest)); err == nil {
 				load[busiest] -= w
 				load[idlest] += w
-				byCore[busiest] = append(cands[:i], cands[i+1:]...)
-				byCore[idlest] = append(byCore[idlest], t)
+				byCore[busiest] = append(cands[:i], cands[i+1:]...) //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
+				byCore[idlest] = append(byCore[idlest], t)          //sbvet:allow hotpath(comparison-baseline balancer (Section 6 ablation), outside the SmartBalance zero-alloc contract)
 				moved = true
 			}
 			break

@@ -45,21 +45,32 @@ func DefaultAnnealConfig() AnnealConfig {
 	}
 }
 
+// Validation sentinels, predeclared so the per-epoch Validate call
+// constructs nothing (hot-path purity contract).
+var (
+	errAnnealMaxIter      = errors.New("core: anneal MaxIter < 1")
+	errAnnealPerturb      = errors.New("core: anneal Perturb outside (0,1]")
+	errAnnealDeltaPerturb = errors.New("core: anneal DeltaPerturb outside (0,1]")
+	errAnnealAccept       = errors.New("core: anneal Accept must be positive")
+	errAnnealDeltaAccept  = errors.New("core: anneal DeltaAccept outside (0,1]")
+	errAnnealSwapFraction = errors.New("core: anneal SwapFraction outside [0,1]")
+)
+
 // Validate checks parameter domains.
 func (c *AnnealConfig) Validate() error {
 	switch {
 	case c.MaxIter < 1:
-		return errors.New("core: anneal MaxIter < 1")
+		return errAnnealMaxIter
 	case c.Perturb <= 0 || c.Perturb > 1:
-		return errors.New("core: anneal Perturb outside (0,1]")
+		return errAnnealPerturb
 	case c.DeltaPerturb <= 0 || c.DeltaPerturb > 1:
-		return errors.New("core: anneal DeltaPerturb outside (0,1]")
+		return errAnnealDeltaPerturb
 	case c.Accept <= 0:
-		return errors.New("core: anneal Accept must be positive")
+		return errAnnealAccept
 	case c.DeltaAccept <= 0 || c.DeltaAccept > 1:
-		return errors.New("core: anneal DeltaAccept outside (0,1]")
+		return errAnnealDeltaAccept
 	case c.SwapFraction < 0 || c.SwapFraction > 1:
-		return errors.New("core: anneal SwapFraction outside [0,1]")
+		return errAnnealSwapFraction
 	}
 	return nil
 }
@@ -73,6 +84,18 @@ type AnnealResult struct {
 	Accepted   int
 }
 
+// Annealer is a reusable Algorithm 1 runner: it owns the incremental
+// evaluator, the best-allocation buffer, the result record, and the
+// deterministic generator, all of which are reused across Run calls so
+// a controller invoking it once per epoch allocates nothing in steady
+// state (DESIGN.md §11).
+type Annealer struct {
+	eval Evaluator
+	best Allocation
+	res  AnnealResult
+	r    rng.Rand
+}
+
 // Anneal runs Algorithm 1: simulated annealing over allocations with
 // the incremental objective evaluator, a perturbation magnitude that
 // shrinks the move neighbourhood as the schedule cools, and the
@@ -81,17 +104,37 @@ type AnnealResult struct {
 //	probability = e^(-diff/accept); accept if randi() mod 1/probability == 0
 //
 // using the custom fixed-point rand and e^x implementations.
+//
+// This convenience form allocates a fresh Annealer and copies the
+// winning allocation out; per-epoch callers hold an Annealer and use
+// Run directly.
 func Anneal(prob *Problem, initial Allocation, cfg AnnealConfig) (*AnnealResult, error) {
+	var a Annealer
+	res, err := a.Run(prob, initial, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := *res
+	out.Allocation = res.Allocation.Clone()
+	return &out, nil
+}
+
+// Run executes Algorithm 1 over the annealer's reused state. The
+// returned result — including its Allocation — aliases annealer-owned
+// buffers and stays valid only until the next Run call; callers that
+// retain it across epochs must Clone the allocation.
+func (a *Annealer) Run(prob *Problem, initial Allocation, cfg AnnealConfig) (*AnnealResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eval, err := NewEvaluator(prob, initial)
-	if err != nil {
+	eval := &a.eval
+	if err := eval.Reset(prob, initial); err != nil {
 		return nil, err
 	}
 	m := prob.NumThreads()
 	n := prob.NumCores()
-	r := rng.New(cfg.Seed)
+	a.r.Reseed(cfg.Seed)
+	r := &a.r
 
 	// The acceptance temperature is scaled to the objective magnitude so
 	// one parameter set works across problem sizes.
@@ -102,9 +145,11 @@ func Anneal(prob *Problem, initial Allocation, cfg AnnealConfig) (*AnnealResult,
 	accept := cfg.Accept * scale
 	perturb := cfg.Perturb
 
-	best := eval.Allocation()
+	a.best = growAlloc(a.best, len(eval.alloc))
+	copy(a.best, eval.alloc)
 	bestScore := eval.Objective()
-	res := &AnnealResult{}
+	a.res = AnnealResult{}
+	res := &a.res
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		res.Iterations++
@@ -115,8 +160,12 @@ func Anneal(prob *Problem, initial Allocation, cfg AnnealConfig) (*AnnealResult,
 		if span > n {
 			span = n
 		}
+		// The candidate move is carried in plain locals and applied in an
+		// explicit branch — a closure here would allocate every iteration.
 		var diff float64
-		var apply func() float64
+		isSwap := false
+		var mvI, mvJ int
+		var mvDst arch.CoreID
 		if m >= 2 && r.Float64() < cfg.SwapFraction {
 			i := r.Intn(m)
 			j := r.Intn(m)
@@ -130,8 +179,7 @@ func Anneal(prob *Problem, initial Allocation, cfg AnnealConfig) (*AnnealResult,
 				continue
 			}
 			diff = eval.SwapDelta(i, j)
-			i2, j2 := i, j
-			apply = func() float64 { return eval.Swap(i2, j2) }
+			isSwap, mvI, mvJ = true, i, j
 		} else {
 			i := r.Intn(m)
 			cur := int(eval.alloc[i])
@@ -157,9 +205,8 @@ func Anneal(prob *Problem, initial Allocation, cfg AnnealConfig) (*AnnealResult,
 					continue
 				}
 			}
-			i2, d2 := i, arch.CoreID(dst)
 			diff = eval.MoveDelta(i, arch.CoreID(dst))
-			apply = func() float64 { return eval.Move(i2, d2) }
+			mvI, mvDst = i, arch.CoreID(dst)
 		}
 
 		take := false
@@ -173,17 +220,21 @@ func Anneal(prob *Problem, initial Allocation, cfg AnnealConfig) (*AnnealResult,
 			}
 		}
 		if take {
-			apply()
+			if isSwap {
+				eval.Swap(mvI, mvJ)
+			} else {
+				eval.Move(mvI, mvDst)
+			}
 			res.Accepted++
 			if s := eval.Objective(); s > bestScore {
 				bestScore = s
-				best = eval.Allocation()
+				copy(a.best, eval.alloc)
 			}
 		}
 		perturb *= cfg.DeltaPerturb
 		accept *= cfg.DeltaAccept
 	}
-	res.Allocation = best
+	res.Allocation = a.best
 	res.Objective = bestScore
 	return res, nil
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"smartbalance/internal/arch"
 )
@@ -92,50 +91,63 @@ func (p *Problem) NumThreads() int { return len(p.IPS) }
 // NumCores returns n.
 func (p *Problem) NumCores() int { return len(p.IdlePower) }
 
+// Validation sentinels. Predeclared so the per-epoch Validate call
+// constructs nothing on its accepting path (hot-path purity contract);
+// the shaped fmt.Errorf diagnostics below fire only on rejected input.
+var (
+	errNoThreads    = errors.New("core: problem with no threads")
+	errNoCores      = errors.New("core: problem with no cores")
+	errRowCounts    = errors.New("core: matrix row counts disagree")
+	errWeightWidth  = errors.New("core: weight vector width != cores")
+	errAffinityRows = errors.New("core: affinity matrix row count != threads")
+	errAllocLen     = errors.New("core: allocation length != thread count")
+	errAllocCore    = errors.New("core: allocation addresses invalid core")
+)
+
 // Validate checks the problem's shape and value domains.
 func (p *Problem) Validate() error {
 	m := len(p.IPS)
 	if m == 0 {
-		return errors.New("core: problem with no threads")
+		return errNoThreads
 	}
 	n := len(p.IdlePower)
 	if n == 0 {
-		return errors.New("core: problem with no cores")
+		return errNoCores
 	}
 	if len(p.Power) != m || len(p.Util) != m {
-		return errors.New("core: matrix row counts disagree")
+		return errRowCounts
 	}
 	for i := 0; i < m; i++ {
 		if len(p.IPS[i]) != n || len(p.Power[i]) != n {
-			return fmt.Errorf("core: thread %d row width != %d cores", i, n)
+			return fmt.Errorf("core: thread %d row width != %d cores", i, n) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 		}
 		if p.Util[i] < 0 || p.Util[i] > 1 {
-			return fmt.Errorf("core: thread %d utilisation %g outside [0,1]", i, p.Util[i])
+			return fmt.Errorf("core: thread %d utilisation %g outside [0,1]", i, p.Util[i]) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 		}
 		for j := 0; j < n; j++ {
 			if p.IPS[i][j] < 0 || p.Power[i][j] < 0 {
-				return fmt.Errorf("core: negative entry at (%d,%d)", i, j)
+				return fmt.Errorf("core: negative entry at (%d,%d)", i, j) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 			}
 		}
 	}
 	if p.Weights != nil && len(p.Weights) != n {
-		return errors.New("core: weight vector width != cores")
+		return errWeightWidth
 	}
 	for j := range p.IdlePower {
 		if p.IdlePower[j] < 0 {
-			return fmt.Errorf("core: negative idle power on core %d", j)
+			return fmt.Errorf("core: negative idle power on core %d", j) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 		}
 	}
 	if p.Allowed != nil {
 		if len(p.Allowed) != m {
-			return errors.New("core: affinity matrix row count != threads")
+			return errAffinityRows
 		}
 		for i, row := range p.Allowed {
 			if row == nil {
 				continue
 			}
 			if len(row) != n {
-				return fmt.Errorf("core: thread %d affinity row width != cores", i)
+				return fmt.Errorf("core: thread %d affinity row width != cores", i) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 			}
 			any := false
 			for _, ok := range row {
@@ -145,7 +157,7 @@ func (p *Problem) Validate() error {
 				}
 			}
 			if !any {
-				return fmt.Errorf("core: thread %d has an empty affinity set", i)
+				return fmt.Errorf("core: thread %d has an empty affinity set", i) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 			}
 		}
 	}
@@ -165,7 +177,7 @@ type Allocation []arch.CoreID
 
 // Clone returns a copy.
 func (a Allocation) Clone() Allocation {
-	out := make(Allocation, len(a))
+	out := make(Allocation, len(a)) //sbvet:allow hotpath(ownership-transferring copy; reached in-epoch only through the oracle ablation balancer, outside the zero-alloc contract)
 	copy(out, a)
 	return out
 }
@@ -184,20 +196,38 @@ func (a Allocation) Valid(n int) bool {
 // thread's share of core time under CFS time-sharing: fair water-
 // filling of one core-second per second among threads capped by their
 // utilisation demand. utils must be the demands of the threads on this
-// core; the return value is aligned with it.
+// core; the return value is aligned with it. Allocating convenience
+// form; the evaluator's hot path uses coreShareInto with owned scratch.
 func coreShare(utils []float64) []float64 {
+	shares := make([]float64, len(utils))
+	coreShareInto(shares, utils, make([]int, len(utils)))
+	return shares
+}
+
+// coreShareInto computes the fair shares into shares (len(utils)),
+// using idx (len(utils)) as index-sort scratch. The index sort is an
+// insertion sort: per-core thread counts are small (tens at most),
+// where it beats sort.Slice anyway — and unlike sort.Slice it costs no
+// closure and no interface boxing on the epoch path.
+func coreShareInto(shares, utils []float64, idx []int) {
 	n := len(utils)
-	shares := make([]float64, n)
 	if n == 0 {
-		return shares
+		return
 	}
 	// Sort indices by demand ascending; threads below the fair share
 	// take their demand, releasing capacity to the rest.
-	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return utils[idx[a]] < utils[idx[b]] })
+	for i := 1; i < n; i++ {
+		k := idx[i]
+		j := i - 1
+		for j >= 0 && utils[idx[j]] > utils[k] {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = k
+	}
 	capacity := 1.0
 	remaining := n
 	for _, i := range idx {
@@ -210,24 +240,27 @@ func coreShare(utils []float64) []float64 {
 		capacity -= s
 		remaining--
 	}
-	return shares
 }
 
 // coreEval computes one core's expected throughput (weighted, in GIPS)
-// and power (W) for the threads mapped to it. An empty core draws its
-// quiescent idle power and produces nothing.
-func (p *Problem) coreEval(j int, threads []int) (gips, power float64) {
+// and power (W) for the threads mapped to it, using the evaluator's
+// scratch buffers. An empty core draws its quiescent idle power and
+// produces nothing.
+func (e *Evaluator) coreEval(j int, threads []int) (gips, power float64) {
+	p := e.prob
 	if len(threads) == 0 {
 		return 0, p.IdlePower[j]
 	}
-	utils := make([]float64, len(threads))
+	e.utilScratch = growFloats(e.utilScratch, len(threads))
+	e.shareScratch = growFloats(e.shareScratch, len(threads))
+	e.idxScratch = growInts(e.idxScratch, len(threads))
 	for k, i := range threads {
-		utils[k] = p.Util[i]
+		e.utilScratch[k] = p.Util[i]
 	}
-	shares := coreShare(utils)
+	coreShareInto(e.shareScratch, e.utilScratch, e.idxScratch)
 	var ips, busy float64
 	for k, i := range threads {
-		s := shares[k]
+		s := e.shareScratch[k]
 		ips += s * p.IPS[i][j]
 		power += s * p.Power[i][j]
 		busy += s
@@ -251,32 +284,60 @@ type Evaluator struct {
 	sumGIPS       float64
 	sumPow        float64
 	ratioSum      float64 // Σ ω_j IPS_j/P_j for PerCoreRatioSum mode
+
+	// Scratch reused across Reset calls and delta previews, so a
+	// controller-owned evaluator allocates nothing in steady state
+	// (DESIGN.md §11). utilScratch/shareScratch/idxScratch back
+	// coreEval; previewA/previewB hold hypothetical core member lists
+	// during MoveDelta/SwapDelta.
+	utilScratch  []float64
+	shareScratch []float64
+	idxScratch   []int
+	previewA     []int
+	previewB     []int
 }
 
 // NewEvaluator builds an evaluator for the initial allocation.
 func NewEvaluator(prob *Problem, initial Allocation) (*Evaluator, error) {
-	if err := prob.Validate(); err != nil {
+	e := &Evaluator{}
+	if err := e.Reset(prob, initial); err != nil {
 		return nil, err
 	}
+	return e, nil
+}
+
+// Reset re-targets the evaluator at a (possibly different) problem and
+// initial allocation, reusing every internal buffer whose capacity
+// suffices. A controller that owns one Evaluator and Resets it per
+// epoch therefore stops paying the construction allocations after the
+// first few epochs.
+func (e *Evaluator) Reset(prob *Problem, initial Allocation) error {
+	if err := prob.Validate(); err != nil {
+		return err
+	}
 	if len(initial) != prob.NumThreads() {
-		return nil, errors.New("core: allocation length != thread count")
+		return errAllocLen
 	}
 	if !initial.Valid(prob.NumCores()) {
-		return nil, errors.New("core: allocation addresses invalid core")
+		return errAllocCore
 	}
-	e := &Evaluator{
-		prob:          prob,
-		alloc:         initial.Clone(),
-		byCore:        make([][]int, prob.NumCores()),
-		coreGIPS:      make([]float64, prob.NumCores()),
-		corePow:       make([]float64, prob.NumCores()),
-		prevPopulated: make([]bool, prob.NumCores()),
+	n := prob.NumCores()
+	e.prob = prob
+	e.alloc = growAlloc(e.alloc, len(initial))
+	copy(e.alloc, initial)
+	e.byCore = growIntRows(e.byCore, n)
+	for j := range e.byCore {
+		e.byCore[j] = e.byCore[j][:0]
 	}
+	e.coreGIPS = growFloats(e.coreGIPS, n)
+	e.corePow = growFloats(e.corePow, n)
+	e.prevPopulated = growBools(e.prevPopulated, n)
+	e.sumGIPS, e.sumPow, e.ratioSum = 0, 0, 0
 	for i, c := range e.alloc {
-		e.byCore[c] = append(e.byCore[c], i)
+		e.byCore[c] = append(e.byCore[c], i) //sbvet:allow hotpath(per-core member rows keep their high-water capacity across Resets)
 	}
 	for j := range e.coreGIPS {
-		g, w := prob.coreEval(j, e.byCore[j])
+		g, w := e.coreEval(j, e.byCore[j])
 		e.coreGIPS[j] = g
 		e.corePow[j] = w
 		e.sumGIPS += g
@@ -284,7 +345,7 @@ func NewEvaluator(prob *Problem, initial Allocation) (*Evaluator, error) {
 		e.prevPopulated[j] = len(e.byCore[j]) > 0
 		e.ratioSum += ratio(g, w, e.prevPopulated[j])
 	}
-	return e, nil
+	return nil
 }
 
 // ratio is the per-core Eq. (11) term: 0 for an empty core.
@@ -342,11 +403,14 @@ func (e *Evaluator) MoveDelta(i int, dst arch.CoreID) float64 {
 	if src == dst {
 		return 0
 	}
-	newSrc := removeFrom(e.byCore[src], i)
-	newDst := append(append([]int(nil), e.byCore[dst]...), i)
-	ga, wa := e.prob.coreEval(int(src), newSrc)
-	gb, wb := e.prob.coreEval(int(dst), newDst)
-	return e.objectiveWith(int(src), int(dst), ga, wa, len(newSrc) > 0, gb, wb, true) - e.Objective()
+	e.previewA = removeFromInto(e.previewA, e.byCore[src], i)
+	nd := len(e.byCore[dst])
+	e.previewB = growInts(e.previewB, nd+1)
+	copy(e.previewB, e.byCore[dst])
+	e.previewB[nd] = i
+	ga, wa := e.coreEval(int(src), e.previewA)
+	gb, wb := e.coreEval(int(dst), e.previewB)
+	return e.objectiveWith(int(src), int(dst), ga, wa, len(e.previewA) > 0, gb, wb, true) - e.Objective()
 }
 
 // Move applies the move of thread i to core dst, updating caches, and
@@ -357,8 +421,8 @@ func (e *Evaluator) Move(i int, dst arch.CoreID) float64 {
 		return 0
 	}
 	before := e.Objective()
-	e.byCore[src] = removeFrom(e.byCore[src], i)
-	e.byCore[dst] = append(e.byCore[dst], i)
+	e.byCore[src] = removeInPlace(e.byCore[src], i)
+	e.byCore[dst] = append(e.byCore[dst], i) //sbvet:allow hotpath(per-core member rows keep their high-water capacity; growth stops after the first epochs)
 	e.alloc[i] = dst
 	e.recompute(int(src))
 	e.recompute(int(dst))
@@ -372,10 +436,16 @@ func (e *Evaluator) SwapDelta(i, k int) float64 {
 	if ci == ck {
 		return 0
 	}
-	newI := append(removeFrom(e.byCore[ci], i), k)
-	newK := append(removeFrom(e.byCore[ck], k), i)
-	ga, wa := e.prob.coreEval(int(ci), newI)
-	gb, wb := e.prob.coreEval(int(ck), newK)
+	e.previewA = removeFromInto(e.previewA, e.byCore[ci], i)
+	na := len(e.previewA)
+	e.previewA = growInts(e.previewA, na+1)
+	e.previewA[na] = k
+	e.previewB = removeFromInto(e.previewB, e.byCore[ck], k)
+	nb := len(e.previewB)
+	e.previewB = growInts(e.previewB, nb+1)
+	e.previewB[nb] = i
+	ga, wa := e.coreEval(int(ci), e.previewA)
+	gb, wb := e.coreEval(int(ck), e.previewB)
 	return e.objectiveWith(int(ci), int(ck), ga, wa, true, gb, wb, true) - e.Objective()
 }
 
@@ -386,8 +456,8 @@ func (e *Evaluator) Swap(i, k int) float64 {
 		return 0
 	}
 	before := e.Objective()
-	e.byCore[ci] = append(removeFrom(e.byCore[ci], i), k)
-	e.byCore[ck] = append(removeFrom(e.byCore[ck], k), i)
+	e.byCore[ci] = append(removeInPlace(e.byCore[ci], i), k) //sbvet:allow hotpath(the in-place removal freed one slot, so this append never grows)
+	e.byCore[ck] = append(removeInPlace(e.byCore[ck], k), i) //sbvet:allow hotpath(the in-place removal freed one slot, so this append never grows)
 	e.alloc[i], e.alloc[k] = ck, ci
 	e.recompute(int(ci))
 	e.recompute(int(ck))
@@ -400,7 +470,7 @@ func (e *Evaluator) recompute(j int) {
 	e.sumGIPS -= e.coreGIPS[j]
 	e.sumPow -= e.corePow[j]
 	e.ratioSum -= ratio(e.coreGIPS[j], e.corePow[j], e.prevPopulated[j])
-	g, w := e.prob.coreEval(j, e.byCore[j])
+	g, w := e.coreEval(j, e.byCore[j])
 	e.coreGIPS[j] = g
 	e.corePow[j] = w
 	e.sumGIPS += g
@@ -410,17 +480,34 @@ func (e *Evaluator) recompute(j int) {
 	e.prevPopulated[j] = pop
 }
 
-// removeFrom returns s without the first occurrence of v. The input
-// slice is not modified (a fresh slice is returned) so delta previews
-// stay side-effect free.
-func removeFrom(s []int, v int) []int {
-	out := make([]int, 0, len(s))
+// removeFromInto writes s minus the first occurrence of v into dst
+// (reusing dst's backing array) and returns it. The input slice is not
+// modified, so delta previews stay side-effect free.
+func removeFromInto(dst, s []int, v int) []int {
+	dst = growInts(dst, len(s))
+	k := 0
+	removed := false
 	for _, x := range s {
-		if x != v {
-			out = append(out, x)
+		if !removed && x == v {
+			removed = true
+			continue
+		}
+		dst[k] = x
+		k++
+	}
+	return dst[:k]
+}
+
+// removeInPlace deletes the first occurrence of v from s, preserving
+// order, without allocating.
+func removeInPlace(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			copy(s[i:], s[i+1:])
+			return s[:len(s)-1]
 		}
 	}
-	return out
+	return s
 }
 
 // EvaluateAllocation computes J_E of an allocation from scratch; the

@@ -47,7 +47,7 @@ func (o *OracleBalance) Rebalance(k *kernel.Kernel, _ kernel.Time,
 	if err != nil {
 		return
 	}
-	initial := make(Allocation, len(tasks))
+	initial := make(Allocation, len(tasks)) //sbvet:allow hotpath(oracle ablation baseline, outside the SmartBalance zero-alloc contract)
 	for i, t := range tasks {
 		initial[i] = t.Core()
 	}

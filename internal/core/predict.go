@@ -16,6 +16,11 @@ import (
 // the epoch rather than optimise over garbage.
 var ErrNotUsable = errors.New("core: prediction not usable")
 
+// errInvalidMeasurement rejects predictions from measurements whose
+// Valid flag is unset. A sentinel (not fmt.Errorf) so the rejection is
+// allocation-free on the hot predict path.
+var errInvalidMeasurement = errors.New("core: prediction from invalid measurement")
+
 // NumFeatures is the width of the predictor feature vector — the ten
 // columns of the paper's Table 4: FR, mr$i, mr$d, I_msh, I_bsh, mr_b,
 // mr_itlb, mr_dtlb, ipc_src, and a constant.
@@ -28,20 +33,30 @@ func FeatureNames() []string {
 
 // Features assembles the characterisation vector X_ij of Eq. (8) from a
 // measurement on a source core, for prediction onto a destination type
-// with the given frequency ratio FR = F_dst / F_src.
+// with the given frequency ratio FR = F_dst / F_src. The returned slice
+// is freshly allocated; the hot predict path uses featuresInto on a
+// predictor-owned array instead.
 func Features(m *Measurement, freqRatio float64) []float64 {
-	return []float64{
-		freqRatio,
-		m.MissL1I,
-		m.MissL1D,
-		m.MemShare,
-		m.BranchShare,
-		m.Mispredict,
-		m.MissITLB,
-		m.MissDTLB,
-		m.IPC,
-		1,
-	}
+	var x [NumFeatures]float64
+	featuresInto(&x, m, freqRatio)
+	out := make([]float64, NumFeatures)
+	copy(out, x[:])
+	return out
+}
+
+// featuresInto fills dst with the Eq. (8) characterisation vector
+// without allocating.
+func featuresInto(dst *[NumFeatures]float64, m *Measurement, freqRatio float64) {
+	dst[0] = freqRatio
+	dst[1] = m.MissL1I
+	dst[2] = m.MissL1D
+	dst[3] = m.MemShare
+	dst[4] = m.BranchShare
+	dst[5] = m.Mispredict
+	dst[6] = m.MissITLB
+	dst[7] = m.MissDTLB
+	dst[8] = m.IPC
+	dst[9] = 1
 }
 
 // PowerFit is the per-core-type affine performance-power relationship
@@ -140,24 +155,30 @@ func (p *Predictor) Trained() bool {
 // physical range (0, PeakIPC].
 func (p *Predictor) PredictIPC(m *Measurement, dst arch.CoreTypeID) (float64, error) {
 	if !m.Valid {
-		return 0, errors.New("core: prediction from invalid measurement")
+		return 0, errInvalidMeasurement
 	}
 	if dst == m.SrcType {
 		if !isFinite(m.IPC) {
-			return 0, fmt.Errorf("%w: non-finite measured ipc %g", ErrNotUsable, m.IPC)
+			return 0, fmt.Errorf("%w: non-finite measured ipc %g", ErrNotUsable, m.IPC) //sbvet:allow hotpath(degenerate-measurement rejection; formats only when the epoch is being skipped)
 		}
 		return m.IPC, nil
 	}
 	model := p.theta[m.SrcType][dst]
 	if model == nil {
-		return 0, fmt.Errorf("core: no model for %s->%s",
+		return 0, fmt.Errorf("core: no model for %s->%s", //sbvet:allow hotpath(fires only for an untrained type pair, which the controller refuses at construction)
 			p.types[m.SrcType].Name, p.types[dst].Name)
 	}
 	fr := p.types[dst].FreqMHz / p.types[m.SrcType].FreqMHz
-	ipc := model.Predict(Features(m, fr))
+	// Stack-allocated feature vector: featuresInto fills a local array
+	// and Predict does not retain its argument, so the slice never
+	// escapes. Keeps the predictor re-entrant (sweep workers share one
+	// trained predictor) and the hot path allocation-free.
+	var feat [NumFeatures]float64
+	featuresInto(&feat, m, fr)
+	ipc := model.Predict(feat[:])
 	if !isFinite(ipc) {
 		// NaN survives both clamp comparisons below; reject explicitly.
-		return 0, fmt.Errorf("%w: non-finite ipc prediction for %s->%s",
+		return 0, fmt.Errorf("%w: non-finite ipc prediction for %s->%s", //sbvet:allow hotpath(degenerate-prediction rejection; formats only when the epoch is being skipped)
 			ErrNotUsable, p.types[m.SrcType].Name, p.types[dst].Name)
 	}
 	if ipc < 0.01 {
@@ -174,6 +195,8 @@ func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // PredictIPS converts a predicted IPC into instructions per second on
 // the destination type: ips_hat = ipc_hat * F_dst.
+//
+//sbvet:hotpath
 func (p *Predictor) PredictIPS(m *Measurement, dst arch.CoreTypeID) (float64, error) {
 	ipc, err := p.PredictIPC(m, dst)
 	if err != nil {
@@ -184,13 +207,15 @@ func (p *Predictor) PredictIPS(m *Measurement, dst arch.CoreTypeID) (float64, er
 
 // PredictPower predicts the thread's average power on destination type
 // dst (Eq. 9), using the measured power directly when dst == src.
+//
+//sbvet:hotpath
 func (p *Predictor) PredictPower(m *Measurement, dst arch.CoreTypeID) (float64, error) {
 	if !m.Valid {
-		return 0, errors.New("core: prediction from invalid measurement")
+		return 0, errInvalidMeasurement
 	}
 	if dst == m.SrcType {
 		if !isFinite(m.PowerW) {
-			return 0, fmt.Errorf("%w: non-finite measured power %g", ErrNotUsable, m.PowerW)
+			return 0, fmt.Errorf("%w: non-finite measured power %g", ErrNotUsable, m.PowerW) //sbvet:allow hotpath(degenerate-measurement rejection; formats only when the epoch is being skipped)
 		}
 		return m.PowerW, nil
 	}
@@ -200,7 +225,7 @@ func (p *Predictor) PredictPower(m *Measurement, dst arch.CoreTypeID) (float64, 
 	}
 	pw := p.power[dst].Predict(ipc)
 	if !isFinite(pw) {
-		return 0, fmt.Errorf("%w: non-finite power prediction on %s",
+		return 0, fmt.Errorf("%w: non-finite power prediction on %s", //sbvet:allow hotpath(degenerate-prediction rejection; formats only when the epoch is being skipped)
 			ErrNotUsable, p.types[dst].Name)
 	}
 	// Plausibility clamp to the Table 2 anchor: the trained fits satisfy

@@ -13,8 +13,6 @@
 package core
 
 import (
-	"math"
-
 	"smartbalance/internal/arch"
 	"smartbalance/internal/hpc"
 )
@@ -131,6 +129,8 @@ func Sense(sample *hpc.ThreadEpochSample, util float64, typeOf func(arch.CoreID)
 // On clean sensing SenseChecked is behaviourally identical to Sense:
 // every plausible sample maps to (m, SenseOK) with the exact same
 // Measurement, and every slept epoch to SenseNoSample.
+//
+//sbvet:hotpath
 func SenseChecked(sample *hpc.ThreadEpochSample, util float64, plat *arch.Platform) (Measurement, SenseStatus) {
 	if sample == nil {
 		return Measurement{}, SenseNoSample
@@ -153,13 +153,8 @@ func SenseChecked(sample *hpc.ThreadEpochSample, util float64, plat *arch.Platfo
 	ct := plat.Type(core)
 	m := assemble(core, plat.TypeID(core), counters, util)
 
-	for _, v := range []float64{
-		m.IPC, m.IPS, m.PowerW, m.MissL1I, m.MissL1D, m.MemShare,
-		m.BranchShare, m.Mispredict, m.MissITLB, m.MissDTLB, m.Util,
-	} {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return Measurement{}, SenseInvalid
-		}
+	if !finiteMeasurement(&m) {
+		return Measurement{}, SenseInvalid
 	}
 	if counters.EnergyJ < 0 || m.PowerW <= 0 {
 		// Negative energy is unphysical; exactly-zero power over a
@@ -198,4 +193,14 @@ func assemble(core arch.CoreID, srcType arch.CoreTypeID, counters *hpc.Counters,
 		Util:        util,
 		Valid:       true,
 	}
+}
+
+// finiteMeasurement reports whether every derived field of m is finite.
+// An explicit field walk rather than a range over a slice literal, which
+// would allocate on the hot sensing path.
+func finiteMeasurement(m *Measurement) bool {
+	return isFinite(m.IPC) && isFinite(m.IPS) && isFinite(m.PowerW) &&
+		isFinite(m.MissL1I) && isFinite(m.MissL1D) && isFinite(m.MemShare) &&
+		isFinite(m.BranchShare) && isFinite(m.Mispredict) &&
+		isFinite(m.MissITLB) && isFinite(m.MissDTLB) && isFinite(m.Util)
 }

@@ -148,6 +148,22 @@ type SmartBalance struct {
 	// (instructions per joule), the baseline for the negative-EE-gain
 	// anomaly trigger.
 	prevEE float64
+
+	// Epoch-path scratch, reused across epochs so a steady-state
+	// Rebalance allocates nothing (hot-path purity contract, DESIGN.md
+	// §11). prob's matrices are windows into the flat ipsBuf/powBuf
+	// backing arrays; spanAttrs backs every telemetry span's attribute
+	// list, spread into Span which copies it into its arena.
+	ann       Annealer
+	optTasks  []*kernel.Task
+	meas      []Measurement
+	initial   Allocation
+	prob      Problem
+	ipsBuf    []float64
+	powBuf    []float64
+	ipsByType []float64
+	powByType []float64
+	spanAttrs [8]telemetry.Attr
 }
 
 // New constructs a SmartBalance controller around a trained predictor.
@@ -248,6 +264,8 @@ func (s *SmartBalance) confidence(id kernel.ThreadID) float64 {
 
 // Rebalance implements kernel.Balancer: one full
 // sense-predict-balance iteration.
+//
+//sbvet:hotpath
 func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample) {
 	plat := k.Platform()
@@ -270,7 +288,7 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 		s.tel.Gauge("smartbalance_epoch_ee").Set(ee)
 		s.tel.Histogram("smartbalance_epoch_ee_dist", eeBuckets).Observe(ee)
 		if s.prevEE > 0 && ee < 0.75*s.prevEE {
-			s.tel.Anomaly(now, telemetry.AnomalyNegativeEEGain,
+			s.tel.Anomaly(now, telemetry.AnomalyNegativeEEGain, //sbvet:allow hotpath(anomaly detail formats only when the flight recorder triggers)
 				fmt.Sprintf("epoch ee %.4g fell below 0.75 x previous %.4g", ee, s.prevEE))
 		}
 		s.prevEE = ee
@@ -283,8 +301,8 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 		s.overhead.Sense += sinceOn(s.clock, t0)
 		return
 	}
-	var optTasks []*kernel.Task
-	var meas []Measurement
+	optTasks := s.optTasks[:0]
+	meas := s.meas[:0]
 	sensed, degraded := 0, 0
 	for _, task := range tasks {
 		if task.IsKernelThread() {
@@ -333,16 +351,17 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 			m = last
 			m.Util = util * s.confidence(task.ID)
 		}
-		optTasks = append(optTasks, task)
-		meas = append(meas, m)
+		optTasks = append(optTasks, task) //sbvet:allow hotpath(controller-owned scratch; capacity reaches the live task count and is reused every epoch)
+		meas = append(meas, m)            //sbvet:allow hotpath(controller-owned scratch; capacity reaches the live task count and is reused every epoch)
 	}
+	s.optTasks, s.meas = optTasks, meas
 	// Drop measurements of exited threads.
 	if len(s.lastMeasure) > 2*len(tasks)+16 {
-		alive := make(map[kernel.ThreadID]bool, len(tasks))
+		alive := make(map[kernel.ThreadID]bool, len(tasks)) //sbvet:allow hotpath(exited-thread reclamation runs only when the retained map outgrows the live set by 2x)
 		for _, task := range tasks {
 			alive[task.ID] = true
 		}
-		for id := range s.lastMeasure {
+		for id := range s.lastMeasure { //sbvet:allow hotpath(reclamation branch; bounded by the retained-measurement map and entered rarely)
 			if !alive[id] {
 				delete(s.lastMeasure, id)
 				delete(s.lastGood, id)
@@ -351,11 +370,11 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	}
 	s.overhead.Sense += sinceOn(s.clock, t0)
 	if s.tel.Enabled() {
-		s.tel.Span(telemetry.PhaseSense, now, 0,
-			telemetry.Int("tasks", int64(len(tasks))),
-			telemetry.Int("sensed", int64(sensed)),
-			telemetry.Int("degraded", int64(degraded)),
-			telemetry.Bool("degraded_mode", s.health.DegradedMode))
+		s.spanAttrs[0] = telemetry.Int("tasks", int64(len(tasks)))
+		s.spanAttrs[1] = telemetry.Int("sensed", int64(sensed))
+		s.spanAttrs[2] = telemetry.Int("degraded", int64(degraded))
+		s.spanAttrs[3] = telemetry.Bool("degraded_mode", s.health.DegradedMode)
+		s.tel.Span(telemetry.PhaseSense, now, 0, s.spanAttrs[:4]...)
 		s.tel.Gauge("smartbalance_health_degraded_thread_epochs").Set(float64(s.health.DegradedThreadEpochs))
 		s.tel.Gauge("smartbalance_health_unmeasurable_thread_epochs").Set(float64(s.health.UnmeasurableThreadEpochs))
 	}
@@ -371,7 +390,7 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 		if s.tel.Enabled() {
 			s.tel.Counter("smartbalance_skipped_epochs_total").Inc()
 			s.tel.Gauge("smartbalance_degraded_mode").Set(1)
-			s.tel.Anomaly(now, telemetry.AnomalyDegradedEpoch,
+			s.tel.Anomaly(now, telemetry.AnomalyDegradedEpoch, //sbvet:allow hotpath(anomaly detail formats only when the flight recorder triggers)
 				fmt.Sprintf("%d of %d sensed threads degraded; holding placement", degraded, sensed))
 		}
 		return
@@ -395,7 +414,7 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 
 	// ---- Phase 2: prediction — fill S(k) and P(k) (Section 4.2.2). ----
 	t1 := s.clock.Now()
-	prob, err := s.BuildProblem(plat, k, meas)
+	prob, err := s.buildProblem(plat, k, meas)
 	if err != nil {
 		s.overhead.Predict += sinceOn(s.clock, t1)
 		return
@@ -403,16 +422,16 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	prob.Allowed = affinityMatrix(optTasks, plat.NumCores())
 	s.overhead.Predict += sinceOn(s.clock, t1)
 	if s.tel.Enabled() {
-		s.tel.Span(telemetry.PhasePredict, now, 0,
-			telemetry.Int("threads", int64(len(optTasks))),
-			telemetry.Int("types", int64(plat.NumTypes())))
+		s.spanAttrs[0] = telemetry.Int("threads", int64(len(optTasks)))
+		s.spanAttrs[1] = telemetry.Int("types", int64(plat.NumTypes()))
+		s.tel.Span(telemetry.PhasePredict, now, 0, s.spanAttrs[:2]...)
 	}
 
 	// ---- Phase 3: balance — Algorithm 1 over allocations. ----
 	t2 := s.clock.Now()
-	initial := make(Allocation, len(optTasks))
+	s.initial = growAlloc(s.initial, len(optTasks))
 	for i, task := range optTasks {
-		initial[i] = task.Core()
+		s.initial[i] = task.Core()
 	}
 	acfg := s.cfg.Anneal
 	if acfg.MaxIter <= 0 {
@@ -420,16 +439,16 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 		acfg.MaxIter = ScaledMaxIter(plat.NumCores(), len(optTasks))
 	}
 	acfg.Seed ^= uint64(s.epochs) * 0x9E3779B97F4A7C15
-	result, err := Anneal(prob, initial, acfg)
+	result, err := s.ann.Run(prob, s.initial, acfg)
 	s.overhead.Optimize += sinceOn(s.clock, t2)
 	if err != nil {
 		return
 	}
 	if s.tel.Enabled() {
-		s.tel.Span(telemetry.PhaseDecide, now, 0,
-			telemetry.F64("objective", result.Objective),
-			telemetry.Int("iterations", int64(result.Iterations)),
-			telemetry.Int("accepted", int64(result.Accepted)))
+		s.spanAttrs[0] = telemetry.F64("objective", result.Objective)
+		s.spanAttrs[1] = telemetry.Int("iterations", int64(result.Iterations))
+		s.spanAttrs[2] = telemetry.Int("accepted", int64(result.Accepted))
+		s.tel.Span(telemetry.PhaseDecide, now, 0, s.spanAttrs[:3]...)
 	}
 
 	// ---- Phase 4: apply Ψ via migration (set_cpus_allowed_ptr). ----
@@ -443,14 +462,14 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 				s.overhead.Migrations++
 				applied++
 				if s.tel.Enabled() {
-					s.tel.Span(telemetry.PhaseMigrate, now, 0,
-						telemetry.Int("thread", int64(task.ID)),
-						telemetry.Int("from", int64(src)),
-						telemetry.Int("to", int64(dst)),
-						telemetry.F64("pred_ips", prob.IPS[i][int(dst)]),
-						telemetry.F64("pred_power", prob.Power[i][int(dst)]),
-						telemetry.F64("meas_ips", meas[i].IPS),
-						telemetry.F64("meas_power", meas[i].PowerW))
+					s.spanAttrs[0] = telemetry.Int("thread", int64(task.ID))
+					s.spanAttrs[1] = telemetry.Int("from", int64(src))
+					s.spanAttrs[2] = telemetry.Int("to", int64(dst))
+					s.spanAttrs[3] = telemetry.F64("pred_ips", prob.IPS[i][int(dst)])
+					s.spanAttrs[4] = telemetry.F64("pred_power", prob.Power[i][int(dst)])
+					s.spanAttrs[5] = telemetry.F64("meas_ips", meas[i].IPS)
+					s.spanAttrs[6] = telemetry.F64("meas_power", meas[i].PowerW)
+					s.tel.Span(telemetry.PhaseMigrate, now, 0, s.spanAttrs[:7]...)
 				}
 			} else {
 				refused++
@@ -461,21 +480,76 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 	if s.tel.Enabled() {
 		s.tel.Counter("smartbalance_migrations_total").Add(int64(applied))
 		s.tel.Counter("smartbalance_migrations_refused_total").Add(int64(refused))
-		s.tel.Span(telemetry.PhaseMigrate, now, 0,
-			telemetry.Int("requested", int64(applied+refused)),
-			telemetry.Int("applied", int64(applied)),
-			telemetry.Int("refused", int64(refused)))
+		s.spanAttrs[0] = telemetry.Int("requested", int64(applied+refused))
+		s.spanAttrs[1] = telemetry.Int("applied", int64(applied))
+		s.spanAttrs[2] = telemetry.Int("refused", int64(refused))
+		s.tel.Span(telemetry.PhaseMigrate, now, 0, s.spanAttrs[:3]...)
 		if refused >= refusedBurst {
-			s.tel.Anomaly(now, telemetry.AnomalyRefusedBurst,
+			s.tel.Anomaly(now, telemetry.AnomalyRefusedBurst, //sbvet:allow hotpath(anomaly detail formats only when the flight recorder triggers)
 				fmt.Sprintf("%d of %d requested migrations refused this epoch", refused, applied+refused))
 		}
 	}
 }
 
+// buildProblem assembles the optimisation input into controller-owned
+// scratch: S(k) and P(k) rows are windows into two flat backing arrays
+// that persist across epochs, so the steady-state predict phase
+// allocates nothing. The returned problem aliases the controller and
+// is valid until the next call.
+func (s *SmartBalance) buildProblem(plat *arch.Platform, k *kernel.Kernel, meas []Measurement) (*Problem, error) {
+	m := len(meas)
+	n := plat.NumCores()
+	q := plat.NumTypes()
+	prob := &s.prob
+	prob.Weights = s.cfg.Weights
+	prob.Mode = s.cfg.Objective
+	prob.Allowed = nil
+	prob.Util = growFloats(prob.Util, m)
+	prob.IdlePower = growFloats(prob.IdlePower, n)
+	prob.IPS = growFloatRows(prob.IPS, m)
+	prob.Power = growFloatRows(prob.Power, m)
+	s.ipsBuf = growFloats(s.ipsBuf, m*n)
+	s.powBuf = growFloats(s.powBuf, m*n)
+	s.ipsByType = growFloats(s.ipsByType, q)
+	s.powByType = growFloats(s.powByType, q)
+	pm := k.Machine().PowerModels()
+	for j := 0; j < n; j++ {
+		prob.IdlePower[j] = pm.ForType(plat.TypeID(arch.CoreID(j))).SleepW()
+	}
+	// Predict once per (thread, type), then expand to cores.
+	for i := range meas {
+		mm := &meas[i]
+		for tid := 0; tid < q; tid++ {
+			ips, err := s.pred.PredictIPS(mm, arch.CoreTypeID(tid))
+			if err != nil {
+				return nil, fmt.Errorf("core: predict ips: %w", err) //sbvet:allow hotpath(wrap formats only when a prediction is rejected, which skips the epoch)
+			}
+			pw, err := s.pred.PredictPower(mm, arch.CoreTypeID(tid))
+			if err != nil {
+				return nil, fmt.Errorf("core: predict power: %w", err) //sbvet:allow hotpath(wrap formats only when a prediction is rejected, which skips the epoch)
+			}
+			s.ipsByType[tid] = ips
+			s.powByType[tid] = pw
+		}
+		ipsRow := s.ipsBuf[i*n : (i+1)*n : (i+1)*n]
+		powRow := s.powBuf[i*n : (i+1)*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			tid := plat.TypeID(arch.CoreID(j))
+			ipsRow[j] = s.ipsByType[tid]
+			powRow[j] = s.powByType[tid]
+		}
+		prob.IPS[i] = ipsRow
+		prob.Power[i] = powRow
+		prob.Util[i] = mm.Util
+	}
+	return prob, nil
+}
+
 // BuildProblem assembles the optimisation input from the epoch's
 // measurements: S(k) and P(k) rows per thread (measured on the source
 // type, predicted elsewhere), the utilisation vector, and per-core idle
-// power.
+// power. Allocating form for external callers; the controller's epoch
+// path uses the scratch-backed buildProblem.
 func (s *SmartBalance) BuildProblem(plat *arch.Platform, k *kernel.Kernel, meas []Measurement) (*Problem, error) {
 	n := plat.NumCores()
 	prob := &Problem{
@@ -521,11 +595,13 @@ func (s *SmartBalance) BuildProblem(plat *arch.Platform, k *kernel.Kernel, meas 
 }
 
 // affinityMatrix extracts the tasks' CPU-affinity masks, or nil when no
-// task is restricted.
+// task is restricted. It probes with HasAffinity/AllowedOn rather than
+// AllowedMask so the (overwhelmingly common) unrestricted case touches
+// no allocating accessor.
 func affinityMatrix(tasks []*kernel.Task, n int) [][]bool {
 	any := false
 	for _, t := range tasks {
-		if t.AllowedMask() != nil {
+		if t.HasAffinity() {
 			any = true
 			break
 		}
@@ -533,15 +609,15 @@ func affinityMatrix(tasks []*kernel.Task, n int) [][]bool {
 	if !any {
 		return nil
 	}
-	out := make([][]bool, len(tasks))
+	out := make([][]bool, len(tasks)) //sbvet:allow hotpath(built only when a task carries an explicit affinity mask; the standard experiments have none)
 	for i, t := range tasks {
-		mask := t.AllowedMask()
-		if mask == nil {
+		if !t.HasAffinity() {
 			continue // nil row = unrestricted
 		}
-		// Masks come sized to the platform; defensive resize.
-		row := make([]bool, n)
-		copy(row, mask)
+		row := make([]bool, n) //sbvet:allow hotpath(built only when a task carries an explicit affinity mask)
+		for j := 0; j < n; j++ {
+			row[j] = t.AllowedOn(arch.CoreID(j))
+		}
 		out[i] = row
 	}
 	return out
@@ -553,11 +629,11 @@ func affinityMatrix(tasks []*kernel.Task, n int) [][]bool {
 func OracleProblem(plat *arch.Platform, k *kernel.Kernel, tasks []*kernel.Task, weights []float64) (*Problem, error) {
 	n := plat.NumCores()
 	epochNs := k.Config().EpochNs
-	prob := &Problem{
-		IPS:       make([][]float64, len(tasks)),
-		Power:     make([][]float64, len(tasks)),
-		Util:      make([]float64, len(tasks)),
-		IdlePower: make([]float64, n),
+	prob := &Problem{ //sbvet:allow hotpath(oracle ablation baseline, outside the SmartBalance zero-alloc contract)
+		IPS:       make([][]float64, len(tasks)), //sbvet:allow hotpath(oracle ablation baseline, outside the SmartBalance zero-alloc contract)
+		Power:     make([][]float64, len(tasks)), //sbvet:allow hotpath(oracle ablation baseline, outside the SmartBalance zero-alloc contract)
+		Util:      make([]float64, len(tasks)),   //sbvet:allow hotpath(oracle ablation baseline, outside the SmartBalance zero-alloc contract)
+		IdlePower: make([]float64, n),            //sbvet:allow hotpath(oracle ablation baseline, outside the SmartBalance zero-alloc contract)
 		Weights:   weights,
 	}
 	pm := k.Machine().PowerModels()
@@ -565,8 +641,8 @@ func OracleProblem(plat *arch.Platform, k *kernel.Kernel, tasks []*kernel.Task, 
 		prob.IdlePower[j] = pm.ForType(plat.TypeID(arch.CoreID(j))).SleepW()
 	}
 	for i, task := range tasks {
-		prob.IPS[i] = make([]float64, n)
-		prob.Power[i] = make([]float64, n)
+		prob.IPS[i] = make([]float64, n)   //sbvet:allow hotpath(oracle ablation baseline, outside the SmartBalance zero-alloc contract)
+		prob.Power[i] = make([]float64, n) //sbvet:allow hotpath(oracle ablation baseline, outside the SmartBalance zero-alloc contract)
 		st := k.Machine()
 		ts := task.MachineState()
 		for j := 0; j < n; j++ {

@@ -270,13 +270,13 @@ func (in *Injector) FilterEpoch(epoch int, now kernel.Time, threads map[int]*hpc
 		in.prev = threads
 		return threads, cores
 	}
-	ids := make([]int, 0, len(threads))
-	for tid := range threads {
-		ids = append(ids, tid)
+	ids := make([]int, 0, len(threads)) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
+	for tid := range threads {          //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
+		ids = append(ids, tid) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 	}
 	sort.Ints(ids)
 
-	out := make(map[int]*hpc.ThreadEpochSample, len(threads))
+	out := make(map[int]*hpc.ThreadEpochSample, len(threads)) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 	p := in.plan
 	for _, tid := range ids {
 		s := threads[tid]
@@ -319,7 +319,7 @@ func (in *Injector) FilterEpoch(epoch int, now kernel.Time, threads map[int]*hpc
 
 	outCores := cores
 	if p.PowerDropRate > 0 || p.PowerSpikeRate > 0 {
-		outCores = append([]hpc.CoreEpochSample(nil), cores...)
+		outCores = append([]hpc.CoreEpochSample(nil), cores...) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 		for i := range outCores {
 			u := in.r.Float64()
 			switch {
@@ -345,7 +345,7 @@ func (in *Injector) MigrateFault(now kernel.Time, id kernel.ThreadID, dst arch.C
 	}
 	if in.r.Float64() < in.plan.MigrateFailRate {
 		in.stats.MigrateFails++
-		return fmt.Errorf("%w: task %d -> core %d", ErrMigrationRefused, id, dst)
+		return fmt.Errorf("%w: task %d -> core %d", ErrMigrationRefused, id, dst) //sbvet:allow hotpath(injected-refusal diagnostic; fires only under a configured MigrateFailRate experiment)
 	}
 	return nil
 }
@@ -353,8 +353,8 @@ func (in *Injector) MigrateFault(now kernel.Time, id kernel.ThreadID, dst arch.C
 // copySample deep-copies a thread sample so perturbations never alias
 // the clean snapshot retained for stale replay.
 func copySample(s *hpc.ThreadEpochSample) *hpc.ThreadEpochSample {
-	c := &hpc.ThreadEpochSample{PerCore: make(map[int]*hpc.Counters, len(s.PerCore))}
-	for core, cnt := range s.PerCore {
+	c := &hpc.ThreadEpochSample{PerCore: make(map[int]*hpc.Counters, len(s.PerCore))} //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
+	for core, cnt := range s.PerCore {                                                //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
 		cc := *cnt
 		c.PerCore[core] = &cc
 	}
@@ -363,8 +363,8 @@ func copySample(s *hpc.ThreadEpochSample) *hpc.ThreadEpochSample {
 
 // zeroSample wipes every counter: the bank lost the thread's state.
 func zeroSample(s *hpc.ThreadEpochSample) {
-	for core := range s.PerCore {
-		s.PerCore[core] = &hpc.Counters{}
+	for core := range s.PerCore { //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
+		s.PerCore[core] = &hpc.Counters{} //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
 	}
 }
 
@@ -372,7 +372,7 @@ func zeroSample(s *hpc.ThreadEpochSample) {
 // scheduler-owned run time intact — the measured rates become wildly
 // implausible, which is exactly what the hardened Sense must catch.
 func saturateSample(s *hpc.ThreadEpochSample) {
-	for _, c := range s.PerCore {
+	for _, c := range s.PerCore { //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
 		c.Instructions = saturated
 		c.MemInstructions = saturated
 		c.BranchInstructions = saturated
@@ -388,7 +388,7 @@ func saturateSample(s *hpc.ThreadEpochSample) {
 
 // scaleEnergy multiplies every power reading in the sample.
 func scaleEnergy(s *hpc.ThreadEpochSample, factor float64) {
-	for _, c := range s.PerCore {
+	for _, c := range s.PerCore { //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
 		c.EnergyJ *= factor
 	}
 }

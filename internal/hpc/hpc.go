@@ -135,8 +135,8 @@ func (s *ThreadEpochSample) Total() Counters {
 // the thread never ran.
 func (s *ThreadEpochSample) DominantCore() (core int, c *Counters, ok bool) {
 	best := int64(-1)
-	for id, cc := range s.PerCore {
-		if cc.RunNs > best {
+	for id, cc := range s.PerCore { //sbvet:allow hotpath(tiny map — one entry per core the thread touched this epoch; the id tie-break below keeps the pick order-independent)
+		if cc.RunNs > best || (cc.RunNs == best && ok && id < core) {
 			best = cc.RunNs
 			core, c, ok = id, cc, true
 		}
@@ -229,10 +229,10 @@ func (b *Bank) RecordSlice(tid, core int, c Counters) error {
 // on a core.
 func (b *Bank) RecordSleep(core int, ns int64, energyJ float64) error {
 	if core < 0 || core >= b.numCores {
-		return fmt.Errorf("hpc: core %d out of range [0,%d)", core, b.numCores)
+		return fmt.Errorf("hpc: core %d out of range [0,%d)", core, b.numCores) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 	}
 	if ns < 0 {
-		return fmt.Errorf("hpc: negative sleep %d", ns)
+		return fmt.Errorf("hpc: negative sleep %d", ns) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 	}
 	b.cores[core].SleepNs += ns
 	b.cores[core].SleepEnergyJ += energyJ
@@ -244,8 +244,8 @@ func (b *Bank) RecordSleep(core int, ns int64, energyJ float64) error {
 func (b *Bank) Snapshot() (map[int]*ThreadEpochSample, []CoreEpochSample) {
 	threads := b.threads
 	cores := b.cores
-	b.threads = make(map[int]*ThreadEpochSample)
-	b.cores = make([]CoreEpochSample, b.numCores)
+	b.threads = make(map[int]*ThreadEpochSample)  //sbvet:allow hotpath(ownership transfer — the snapshot hands last epoch's containers to the caller, so the bank must start fresh ones)
+	b.cores = make([]CoreEpochSample, b.numCores) //sbvet:allow hotpath(ownership transfer — the snapshot hands last epoch's containers to the caller, so the bank must start fresh ones)
 	return threads, cores
 }
 

@@ -14,18 +14,15 @@ func (k *Kernel) minVruntime(c arch.CoreID) int64 {
 	cr := &k.cores[c]
 	var min int64
 	have := false
-	consider := func(t *Task) {
-		if t == nil {
-			return
-		}
-		if !have || t.vruntime < min {
+	if t := cr.current; t != nil {
+		min = t.vruntime
+		have = true
+	}
+	for _, t := range cr.runq {
+		if t != nil && (!have || t.vruntime < min) {
 			min = t.vruntime
 			have = true
 		}
-	}
-	consider(cr.current)
-	for _, t := range cr.runq {
-		consider(t)
 	}
 	return min
 }
@@ -42,7 +39,7 @@ func (k *Kernel) enqueue(t *Task, c arch.CoreID) {
 	}
 	t.core = c
 	t.taskState = StateRunnable
-	cr.runq = append(cr.runq, t)
+	cr.runq = append(cr.runq, t) //sbvet:allow hotpath(runqueue capacity reaches the core's peak occupancy once and is reused; dequeue truncates in place)
 }
 
 // dequeue removes a runnable task from its core's runqueue.
@@ -50,7 +47,9 @@ func (k *Kernel) dequeue(t *Task) {
 	cr := &k.cores[t.core]
 	for i, q := range cr.runq {
 		if q == t {
-			cr.runq = append(cr.runq[:i], cr.runq[i+1:]...)
+			copy(cr.runq[i:], cr.runq[i+1:])
+			cr.runq[len(cr.runq)-1] = nil
+			cr.runq = cr.runq[:len(cr.runq)-1]
 			return
 		}
 	}
@@ -70,7 +69,9 @@ func (k *Kernel) pickNext(c arch.CoreID) *Task {
 		}
 	}
 	t := cr.runq[best]
-	cr.runq = append(cr.runq[:best], cr.runq[best+1:]...)
+	copy(cr.runq[best:], cr.runq[best+1:])
+	cr.runq[len(cr.runq)-1] = nil
+	cr.runq = cr.runq[:len(cr.runq)-1]
 	return t
 }
 

@@ -1,10 +1,6 @@
 package kernel
 
-import (
-	"container/heap"
-
-	"smartbalance/internal/arch"
-)
+import "smartbalance/internal/arch"
 
 // eventKind enumerates discrete-event types.
 type eventKind int
@@ -27,42 +23,68 @@ type event struct {
 	task     ThreadID    // evWakeup target
 }
 
+// eventQueue is a binary min-heap of events ordered by (at, seq). The
+// sift routines are hand-rolled rather than delegated to container/heap
+// because heap.Push/Pop traffic in `any`, boxing every event on the hot
+// scheduling path.
 type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	*q = old[:n-1]
-	return e
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
 }
 
 // push schedules an event; seq assignment keeps ordering deterministic.
 func (k *Kernel) push(e event) {
 	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.events, e)
+	k.events = append(k.events, e) //sbvet:allow hotpath(event-queue capacity reaches the peak outstanding-event count once and is reused; pop truncates in place)
+	k.events.siftUp(len(k.events) - 1)
 }
 
 // pop removes and returns the earliest event; ok is false when empty.
 func (k *Kernel) pop() (event, bool) {
-	if len(k.events) == 0 {
+	n := len(k.events)
+	if n == 0 {
 		return event{}, false
 	}
-	return heap.Pop(&k.events).(event), true
+	e := k.events[0]
+	k.events[0] = k.events[n-1]
+	k.events = k.events[:n-1]
+	k.events.siftDown(0)
+	return e, true
 }
 
 // peekTime returns the time of the earliest pending event.

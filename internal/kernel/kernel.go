@@ -207,6 +207,13 @@ func (t *Task) AllowedOn(c arch.CoreID) bool {
 	return int(c) < len(t.allowed) && t.allowed[int(c)]
 }
 
+// HasAffinity reports whether the task carries an explicit affinity
+// mask. Allocation-free probe for hot-path callers that would otherwise
+// reach for AllowedMask's defensive copy.
+func (t *Task) HasAffinity() bool {
+	return t.allowed != nil
+}
+
 // AllowedMask returns a copy of the affinity mask, or nil when every
 // core is allowed.
 func (t *Task) AllowedMask() []bool {
@@ -389,10 +396,12 @@ type Kernel struct {
 	events eventQueue
 	seq    uint64
 
-	cores  []coreRun
-	tasks  map[ThreadID]*Task
-	order  []ThreadID // spawn order, for deterministic iteration
-	nextID ThreadID
+	cores []coreRun
+	tasks map[ThreadID]*Task
+	order []ThreadID // spawn order, for deterministic iteration
+	// activeScratch backs ActiveTasks between epochs.
+	activeScratch []*Task
+	nextID        ThreadID
 
 	bank *hpc.Bank
 	r    *rng.Rand
@@ -476,14 +485,16 @@ func (k *Kernel) Tasks() []*Task {
 
 // ActiveTasks returns all non-finished tasks in spawn order — "the set
 // of threads to be optimized contains all threads active at the
-// beginning of each SmartBalance epoch".
+// beginning of each SmartBalance epoch". The returned slice is
+// kernel-owned scratch, valid until the next call.
 func (k *Kernel) ActiveTasks() []*Task {
-	var out []*Task
+	out := k.activeScratch[:0]
 	for _, id := range k.order {
 		if t := k.tasks[id]; t.taskState != StateFinished {
-			out = append(out, t)
+			out = append(out, t) //sbvet:allow hotpath(kernel-owned scratch; capacity reaches the live task count and is reused every epoch)
 		}
 	}
+	k.activeScratch = out
 	return out
 }
 
@@ -560,13 +571,13 @@ func (k *Kernel) Spawn(spec *workload.ThreadSpec) (ThreadID, error) {
 func (k *Kernel) Migrate(id ThreadID, dst arch.CoreID) error {
 	t, ok := k.tasks[id]
 	if !ok {
-		return fmt.Errorf("kernel: migrate unknown task %d", id)
+		return fmt.Errorf("kernel: migrate unknown task %d", id) //sbvet:allow hotpath(refused-migration diagnostic; formats only on the rejected-request path)
 	}
 	if int(dst) < 0 || int(dst) >= len(k.cores) {
-		return fmt.Errorf("kernel: migrate to invalid core %d", dst)
+		return fmt.Errorf("kernel: migrate to invalid core %d", dst) //sbvet:allow hotpath(refused-migration diagnostic; formats only on the rejected-request path)
 	}
 	if !t.AllowedOn(dst) {
-		return fmt.Errorf("kernel: core %d not in task %d's affinity mask", dst, id)
+		return fmt.Errorf("kernel: core %d not in task %d's affinity mask", dst, id) //sbvet:allow hotpath(refused-migration diagnostic; formats only on the rejected-request path)
 	}
 	if t.taskState != StateFinished && k.cfg.Faults != nil {
 		// Injected transient refusal: the request was valid, but the
@@ -578,7 +589,7 @@ func (k *Kernel) Migrate(id ThreadID, dst arch.CoreID) error {
 	}
 	switch t.taskState {
 	case StateFinished:
-		return fmt.Errorf("kernel: migrate finished task %d", id)
+		return fmt.Errorf("kernel: migrate finished task %d", id) //sbvet:allow hotpath(refused-migration diagnostic; formats only on the rejected-request path)
 	case StateRunning:
 		if t.core != dst {
 			t.pendingCore = dst
@@ -606,5 +617,5 @@ func (k *Kernel) Migrate(id ThreadID, dst arch.CoreID) error {
 		k.kick(dst)
 		return nil
 	}
-	return fmt.Errorf("kernel: task %d in unexpected state %v", id, t.taskState)
+	return fmt.Errorf("kernel: task %d in unexpected state %v", id, t.taskState) //sbvet:allow hotpath(refused-migration diagnostic; formats only on the rejected-request path)
 }

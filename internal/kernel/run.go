@@ -66,7 +66,7 @@ func (k *Kernel) dispatch(c arch.CoreID) {
 		// if Run is called again with a later horizon.
 		t.taskState = StateRunnable
 		cr.current = nil
-		cr.runq = append(cr.runq, t)
+		cr.runq = append(cr.runq, t) //sbvet:allow hotpath(runqueue capacity reaches the core's peak occupancy once and is reused; dequeue truncates in place)
 		return
 	}
 	t.migrationDebt = 0
@@ -74,7 +74,7 @@ func (k *Kernel) dispatch(c arch.CoreID) {
 	if err != nil {
 		// Impossible for a non-finished task and positive slice; fail
 		// loudly rather than corrupt accounting.
-		panic(fmt.Sprintf("kernel: ExecSlice: %v", err))
+		panic(fmt.Sprintf("kernel: ExecSlice: %v", err)) //sbvet:allow hotpath(formats only while crashing on corrupt accounting)
 	}
 	if debt > 0 {
 		// Cold-cache debt after migration: stall time at idle-activity
@@ -186,6 +186,8 @@ func (k *Kernel) handleWakeup(id ThreadID) {
 
 // handleEpoch snapshots the epoch's sensing data, invokes the balancer
 // (the reimplemented rebalance_domains()), and resets per-epoch state.
+//
+//sbvet:hotpath
 func (k *Kernel) handleEpoch() {
 	k.epochs++
 	k.emit(TraceEvent{At: k.now, Kind: TraceEpoch, Core: -1, Thread: -1})
@@ -200,8 +202,10 @@ func (k *Kernel) handleEpoch() {
 		}
 	}
 	// Flush runnable-time and tracked-load accounting so the balancer
-	// sees up-to-date utilisation.
-	for _, t := range k.tasks {
+	// sees up-to-date utilisation. Iterate the spawn-order slice, not the
+	// task map: allocation-free and deterministic.
+	for _, id := range k.order {
+		t := k.tasks[id]
 		if t.taskState == StateRunnable || t.taskState == StateRunning {
 			t.accrueRunnable(k.now)
 			t.runnableSince = k.now
@@ -215,7 +219,8 @@ func (k *Kernel) handleEpoch() {
 		threads, cores = k.cfg.Faults.FilterEpoch(k.epochs, k.now, threads, cores)
 	}
 	k.balancer.Rebalance(k, k.now, threads, cores)
-	for _, t := range k.tasks {
+	for _, id := range k.order {
+		t := k.tasks[id]
 		t.epochRunNs = 0
 		t.epochRunnableNs = 0
 	}

@@ -208,7 +208,7 @@ type SliceResult struct {
 func (m *Machine) ExecSlice(t *ThreadState, tid arch.CoreTypeID, maxDurNs int64) (SliceResult, error) {
 	var res SliceResult
 	if maxDurNs <= 0 {
-		return res, fmt.Errorf("machine: non-positive slice duration %d", maxDurNs)
+		return res, fmt.Errorf("machine: non-positive slice duration %d", maxDurNs) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 	}
 	if t.finished {
 		return res, ErrFinished

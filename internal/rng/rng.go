@@ -42,13 +42,22 @@ type Rand struct {
 // including zero: seeds are first diffused through splitmix64 so that
 // nearby seeds produce unrelated streams.
 func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed re-initialises r in place from seed with the same diffusion
+// as New — the allocation-free way to reuse one generator across
+// per-epoch optimiser runs.
+func (r *Rand) Reseed(seed uint64) {
 	s := seed
 	st := Splitmix64(&s)
 	if st == 0 {
 		// xorshift64* requires a non-zero state.
 		st = 0x9E3779B97F4A7C15
 	}
-	return &Rand{state: st}
+	r.state = st
 }
 
 // Split returns a new generator whose stream is statistically

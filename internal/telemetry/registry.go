@@ -158,7 +158,7 @@ func (r *Registry) Counter(name string) *Counter {
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
-	c := &Counter{name: name}
+	c := &Counter{name: name} //sbvet:allow hotpath(first-use registration; the handle is cached in the registry map for every later epoch)
 	r.counters[name] = c
 	return c
 }
@@ -168,7 +168,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
-	g := &Gauge{name: name}
+	g := &Gauge{name: name} //sbvet:allow hotpath(first-use registration; the handle is cached in the registry map for every later epoch)
 	r.gauges[name] = g
 	return g
 }
@@ -180,9 +180,9 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
-	bs := append([]float64(nil), bounds...)
+	bs := append([]float64(nil), bounds...) //sbvet:allow hotpath(first-use registration; the handle is cached in the registry map for every later epoch)
 	sort.Float64s(bs)
-	h := &Histogram{name: name, bounds: bs, counts: make([]int64, len(bs)+1)}
+	h := &Histogram{name: name, bounds: bs, counts: make([]int64, len(bs)+1)} //sbvet:allow hotpath(first-use registration; the handle is cached in the registry map for every later epoch)
 	r.hists[name] = h
 	return h
 }
@@ -191,23 +191,23 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // histograms share one namespace in the output; a key collision across
 // kinds is a caller bug and simply yields adjacent entries).
 func (r *Registry) Snapshot() []Metric {
-	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists)) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 	for _, name := range counterKeys(r.counters) {
-		out = append(out, Metric{Key: name, Kind: KindCounter, Value: float64(r.counters[name].v)})
+		out = append(out, Metric{Key: name, Kind: KindCounter, Value: float64(r.counters[name].v)}) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 	}
 	for _, name := range gaugeKeys(r.gauges) {
-		out = append(out, Metric{Key: name, Kind: KindGauge, Value: r.gauges[name].v})
+		out = append(out, Metric{Key: name, Kind: KindGauge, Value: r.gauges[name].v}) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 	}
 	for _, name := range histKeys(r.hists) {
 		h := r.hists[name]
 		m := Metric{Key: name, Kind: KindHistogram, Count: h.count, Sum: h.sum}
 		for i, b := range h.bounds {
-			m.Buckets = append(m.Buckets, Bucket{Le: formatFloat(b), Count: h.counts[i]})
+			m.Buckets = append(m.Buckets, Bucket{Le: formatFloat(b), Count: h.counts[i]}) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 		}
-		m.Buckets = append(m.Buckets, Bucket{Le: "+Inf", Count: h.counts[len(h.bounds)]})
-		out = append(out, m)
+		m.Buckets = append(m.Buckets, Bucket{Le: "+Inf", Count: h.counts[len(h.bounds)]}) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
+		out = append(out, m)                                                              //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 	}
-	sort.Slice(out, func(i, j int) bool {
+	sort.Slice(out, func(i, j int) bool { //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 		if out[i].Key != out[j].Key {
 			return out[i].Key < out[j].Key
 		}
@@ -258,27 +258,27 @@ func (r *Registry) merge(src *Registry) {
 // walk them in order so handle creation order (and with it nothing
 // observable) stays deterministic.
 func counterKeys(m map[string]*Counter) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+	keys := make([]string, 0, len(m)) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
+	for k := range m {                //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
+		keys = append(keys, k) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 	}
 	sort.Strings(keys)
 	return keys
 }
 
 func gaugeKeys(m map[string]*Gauge) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+	keys := make([]string, 0, len(m)) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
+	for k := range m {                //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
+		keys = append(keys, k) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 	}
 	sort.Strings(keys)
 	return keys
 }
 
 func histKeys(m map[string]*Histogram) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+	keys := make([]string, 0, len(m)) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
+	for k := range m {                //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
+		keys = append(keys, k) //sbvet:allow hotpath(metric-export path; runs on anomaly dumps and end-of-run snapshots, not steady-state epochs)
 	}
 	sort.Strings(keys)
 	return keys

@@ -72,17 +72,23 @@ type Attr struct {
 func Str(k, v string) Attr { return Attr{K: k, V: v} }
 
 // Int builds an integer attribute.
-func Int(k string, v int64) Attr { return Attr{K: k, V: strconv.FormatInt(v, 10)} }
+func Int(k string, v int64) Attr { //sbvet:allow hotpath(attr values pre-render to canonical strings — the determinism contract; one short string per recorded attribute)
+	return Attr{K: k, V: strconv.FormatInt(v, 10)}
+}
 
 // F64 builds a float attribute with the shortest exact rendering.
-func F64(k string, v float64) Attr { return Attr{K: k, V: formatFloat(v)} }
+func F64(k string, v float64) Attr { //sbvet:allow hotpath(attr values pre-render to canonical strings — the determinism contract; one short string per recorded attribute)
+	return Attr{K: k, V: formatFloat(v)}
+}
 
 // Bool builds a boolean attribute.
 func Bool(k string, v bool) Attr { return Attr{K: k, V: strconv.FormatBool(v)} }
 
 // formatFloat renders a float canonically (shortest form that
 // round-trips, same across platforms).
-func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+func formatFloat(v float64) string { //sbvet:allow hotpath(canonical float rendering — the determinism contract; one short string per recorded value)
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
 
 // Span is one phase of one epoch. StartNs/DurNs are simulated
 // nanoseconds; a zero-duration span marks an instant.
@@ -175,7 +181,15 @@ type Collector struct {
 	epochs  []EpochRecord // closed epochs, oldest first
 	dropped int           // epochs evicted under MaxEpochs
 	cur     *EpochRecord
-	seq     int // next span sequence number within cur
+	curBuf  EpochRecord // backing storage for cur, reused across epochs
+	seq     int         // next span sequence number within cur
+
+	// attrArena is the current attribute chunk. Span copies every
+	// attribute list into it so callers may reuse (and overwrite) their
+	// own attr buffers across epochs; retained spans keep views into
+	// full chunks, which are replaced — never reallocated — when
+	// exhausted, so those views stay valid.
+	attrArena []Attr
 
 	anomalies []Anomaly
 	dumps     []Dump
@@ -241,7 +255,8 @@ func (c *Collector) BeginEpoch(epoch int, nowNs int64) {
 		return
 	}
 	c.closeEpoch()
-	c.cur = &EpochRecord{Epoch: epoch, StartNs: nowNs}
+	c.curBuf = EpochRecord{Epoch: epoch, StartNs: nowNs}
+	c.cur = &c.curBuf
 	c.seq = 0
 }
 
@@ -251,34 +266,61 @@ func (c *Collector) closeEpoch() {
 	if c.cur == nil {
 		return
 	}
-	c.epochs = append(c.epochs, *c.cur)
+	c.epochs = append(c.epochs, *c.cur) //sbvet:allow hotpath(epoch history is retained by design; one record append per epoch)
 	c.cur = nil
 	if c.cfg.MaxEpochs > 0 && len(c.epochs) > c.cfg.MaxEpochs {
 		n := len(c.epochs) - c.cfg.MaxEpochs
 		c.dropped += n
-		c.epochs = append(c.epochs[:0], c.epochs[n:]...)
+		c.epochs = append(c.epochs[:0], c.epochs[n:]...) //sbvet:allow hotpath(cannot grow — eviction compacts the history into its own backing array)
 	}
 }
 
 // Span appends one span to the current epoch. Spans emitted before any
 // BeginEpoch land in an implicit epoch 0 record.
+//
+//sbvet:hotpath
 func (c *Collector) Span(phase string, startNs, durNs int64, attrs ...Attr) {
 	if c == nil {
 		return
 	}
 	if c.cur == nil {
-		c.cur = &EpochRecord{Epoch: 0, StartNs: startNs}
+		c.curBuf = EpochRecord{Epoch: 0, StartNs: startNs}
+		c.cur = &c.curBuf
 		c.seq = 0
 	}
-	c.cur.Spans = append(c.cur.Spans, Span{
+	c.cur.Spans = append(c.cur.Spans, Span{ //sbvet:allow hotpath(the epoch history retains every span; a fresh spans slice per epoch is inherent to retention)
 		Epoch:   c.cur.Epoch,
 		Seq:     c.seq,
 		Phase:   phase,
 		StartNs: startNs,
 		DurNs:   durNs,
-		Attrs:   attrs,
+		Attrs:   c.internAttrs(attrs),
 	})
 	c.seq++
+}
+
+// attrChunkSize is the attribute-arena chunk capacity; one chunk
+// allocation amortises over this many retained attributes.
+const attrChunkSize = 256
+
+// internAttrs copies attrs into the collector's arena and returns a
+// stable full-capacity view, so callers keep ownership of (and may
+// overwrite) their argument buffer. Chunks are replaced when exhausted,
+// never grown in place, so earlier views stay valid.
+func (c *Collector) internAttrs(attrs []Attr) []Attr {
+	if len(attrs) == 0 {
+		return nil
+	}
+	if cap(c.attrArena)-len(c.attrArena) < len(attrs) {
+		n := attrChunkSize
+		if len(attrs) > n {
+			n = len(attrs)
+		}
+		c.attrArena = make([]Attr, 0, n) //sbvet:allow hotpath(arena chunk; one allocation amortises over attrChunkSize retained attributes)
+	}
+	start := len(c.attrArena)
+	c.attrArena = append(c.attrArena, attrs...) //sbvet:allow hotpath(cannot grow — the guard above replaced the chunk when remaining capacity was short)
+	return c.attrArena[start:len(c.attrArena):len(c.attrArena)]
 }
 
 // Anomaly records a flight-recorder trigger at the current epoch and,
@@ -296,11 +338,11 @@ func (c *Collector) Anomaly(atNs int64, reason, detail string) {
 		epoch = c.epochs[n-1].Epoch
 	}
 	an := Anomaly{Epoch: epoch, AtNs: atNs, Reason: reason, Detail: detail}
-	c.anomalies = append(c.anomalies, an)
+	c.anomalies = append(c.anomalies, an) //sbvet:allow hotpath(anomalies are rare by definition; the list is retained for export)
 	if len(c.dumps) >= c.cfg.MaxDumps {
 		return
 	}
-	c.dumps = append(c.dumps, Dump{
+	c.dumps = append(c.dumps, Dump{ //sbvet:allow hotpath(flight-recorder dump; runs at most MaxDumps times per run)
 		Anomaly: an,
 		Window:  c.window(),
 		Metrics: c.reg.Snapshot(),
@@ -312,15 +354,15 @@ func (c *Collector) Anomaly(atNs int64, reason, detail string) {
 func (c *Collector) window() []EpochRecord {
 	all := c.epochs
 	if c.cur != nil {
-		all = append(append([]EpochRecord(nil), all...), *c.cur)
+		all = append(append([]EpochRecord(nil), all...), *c.cur) //sbvet:allow hotpath(flight-recorder dump path; runs at most MaxDumps times per run)
 	}
 	if len(all) > c.cfg.FlightEpochs {
 		all = all[len(all)-c.cfg.FlightEpochs:]
 	}
-	out := make([]EpochRecord, len(all))
+	out := make([]EpochRecord, len(all)) //sbvet:allow hotpath(flight-recorder dump path; runs at most MaxDumps times per run)
 	for i := range all {
 		out[i] = all[i]
-		out[i].Spans = append([]Span(nil), all[i].Spans...)
+		out[i].Spans = append([]Span(nil), all[i].Spans...) //sbvet:allow hotpath(flight-recorder dump path; runs at most MaxDumps times per run)
 	}
 	return out
 }

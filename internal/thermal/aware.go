@@ -27,6 +27,12 @@ type Aware struct {
 	MaxDerate float64
 
 	lastEpoch kernel.Time
+
+	// Per-epoch scratch (hot-path purity contract, DESIGN.md §11):
+	// powerScratch feeds the tracker, weightScratch feeds the inner
+	// controller, both rewritten every epoch.
+	powerScratch  []float64
+	weightScratch []float64
 }
 
 // NewAware builds a thermal-aware wrapper with default thresholds
@@ -61,10 +67,10 @@ func (a *Aware) SetTelemetry(c *telemetry.Collector) { a.inner.SetTelemetry(c) }
 // Validate checks the derating thresholds.
 func (a *Aware) Validate() error {
 	if a.CriticalC <= a.DerateAboveC {
-		return fmt.Errorf("thermal: critical %gC <= derate-above %gC", a.CriticalC, a.DerateAboveC)
+		return fmt.Errorf("thermal: critical %gC <= derate-above %gC", a.CriticalC, a.DerateAboveC) //sbvet:allow hotpath(diagnostic formats only on the rejected-config path)
 	}
 	if a.MaxDerate <= 0 || a.MaxDerate > 1 {
-		return fmt.Errorf("thermal: max derate %g outside (0,1]", a.MaxDerate)
+		return fmt.Errorf("thermal: max derate %g outside (0,1]", a.MaxDerate) //sbvet:allow hotpath(diagnostic formats only on the rejected-config path)
 	}
 	return nil
 }
@@ -81,7 +87,7 @@ func (a *Aware) Rebalance(k *kernel.Kernel, now kernel.Time,
 			dt = k.Config().EpochNs
 		}
 		a.lastEpoch = now
-		power := make([]float64, len(cores))
+		power := a.growPower(len(cores))
 		for j := range cores {
 			window := cores[j].BusyNs + cores[j].SleepNs
 			if window > 0 {
@@ -90,12 +96,35 @@ func (a *Aware) Rebalance(k *kernel.Kernel, now kernel.Time,
 		}
 		_ = a.tracker.Advance(dt, power)
 	}
-	weights := make([]float64, a.tracker.NumCores())
-	for j, temp := range a.tracker.Temps() {
+	weights := a.growWeights(a.tracker.NumCores())
+	for j, temp := range a.tracker.temps {
 		weights[j] = a.weightFor(temp)
 	}
 	a.inner.SetWeights(weights)
 	a.inner.Rebalance(k, now, threads, cores)
+}
+
+// growPower returns the power scratch resized to n; contents are
+// rewritten by the caller.
+func (a *Aware) growPower(n int) []float64 {
+	if cap(a.powerScratch) < n {
+		a.powerScratch = make([]float64, n) //sbvet:allow hotpath(scratch grows to the high-water mark once; steady-state epochs reuse it)
+	}
+	a.powerScratch = a.powerScratch[:n]
+	for j := range a.powerScratch {
+		a.powerScratch[j] = 0
+	}
+	return a.powerScratch
+}
+
+// growWeights returns the weight scratch resized to n; contents are
+// rewritten by the caller.
+func (a *Aware) growWeights(n int) []float64 {
+	if cap(a.weightScratch) < n {
+		a.weightScratch = make([]float64, n) //sbvet:allow hotpath(scratch grows to the high-water mark once; steady-state epochs reuse it)
+	}
+	a.weightScratch = a.weightScratch[:n]
+	return a.weightScratch
 }
 
 // weightFor maps a temperature to an objective weight.

@@ -119,10 +119,10 @@ func (t *Tracker) NumCores() int { return len(t.temps) }
 // target T_amb + P*R (+ lateral coupling toward the die mean).
 func (t *Tracker) Advance(dtNs int64, powerW []float64) error {
 	if dtNs <= 0 {
-		return fmt.Errorf("thermal: non-positive step %d", dtNs)
+		return fmt.Errorf("thermal: non-positive step %d", dtNs) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 	}
 	if len(powerW) != len(t.temps) {
-		return fmt.Errorf("thermal: %d power samples for %d cores", len(powerW), len(t.temps))
+		return fmt.Errorf("thermal: %d power samples for %d cores", len(powerW), len(t.temps)) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 	}
 	mean := 0.0
 	for _, v := range t.temps {
@@ -131,7 +131,7 @@ func (t *Tracker) Advance(dtNs int64, powerW []float64) error {
 	mean /= float64(len(t.temps))
 	for j := range t.temps {
 		if powerW[j] < 0 {
-			return fmt.Errorf("thermal: negative power on core %d", j)
+			return fmt.Errorf("thermal: negative power on core %d", j) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 		}
 		target := t.params.AmbientC + powerW[j]*t.params.ResistanceKPerW[j]
 		target += t.params.Coupling * (mean - t.temps[j])
@@ -146,7 +146,7 @@ func (t *Tracker) Advance(dtNs int64, powerW []float64) error {
 
 // Temps returns a copy of the current per-core temperatures (C).
 func (t *Tracker) Temps() []float64 {
-	return append([]float64(nil), t.temps...)
+	return append([]float64(nil), t.temps...) //sbvet:allow hotpath(defensive copy for external callers; the thermal wrapper's epoch path reads t.temps directly)
 }
 
 // Max returns the current hottest core temperature.

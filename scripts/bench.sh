@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench.sh — regenerate BENCH_core.json, the repo's performance
+# trajectory record (ROADMAP item 2): the epoch hot-path cost in both
+# telemetry states (ns/epoch, allocs/epoch) and the sweep engine's
+# scenario throughput (scenarios/sec), plus the pre-refactor baseline
+# the sbvet hotpath contract was introduced against. Future PRs diff
+# their numbers against the committed file.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 20x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${1:-20x}"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Hot-epoch pair: one replayed sense→predict→balance iteration.
+go test -run '^$' -bench '^(BenchmarkEpochHot|BenchmarkEpochHotTelemetry)$' \
+    -benchmem -benchtime "$benchtime" . >"$tmp/epoch.out"
+
+# Sweep throughput: BenchmarkReplicateParallel replicates 4 seeds of F6
+# per op on the full worker pool.
+go test -run '^$' -bench '^BenchmarkReplicateParallel$' \
+    -benchtime 2x . >"$tmp/sweep.out"
+
+awk '
+function field(line, n,   parts) { split(line, parts, /[ \t]+/); return parts[n] }
+/^BenchmarkEpochHot-|^BenchmarkEpochHot / {
+    ns_off = field($0, 3); allocs_off = field($0, 7)
+}
+/^BenchmarkEpochHotTelemetry/ {
+    ns_on = field($0, 3); allocs_on = field($0, 7)
+}
+END {
+    if (ns_off == "" || ns_on == "") { print "bench.sh: missing epoch benchmark output" > "/dev/stderr"; exit 1 }
+    printf "%s %s %s %s\n", ns_off, allocs_off, ns_on, allocs_on
+}' "$tmp/epoch.out" >"$tmp/epoch.vals"
+
+awk '
+/^BenchmarkReplicateParallel/ {
+    ns = $3
+}
+END {
+    if (ns == "") { print "bench.sh: missing sweep benchmark output" > "/dev/stderr"; exit 1 }
+    # 4 scenarios (seeds) per benchmark op.
+    printf "%.3f\n", 4.0 / (ns * 1e-9)
+}' "$tmp/sweep.out" >"$tmp/sweep.vals"
+
+read -r ns_off allocs_off ns_on allocs_on <"$tmp/epoch.vals"
+read -r scen_per_sec <"$tmp/sweep.vals"
+
+cat >BENCH_core.json <<EOF
+{
+  "schema": "sbbench-v1",
+  "epoch": {
+    "ns_per_epoch": $ns_off,
+    "allocs_per_epoch": $allocs_off,
+    "ns_per_epoch_telemetry": $ns_on,
+    "allocs_per_epoch_telemetry": $allocs_on
+  },
+  "sweep": {
+    "scenarios_per_sec": $scen_per_sec
+  },
+  "baseline_pre_hotpath": {
+    "ns_per_epoch": 729051,
+    "allocs_per_epoch": 10774,
+    "ns_per_epoch_telemetry": 969274,
+    "allocs_per_epoch_telemetry": 10785
+  }
+}
+EOF
+
+echo "ok: wrote BENCH_core.json"
+cat BENCH_core.json

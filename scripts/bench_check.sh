@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench_check.sh — the BENCH_core.json gate: the committed benchmark
+# record must exist, carry the sbbench-v1 schema with every required
+# key, and reflect the post-hotpath allocation contract (a telemetry-off
+# epoch allocates nothing; an enabled one stays within the documented
+# suppression budget). A stale pre-refactor file fails here, forcing
+# `make bench` to be rerun after hot-path changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+f=BENCH_core.json
+if [ ! -f "$f" ]; then
+    echo "bench-check: $f missing; run scripts/bench.sh" >&2
+    exit 1
+fi
+
+if ! grep -q '"schema": "sbbench-v1"' "$f"; then
+    echo "bench-check: $f does not declare schema sbbench-v1" >&2
+    exit 1
+fi
+
+for key in ns_per_epoch allocs_per_epoch ns_per_epoch_telemetry \
+           allocs_per_epoch_telemetry scenarios_per_sec; do
+    if ! grep -Eq "\"$key\": [0-9]" "$f"; then
+        echo "bench-check: $f missing numeric key \"$key\"" >&2
+        exit 1
+    fi
+done
+
+allocs_off=$(grep -m1 '"allocs_per_epoch":' "$f" | grep -Eo '[0-9.]+' | tail -1)
+allocs_on=$(grep -m1 '"allocs_per_epoch_telemetry":' "$f" | grep -Eo '[0-9.]+' | tail -1)
+
+if ! awk -v v="$allocs_off" 'BEGIN { exit !(v == 0) }'; then
+    echo "bench-check: recorded telemetry-off allocs/epoch is $allocs_off, want 0 (stale file? rerun scripts/bench.sh)" >&2
+    exit 1
+fi
+if ! awk -v v="$allocs_on" 'BEGIN { exit !(v <= 8) }'; then
+    echo "bench-check: recorded telemetry-on allocs/epoch is $allocs_on, want <= 8 (stale file? rerun scripts/bench.sh)" >&2
+    exit 1
+fi
+
+echo "ok: BENCH_core.json schema-valid (allocs/epoch off=$allocs_off on=$allocs_on)"

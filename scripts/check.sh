@@ -17,7 +17,8 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
-echo "== sbvet ./..."
+echo "== sbvet ./... (includes the hotpath hard gate: zero unsuppressed"
+echo "   allocations reachable from //sbvet:hotpath roots)"
 go run ./cmd/sbvet ./...
 
 echo "== go build ./..."
@@ -31,6 +32,9 @@ echo "== fault-check"
 
 echo "== telemetry-check"
 ./scripts/telemetry_check.sh
+
+echo "== bench-check"
+./scripts/bench_check.sh
 
 echo "== go test -race ./..."
 go test -race ./...

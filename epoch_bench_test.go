@@ -20,7 +20,7 @@ import (
 // epoch's sensing snapshot so benchmarks can replay it.
 type captureBalancer struct {
 	inner   *SmartBalanceController
-	threads map[int]*hpc.ThreadEpochSample
+	threads []hpc.ThreadSample
 	cores   []hpc.CoreEpochSample
 	now     kernel.Time
 }
@@ -28,7 +28,7 @@ type captureBalancer struct {
 func (c *captureBalancer) Name() string { return c.inner.Name() }
 
 func (c *captureBalancer) Rebalance(k *kernel.Kernel, now kernel.Time,
-	threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample) {
+	threads []hpc.ThreadSample, cores []hpc.CoreEpochSample) {
 	c.threads, c.cores, c.now = threads, cores, now
 	c.inner.Rebalance(k, now, threads, cores)
 }

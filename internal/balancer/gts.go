@@ -69,7 +69,7 @@ func (g *GTS) bind(p *arch.Platform) error {
 func (g *GTS) Name() string { return "arm-gts" }
 
 // Rebalance implements kernel.Balancer.
-func (g *GTS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+func (g *GTS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	if !g.initialized {
 		if err := g.bind(k.Platform()); err != nil {
 			return

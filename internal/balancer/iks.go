@@ -52,7 +52,7 @@ func NewIKS(p *arch.Platform) (*IKS, error) {
 func (i *IKS) Name() string { return "linaro-iks" }
 
 // Rebalance implements kernel.Balancer.
-func (i *IKS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+func (i *IKS) Rebalance(k *kernel.Kernel, _ kernel.Time, _ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	if !i.isValid {
 		return
 	}

@@ -20,7 +20,7 @@ type Static struct {
 func (Static) Name() string { return "static" }
 
 // Rebalance implements kernel.Balancer.
-func (s Static) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+func (s Static) Rebalance(k *kernel.Kernel, _ kernel.Time, _ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	for _, t := range k.ActiveTasks() {
 		dst := arch.CoreID(0)
 		if s.Assign != nil {
@@ -46,7 +46,7 @@ func NewRandom(seed uint64) *Random {
 func (*Random) Name() string { return "random" }
 
 // Rebalance implements kernel.Balancer.
-func (b *Random) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+func (b *Random) Rebalance(k *kernel.Kernel, _ kernel.Time, _ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	n := k.NumCores()
 	for _, t := range k.ActiveTasks() {
 		_ = k.Migrate(t.ID, arch.CoreID(b.r.Intn(n)))
@@ -61,5 +61,5 @@ type Pinned struct{}
 func (Pinned) Name() string { return "pinned" }
 
 // Rebalance implements kernel.Balancer.
-func (Pinned) Rebalance(*kernel.Kernel, kernel.Time, map[int]*hpc.ThreadEpochSample, []hpc.CoreEpochSample) {
+func (Pinned) Rebalance(*kernel.Kernel, kernel.Time, []hpc.ThreadSample, []hpc.CoreEpochSample) {
 }

@@ -30,7 +30,7 @@ func (Vanilla) Name() string { return "vanilla-linux" }
 // task from the busiest core to the idlest core while doing so reduces
 // the imbalance, exactly like the find_busiest_group/pull path but
 // collapsed to one flat scheduling domain.
-func (Vanilla) Rebalance(k *kernel.Kernel, _ kernel.Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+func (Vanilla) Rebalance(k *kernel.Kernel, _ kernel.Time, _ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	n := k.NumCores()
 	if n < 2 {
 		return

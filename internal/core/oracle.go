@@ -36,7 +36,7 @@ func (o *OracleBalance) Name() string { return "oracle" }
 
 // Rebalance implements kernel.Balancer.
 func (o *OracleBalance) Rebalance(k *kernel.Kernel, _ kernel.Time,
-	_ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+	_ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	o.epochs++
 	tasks := k.ActiveTasks()
 	if len(tasks) == 0 {

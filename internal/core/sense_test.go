@@ -24,11 +24,11 @@ type senseCapture struct {
 
 func (s *senseCapture) Name() string { return "sense-capture" }
 func (s *senseCapture) Rebalance(k *kernel.Kernel, _ kernel.Time,
-	threads map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+	threads []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	plat := k.Platform()
 	typeOf := func(c arch.CoreID) arch.CoreTypeID { return plat.TypeID(c) }
 	for _, t := range k.ActiveTasks() {
-		if m, ok := Sense(threads[int(t.ID)], t.Utilization(k.Config().EpochNs), typeOf); ok {
+		if m, ok := Sense(hpc.FindThread(threads, int(t.ID)), t.Utilization(k.Config().EpochNs), typeOf); ok {
 			s.last[t.ID] = m
 		}
 	}
@@ -148,12 +148,12 @@ func TestSensedMeasurementUnderTimeSharing(t *testing.T) {
 }
 
 func TestSenseSkipsThreadsThatNeverRan(t *testing.T) {
-	sample := &hpc.ThreadEpochSample{PerCore: map[int]*hpc.Counters{}}
+	sample := &hpc.ThreadEpochSample{}
 	if _, ok := Sense(sample, 0.2, nil); ok {
 		t.Fatal("empty sample sensed")
 	}
 	// Zero instructions: also rejected.
-	sample.PerCore[0] = &hpc.Counters{RunNs: 100}
+	sample.PerCore = append(sample.PerCore, hpc.CoreCounters{Core: 0, C: hpc.Counters{RunNs: 100}})
 	typeOf := func(arch.CoreID) arch.CoreTypeID { return 0 }
 	if _, ok := Sense(sample, 0.2, typeOf); ok {
 		t.Fatal("zero-instruction sample sensed")

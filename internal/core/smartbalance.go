@@ -267,7 +267,7 @@ func (s *SmartBalance) confidence(id kernel.ThreadID) float64 {
 //
 //sbvet:hotpath
 func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
-	threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample) {
+	threads []hpc.ThreadSample, cores []hpc.CoreEpochSample) {
 	plat := k.Platform()
 	if plat.NumTypes() != s.pred.NumTypes() {
 		// Mis-paired predictor/platform: refuse to act rather than act
@@ -311,7 +311,7 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 			continue
 		}
 		util := task.Utilization(epochNs)
-		m, status := SenseChecked(threads[int(task.ID)], util, plat)
+		m, status := SenseChecked(hpc.FindThread(threads, int(task.ID)), util, plat)
 		if status == SenseNoSample && task.EpochRunNs() > 0 {
 			// The scheduler accounted run time this epoch, so counters
 			// were recorded — a missing/empty sample means the sensing

@@ -19,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -226,7 +225,7 @@ type Injector struct {
 
 	// prev is the previous epoch's unperturbed snapshot, the source of
 	// stale-replay faults.
-	prev  map[int]*hpc.ThreadEpochSample
+	prev  []hpc.ThreadSample
 	stats Stats
 }
 
@@ -264,29 +263,26 @@ func (in *Injector) spikeFactor() float64 {
 // selects at most one sensor fault; per-core power sensors then draw
 // independently. The unperturbed snapshot is retained for next epoch's
 // stale replays.
-func (in *Injector) FilterEpoch(epoch int, now kernel.Time, threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample) (map[int]*hpc.ThreadEpochSample, []hpc.CoreEpochSample) {
+func (in *Injector) FilterEpoch(epoch int, now kernel.Time, threads []hpc.ThreadSample, cores []hpc.CoreEpochSample) ([]hpc.ThreadSample, []hpc.CoreEpochSample) {
 	in.stats.Epochs++
 	if in.plan.sensorSum() <= 0 {
 		in.prev = threads
 		return threads, cores
 	}
-	ids := make([]int, 0, len(threads)) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
-	for tid := range threads {          //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
-		ids = append(ids, tid) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
-	}
-	sort.Ints(ids)
-
-	out := make(map[int]*hpc.ThreadEpochSample, len(threads)) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
+	// The snapshot is sorted ascending by thread id (the
+	// hpc.Bank.Snapshot contract), so iterating in slice order consumes
+	// rng draws in sorted-id order exactly as the map-era sort did.
+	out := make([]hpc.ThreadSample, 0, len(threads)) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 	p := in.plan
-	for _, tid := range ids {
-		s := threads[tid]
+	for i := range threads {
+		tid, s := threads[i].Thread, threads[i].Sample
 		u := in.r.Float64()
 		switch {
 		case u < p.DropRate:
 			in.stats.Dropped++
 		case u < p.DropRate+p.StaleRate:
-			if prev := in.prev[tid]; prev != nil {
-				out[tid] = copySample(prev)
+			if prev := hpc.FindThread(in.prev, tid); prev != nil {
+				out = append(out, hpc.ThreadSample{Thread: tid, Sample: copySample(prev)}) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 				in.stats.Staled++
 			} else {
 				// Nothing to replay yet: the sensor delivered garbage
@@ -300,20 +296,20 @@ func (in *Injector) FilterEpoch(epoch int, now kernel.Time, threads map[int]*hpc
 			} else {
 				saturateSample(c)
 			}
-			out[tid] = c
+			out = append(out, hpc.ThreadSample{Thread: tid, Sample: c}) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 			in.stats.Corrupted++
 		case u < p.DropRate+p.StaleRate+p.CorruptRate+p.PowerDropRate:
 			c := copySample(s)
 			scaleEnergy(c, 0)
-			out[tid] = c
+			out = append(out, hpc.ThreadSample{Thread: tid, Sample: c}) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 			in.stats.PowerDrops++
 		case u < p.sensorSum():
 			c := copySample(s)
 			scaleEnergy(c, in.spikeFactor())
-			out[tid] = c
+			out = append(out, hpc.ThreadSample{Thread: tid, Sample: c}) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 			in.stats.PowerSpikes++
 		default:
-			out[tid] = s
+			out = append(out, threads[i]) //sbvet:allow hotpath(fault-experiment path; guarded by sensorSum()>0, unreachable in clean runs)
 		}
 	}
 
@@ -351,20 +347,16 @@ func (in *Injector) MigrateFault(now kernel.Time, id kernel.ThreadID, dst arch.C
 }
 
 // copySample deep-copies a thread sample so perturbations never alias
-// the clean snapshot retained for stale replay.
+// the clean snapshot retained for stale replay (snapshot views are
+// bank-owned double buffers, valid only until the next epoch).
 func copySample(s *hpc.ThreadEpochSample) *hpc.ThreadEpochSample {
-	c := &hpc.ThreadEpochSample{PerCore: make(map[int]*hpc.Counters, len(s.PerCore))} //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
-	for core, cnt := range s.PerCore {                                                //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
-		cc := *cnt
-		c.PerCore[core] = &cc
-	}
-	return c
+	return &hpc.ThreadEpochSample{PerCore: append([]hpc.CoreCounters(nil), s.PerCore...)} //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
 }
 
 // zeroSample wipes every counter: the bank lost the thread's state.
 func zeroSample(s *hpc.ThreadEpochSample) {
-	for core := range s.PerCore { //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
-		s.PerCore[core] = &hpc.Counters{} //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
+	for i := range s.PerCore {
+		s.PerCore[i].C = hpc.Counters{}
 	}
 }
 
@@ -372,7 +364,8 @@ func zeroSample(s *hpc.ThreadEpochSample) {
 // scheduler-owned run time intact — the measured rates become wildly
 // implausible, which is exactly what the hardened Sense must catch.
 func saturateSample(s *hpc.ThreadEpochSample) {
-	for _, c := range s.PerCore { //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
+	for i := range s.PerCore {
+		c := &s.PerCore[i].C
 		c.Instructions = saturated
 		c.MemInstructions = saturated
 		c.BranchInstructions = saturated
@@ -388,7 +381,7 @@ func saturateSample(s *hpc.ThreadEpochSample) {
 
 // scaleEnergy multiplies every power reading in the sample.
 func scaleEnergy(s *hpc.ThreadEpochSample, factor float64) {
-	for _, c := range s.PerCore { //sbvet:allow hotpath(fault-experiment path; reached only from FilterEpoch perturbation branches)
-		c.EnergyJ *= factor
+	for i := range s.PerCore {
+		s.PerCore[i].C.EnergyJ *= factor
 	}
 }

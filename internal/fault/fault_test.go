@@ -11,20 +11,21 @@ import (
 
 // mkSample builds a single-core thread sample with plausible counters.
 func mkSample(core int, instr uint64, energy float64) *hpc.ThreadEpochSample {
-	return &hpc.ThreadEpochSample{PerCore: map[int]*hpc.Counters{
-		core: {
+	return &hpc.ThreadEpochSample{PerCore: []hpc.CoreCounters{{
+		Core: core,
+		C: hpc.Counters{
 			RunNs:        1_000_000,
 			Instructions: instr,
 			CyclesBusy:   instr + instr/2,
 			EnergyJ:      energy,
 		},
-	}}
+	}}}
 }
 
-func mkThreads(n int) map[int]*hpc.ThreadEpochSample {
-	m := make(map[int]*hpc.ThreadEpochSample, n)
+func mkThreads(n int) []hpc.ThreadSample {
+	m := make([]hpc.ThreadSample, n)
 	for i := 0; i < n; i++ {
-		m[i] = mkSample(i%2, 1000+uint64(i), 0.01*float64(i+1))
+		m[i] = hpc.ThreadSample{Thread: i, Sample: mkSample(i%2, 1000+uint64(i), 0.01*float64(i+1))}
 	}
 	return m
 }
@@ -74,9 +75,9 @@ func TestDeterministicPerSeed(t *testing.T) {
 		energies := make(map[int]float64)
 		for epoch := 1; epoch <= 50; epoch++ {
 			threads, cores := in.FilterEpoch(epoch, kernel.Time(epoch)*60e6, mkThreads(6), mkCores())
-			for tid, s := range threads {
-				tot := s.Total()
-				energies[tid*1000+epoch] = tot.EnergyJ
+			for _, s := range threads {
+				tot := s.Sample.Total()
+				energies[s.Thread*1000+epoch] = tot.EnergyJ
 			}
 			_ = cores
 			_ = in.MigrateFault(kernel.Time(epoch)*60e6, 1, 0)
@@ -119,13 +120,13 @@ func TestStaleReplaysPreviousEpoch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Epoch 1: no history, so stale degrades to drop.
-	out1, _ := in.FilterEpoch(1, 0, map[int]*hpc.ThreadEpochSample{3: mkSample(0, 100, 1.0)}, mkCores())
+	out1, _ := in.FilterEpoch(1, 0, []hpc.ThreadSample{{Thread: 3, Sample: mkSample(0, 100, 1.0)}}, mkCores())
 	if len(out1) != 0 {
 		t.Fatalf("stale with no history should drop, got %d samples", len(out1))
 	}
 	// Epoch 2: replays epoch 1's clean sample, not epoch 2's.
-	out2, _ := in.FilterEpoch(2, 0, map[int]*hpc.ThreadEpochSample{3: mkSample(0, 200, 2.0)}, mkCores())
-	s := out2[3]
+	out2, _ := in.FilterEpoch(2, 0, []hpc.ThreadSample{{Thread: 3, Sample: mkSample(0, 200, 2.0)}}, mkCores())
+	s := hpc.FindThread(out2, 3)
 	if s == nil {
 		t.Fatal("stale fault dropped the sample instead of replaying")
 	}
@@ -134,8 +135,8 @@ func TestStaleReplaysPreviousEpoch(t *testing.T) {
 	}
 	// Epoch 3 replays epoch 2's clean value: prev tracks the true
 	// snapshot, not the perturbed one.
-	out3, _ := in.FilterEpoch(3, 0, map[int]*hpc.ThreadEpochSample{3: mkSample(0, 300, 3.0)}, mkCores())
-	if got := out3[3].Total().Instructions; got != 200 {
+	out3, _ := in.FilterEpoch(3, 0, []hpc.ThreadSample{{Thread: 3, Sample: mkSample(0, 300, 3.0)}}, mkCores())
+	if got := hpc.FindThread(out3, 3).Total().Instructions; got != 200 {
 		t.Fatalf("want epoch-2 instructions 200 replayed, got %d", got)
 	}
 	st := in.Stats()
@@ -151,8 +152,8 @@ func TestCorruptZeroesOrSaturates(t *testing.T) {
 	}
 	zeroed, sat := 0, 0
 	for epoch := 1; epoch <= 20; epoch++ {
-		out, _ := in.FilterEpoch(epoch, 0, map[int]*hpc.ThreadEpochSample{1: mkSample(0, 500, 1.0)}, mkCores())
-		tot := out[1].Total()
+		out, _ := in.FilterEpoch(epoch, 0, []hpc.ThreadSample{{Thread: 1, Sample: mkSample(0, 500, 1.0)}}, mkCores())
+		tot := hpc.FindThread(out, 1).Total()
 		switch tot.Instructions {
 		case 0:
 			zeroed++
@@ -175,9 +176,9 @@ func TestPowerFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	threads := map[int]*hpc.ThreadEpochSample{1: mkSample(0, 500, 2.5)}
+	threads := []hpc.ThreadSample{{Thread: 1, Sample: mkSample(0, 500, 2.5)}}
 	outT, outC := in.FilterEpoch(1, 0, threads, mkCores())
-	if e := outT[1].Total().EnergyJ; e != 0 { //sbvet:allow floateq(injected drop writes exactly zero)
+	if e := hpc.FindThread(outT, 1).Total().EnergyJ; e != 0 { //sbvet:allow floateq(injected drop writes exactly zero)
 		t.Fatalf("power drop left thread energy %g", e)
 	}
 	for i := range outC {
@@ -186,7 +187,7 @@ func TestPowerFaults(t *testing.T) {
 		}
 	}
 	// Ground truth must be untouched.
-	if e := threads[1].Total().EnergyJ; math.Abs(e-2.5) > 1e-15 {
+	if e := threads[0].Sample.Total().EnergyJ; math.Abs(e-2.5) > 1e-15 {
 		t.Fatalf("injector mutated the clean sample: %g", e)
 	}
 
@@ -194,8 +195,8 @@ func TestPowerFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	outT, outC = spike.FilterEpoch(1, 0, map[int]*hpc.ThreadEpochSample{1: mkSample(0, 500, 2.5)}, mkCores())
-	if e := outT[1].Total().EnergyJ; math.Abs(e-10) > 1e-12 {
+	outT, outC = spike.FilterEpoch(1, 0, []hpc.ThreadSample{{Thread: 1, Sample: mkSample(0, 500, 2.5)}}, mkCores())
+	if e := hpc.FindThread(outT, 1).Total().EnergyJ; math.Abs(e-10) > 1e-12 {
 		t.Fatalf("want 4x spike = 10 J, got %g", e)
 	}
 	if e := outC[0].Agg.EnergyJ; math.Abs(e-2.0) > 1e-12 {

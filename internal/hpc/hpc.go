@@ -9,6 +9,20 @@
 // Gaussian noise into the power readings (the counters themselves are
 // exact in hardware). This keeps the Fig. 6 prediction-error evaluation
 // honest.
+//
+// # Storage layout
+//
+// The Bank is a flat structure-of-arrays slot store (DESIGN.md §12):
+// each live (thread, core) pair owns one slot in parallel arrays
+// (counters, owning core, chain link, epoch stamp), threaded into a
+// per-thread chain kept sorted by core id. Epoch rollover is O(1) — a
+// stamp bump lazily invalidates every slot — and slots freed by
+// ReleaseThread go to an ordered free-list so the lowest slot index is
+// always reused first, keeping the store dense and slot assignment
+// deterministic. Snapshots copy the epoch's live slots into
+// double-buffered output arenas sorted by (thread, core), so the hot
+// sense path performs no map operations and no steady-state
+// allocations.
 package hpc
 
 import (
@@ -113,35 +127,71 @@ type Noise struct {
 	PowerSigma float64
 }
 
+// CoreCounters pairs a core id with the counters a thread accumulated
+// on that core.
+type CoreCounters struct {
+	Core int
+	C    Counters
+}
+
 // ThreadEpochSample is the per-thread measurement of one epoch: counters
 // accumulated per core the thread ran on (threads can migrate
 // mid-epoch under balancers that act asynchronously).
 type ThreadEpochSample struct {
-	// PerCore maps core id -> accumulated counters on that core.
-	PerCore map[int]*Counters
+	// PerCore holds the accumulated counters per core, sorted ascending
+	// by core id. Iteration order is therefore deterministic; no caller
+	// can reintroduce map-order dependence.
+	PerCore []CoreCounters
 }
 
 // Total returns all counters summed across cores.
 func (s *ThreadEpochSample) Total() Counters {
 	var t Counters
-	for _, c := range s.PerCore {
-		t.Add(c)
+	for i := range s.PerCore {
+		t.Add(&s.PerCore[i].C)
 	}
 	return t
 }
 
 // DominantCore returns the core the thread spent most run time on
-// during the epoch and the counters accumulated there. ok is false when
-// the thread never ran.
+// during the epoch and the counters accumulated there; ties resolve to
+// the smallest core id (free with the sorted PerCore order). ok is
+// false when the thread never ran.
 func (s *ThreadEpochSample) DominantCore() (core int, c *Counters, ok bool) {
 	best := int64(-1)
-	for id, cc := range s.PerCore { //sbvet:allow hotpath(tiny map — one entry per core the thread touched this epoch; the id tie-break below keeps the pick order-independent)
-		if cc.RunNs > best || (cc.RunNs == best && ok && id < core) {
-			best = cc.RunNs
-			core, c, ok = id, cc, true
+	for i := range s.PerCore {
+		cc := &s.PerCore[i]
+		if cc.C.RunNs > best {
+			best = cc.C.RunNs
+			core, c, ok = cc.Core, &cc.C, true
 		}
 	}
 	return core, c, ok
+}
+
+// ThreadSample pairs a thread id with its epoch sample inside a
+// snapshot, which is sorted ascending by Thread.
+type ThreadSample struct {
+	Thread int
+	Sample *ThreadEpochSample
+}
+
+// FindThread binary-searches a snapshot (sorted ascending by thread id)
+// for tid; nil when the thread has no sample this epoch.
+func FindThread(threads []ThreadSample, tid int) *ThreadEpochSample {
+	lo, hi := 0, len(threads)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if threads[mid].Thread < tid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(threads) && threads[lo].Thread == tid {
+		return threads[lo].Sample
+	}
+	return nil
 }
 
 // CoreEpochSample aggregates a core's view of one epoch.
@@ -163,14 +213,41 @@ func (c *CoreEpochSample) PowerW() float64 {
 	return (c.Agg.EnergyJ + c.SleepEnergyJ) / (float64(tot) * 1e-9)
 }
 
+// snapBuf is one of the two rotating snapshot output arenas.
+type snapBuf struct {
+	threads []ThreadSample
+	samples []ThreadEpochSample
+	perCore []CoreCounters
+}
+
 // Bank accumulates samples for one epoch across all cores and threads.
 type Bank struct {
 	numCores int
 	noise    Noise
 	r        *rng.Rand
 
-	threads map[int]*ThreadEpochSample
-	cores   []CoreEpochSample
+	// Slot store: parallel arrays indexed by slot. A slot belongs to one
+	// (thread, core) pair until the thread is released.
+	counters  []Counters
+	slotCore  []int32
+	slotNext  []int32  // next slot in the owning thread's chain, -1 ends
+	slotStamp []uint32 // epoch the slot was last written; lazy zeroing
+
+	// free holds released slots sorted descending, so allocSlot pops the
+	// lowest index first (the "ordered free-list": deterministic, dense).
+	free []int32
+
+	// threadHead maps thread id -> first chain slot (-1 none). Thread
+	// ids are expected dense (the kernel assigns them from 0).
+	threadHead []int32
+
+	epoch uint32
+
+	cores    []CoreEpochSample // accumulating buffer (coreBufs[active])
+	coreBufs [2][]CoreEpochSample
+	active   int
+	snaps    [2]snapBuf
+	snapIdx  int
 }
 
 // NewBank creates a counter bank for numCores cores.
@@ -181,13 +258,55 @@ func NewBank(numCores int, noise Noise, seed uint64) (*Bank, error) {
 	if noise.PowerSigma < 0 || noise.PowerSigma > 0.5 {
 		return nil, fmt.Errorf("hpc: power sigma %g outside [0, 0.5]", noise.PowerSigma)
 	}
-	return &Bank{
+	b := &Bank{
 		numCores: numCores,
 		noise:    noise,
 		r:        rng.New(seed),
-		threads:  make(map[int]*ThreadEpochSample),
-		cores:    make([]CoreEpochSample, numCores),
-	}, nil
+		epoch:    1,
+	}
+	b.coreBufs[0] = make([]CoreEpochSample, numCores)
+	b.coreBufs[1] = make([]CoreEpochSample, numCores)
+	b.cores = b.coreBufs[0]
+	return b, nil
+}
+
+// slotFor finds or creates the slot for (tid, core), keeping the
+// thread's chain sorted ascending by core. threadHead must already
+// cover tid.
+func (b *Bank) slotFor(tid, core int) int32 {
+	prev := int32(-1)
+	s := b.threadHead[tid]
+	for s >= 0 && int(b.slotCore[s]) < core {
+		prev, s = s, b.slotNext[s]
+	}
+	if s >= 0 && int(b.slotCore[s]) == core {
+		return s
+	}
+	ns := b.allocSlot(core)
+	b.slotNext[ns] = s
+	if prev < 0 {
+		b.threadHead[tid] = ns
+	} else {
+		b.slotNext[prev] = ns
+	}
+	return ns
+}
+
+// allocSlot takes the lowest free slot, or extends the store.
+func (b *Bank) allocSlot(core int) int32 {
+	if n := len(b.free); n > 0 {
+		s := b.free[n-1]
+		b.free = b.free[:n-1]
+		b.slotCore[s] = int32(core)
+		b.slotStamp[s] = 0
+		return s
+	}
+	s := int32(len(b.counters))
+	b.counters = append(b.counters, Counters{})  //sbvet:allow hotpath(slot store grows to the live (thread,core) population once; slots are reused via the free-list)
+	b.slotCore = append(b.slotCore, int32(core)) //sbvet:allow hotpath(slot store grows to the live (thread,core) population once; slots are reused via the free-list)
+	b.slotNext = append(b.slotNext, -1)          //sbvet:allow hotpath(slot store grows to the live (thread,core) population once; slots are reused via the free-list)
+	b.slotStamp = append(b.slotStamp, 0)         //sbvet:allow hotpath(slot store grows to the live (thread,core) population once; slots are reused via the free-list)
+	return s
 }
 
 // RecordSlice records the counter deltas of one scheduled slice of
@@ -198,6 +317,9 @@ func (b *Bank) RecordSlice(tid, core int, c Counters) error {
 	if core < 0 || core >= b.numCores {
 		return fmt.Errorf("hpc: core %d out of range [0,%d)", core, b.numCores)
 	}
+	if tid < 0 {
+		return fmt.Errorf("hpc: negative thread id %d", tid)
+	}
 	if c.RunNs < 0 {
 		return fmt.Errorf("hpc: negative run time %d", c.RunNs)
 	}
@@ -207,22 +329,62 @@ func (b *Bank) RecordSlice(tid, core int, c Counters) error {
 			c.EnergyJ = 0
 		}
 	}
-	ts := b.threads[tid]
-	if ts == nil {
-		ts = &ThreadEpochSample{PerCore: make(map[int]*Counters)}
-		b.threads[tid] = ts
+	if tid >= len(b.threadHead) {
+		b.growThreads(tid + 1)
 	}
-	cc := ts.PerCore[core]
-	if cc == nil {
-		cc = &Counters{}
-		ts.PerCore[core] = cc
+	s := b.slotFor(tid, core)
+	if b.slotStamp[s] != b.epoch {
+		b.slotStamp[s] = b.epoch
+		b.counters[s] = c
+	} else {
+		b.counters[s].Add(&c)
 	}
-	cc.Add(&c)
 
 	cs := &b.cores[core]
 	cs.BusyNs += c.RunNs
 	cs.Agg.Add(&c)
 	return nil
+}
+
+// growThreads extends threadHead to cover n thread ids.
+func (b *Bank) growThreads(n int) {
+	for len(b.threadHead) < n {
+		b.threadHead = append(b.threadHead, -1) //sbvet:allow hotpath(thread table grows to the peak thread-id once over a run)
+	}
+}
+
+// ReleaseThread returns every slot of an exited thread to the free-list
+// (lowest-index-first reuse). Call only after the thread's final epoch
+// has been snapshotted: snapshots copy slot data out, so released slots
+// never alias a live view.
+func (b *Bank) ReleaseThread(tid int) {
+	if tid < 0 || tid >= len(b.threadHead) {
+		return
+	}
+	for s := b.threadHead[tid]; s >= 0; {
+		next := b.slotNext[s]
+		b.slotNext[s] = -1
+		b.slotStamp[s] = 0
+		b.freeSlot(s)
+		s = next
+	}
+	b.threadHead[tid] = -1
+}
+
+// freeSlot inserts s into the descending-sorted free-list.
+func (b *Bank) freeSlot(s int32) {
+	lo, hi := 0, len(b.free)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.free[mid] > s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	b.free = append(b.free, 0) //sbvet:allow hotpath(free-list capacity is bounded by the peak live slot count; growth is amortized and the backing array is reused across epochs)
+	copy(b.free[lo+1:], b.free[lo:])
+	b.free[lo] = s
 }
 
 // RecordSleep accounts quiescent time (and its residual leakage energy)
@@ -239,14 +401,42 @@ func (b *Bank) RecordSleep(core int, ns int64, energyJ float64) error {
 	return nil
 }
 
-// Snapshot returns the accumulated epoch samples and resets the bank
-// for the next epoch. The returned maps/slices are owned by the caller.
-func (b *Bank) Snapshot() (map[int]*ThreadEpochSample, []CoreEpochSample) {
-	threads := b.threads
+// Snapshot returns the accumulated epoch samples — threads sorted
+// ascending by thread id, each sample's PerCore sorted ascending by
+// core — and resets the bank for the next epoch in O(live slots).
+//
+// The returned views are double-buffered bank scratch: they stay valid
+// until the *next* Snapshot call and must not be written. Callers that
+// need longer retention (e.g. fault injectors replaying stale samples)
+// must copy.
+func (b *Bank) Snapshot() ([]ThreadSample, []CoreEpochSample) {
+	o := &b.snaps[b.snapIdx]
+	b.snapIdx ^= 1
+	o.threads = o.threads[:0]
+	o.samples = o.samples[:0]
+	o.perCore = o.perCore[:0]
+	for tid := 0; tid < len(b.threadHead); tid++ {
+		start := len(o.perCore)
+		for s := b.threadHead[tid]; s >= 0; s = b.slotNext[s] {
+			if b.slotStamp[s] == b.epoch {
+				o.perCore = append(o.perCore, CoreCounters{Core: int(b.slotCore[s]), C: b.counters[s]}) //sbvet:allow hotpath(double-buffered snapshot arena — capacity reaches the live slot count once and is reused every other epoch)
+			}
+		}
+		if len(o.perCore) > start {
+			o.samples = append(o.samples, ThreadEpochSample{PerCore: o.perCore[start:len(o.perCore):len(o.perCore)]}) //sbvet:allow hotpath(double-buffered snapshot arena — capacity reaches the live thread count once and is reused every other epoch)
+			o.threads = append(o.threads, ThreadSample{Thread: tid, Sample: &o.samples[len(o.samples)-1]})            //sbvet:allow hotpath(double-buffered snapshot arena — capacity reaches the live thread count once and is reused every other epoch)
+		}
+	}
+	b.epoch++
+
 	cores := b.cores
-	b.threads = make(map[int]*ThreadEpochSample)  //sbvet:allow hotpath(ownership transfer — the snapshot hands last epoch's containers to the caller, so the bank must start fresh ones)
-	b.cores = make([]CoreEpochSample, b.numCores) //sbvet:allow hotpath(ownership transfer — the snapshot hands last epoch's containers to the caller, so the bank must start fresh ones)
-	return threads, cores
+	b.active ^= 1
+	next := b.coreBufs[b.active]
+	for i := range next {
+		next[i] = CoreEpochSample{}
+	}
+	b.cores = next
+	return o.threads, cores
 }
 
 // NumCores returns the bank's core count.

@@ -111,7 +111,7 @@ func TestRecordAndSnapshot(t *testing.T) {
 	if len(threads) != 2 {
 		t.Fatalf("%d threads", len(threads))
 	}
-	t7 := threads[7].Total()
+	t7 := FindThread(threads, 7).Total()
 	if t7.Instructions != 4e6 {
 		t.Fatalf("thread 7 instructions %d", t7.Instructions)
 	}
@@ -158,14 +158,14 @@ func TestDominantCore(t *testing.T) {
 	_ = b.RecordSlice(1, 0, short)
 	_ = b.RecordSlice(1, 2, long)
 	threads, _ := b.Snapshot()
-	core, c, ok := threads[1].DominantCore()
+	core, c, ok := FindThread(threads, 1).DominantCore()
 	if !ok || core != 2 {
 		t.Fatalf("dominant core = %d, ok=%v", core, ok)
 	}
 	if c.RunNs != 9e5 {
 		t.Fatalf("dominant counters RunNs = %d", c.RunNs)
 	}
-	empty := &ThreadEpochSample{PerCore: map[int]*Counters{}}
+	empty := &ThreadEpochSample{}
 	if _, _, ok := empty.DominantCore(); ok {
 		t.Fatal("empty sample should report !ok")
 	}
@@ -182,8 +182,8 @@ func TestPowerNoiseApplied(t *testing.T) {
 	}
 	tc, _ := clean.Snapshot()
 	tn, _ := noisy.Snapshot()
-	cleanE = tc[1].Total().EnergyJ
-	noisyE = tn[1].Total().EnergyJ
+	cleanE = FindThread(tc, 1).Total().EnergyJ
+	noisyE = FindThread(tn, 1).Total().EnergyJ
 	if math.Abs(cleanE-float64(n)*1.41e-3) > 1e-9 {
 		t.Fatalf("clean energy %g", cleanE)
 	}
@@ -203,7 +203,7 @@ func TestNoiseDeterministicUnderSeed(t *testing.T) {
 	_ = b.RecordSlice(1, 0, sampleCounters())
 	ta, _ := a.Snapshot()
 	tb, _ := b.Snapshot()
-	if ta[1].Total().EnergyJ != tb[1].Total().EnergyJ {
+	if FindThread(ta, 1).Total().EnergyJ != FindThread(tb, 1).Total().EnergyJ {
 		t.Fatal("same seed produced different noise")
 	}
 }
@@ -240,7 +240,7 @@ func TestHighSigmaNoiseNeverNegative(t *testing.T) {
 			t.Fatal(err)
 		}
 		threads, cores := b.Snapshot()
-		e := threads[1].Total().EnergyJ
+		e := FindThread(threads, 1).Total().EnergyJ
 		if e < 0 {
 			t.Fatalf("sample %d: negative energy %g", i, e)
 		}

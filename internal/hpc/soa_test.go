@@ -1,0 +1,196 @@
+package hpc
+
+import (
+	"sort"
+	"testing"
+)
+
+// Regression tests for the flat SoA slot store (DESIGN.md §12): slot
+// reuse through the ordered free-list, snapshot ordering under thread
+// churn, and the steady-state allocation contract at 1024-core scale.
+
+// liveSlots walks every thread chain and returns the set of slot
+// indices currently owned.
+func liveSlots(b *Bank) []int32 {
+	var out []int32
+	for tid := range b.threadHead {
+		for s := b.threadHead[tid]; s >= 0; s = b.slotNext[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TestSlotReuseAfterRelease pins the ordered free-list contract:
+// releasing a thread returns its slots, and the next allocations reuse
+// exactly those indices lowest-first, so the store stays dense and slot
+// assignment is deterministic.
+func TestSlotReuseAfterRelease(t *testing.T) {
+	b, err := NewBank(4, Noise{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threads 0..3 each touch cores 0 and 1: slots 0..7 in order.
+	for tid := 0; tid < 4; tid++ {
+		for core := 0; core < 2; core++ {
+			if err := b.RecordSlice(tid, core, Counters{RunNs: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := len(b.counters); got != 8 {
+		t.Fatalf("slot store has %d slots, want 8", got)
+	}
+	b.Snapshot() // retire the epoch so release is legal
+
+	// Release thread 1 (slots 2,3) then thread 0 (slots 0,1).
+	b.ReleaseThread(1)
+	b.ReleaseThread(0)
+	if got := len(b.free); got != 4 {
+		t.Fatalf("free-list has %d entries, want 4", got)
+	}
+
+	// A new thread's slots must reuse the lowest freed indices first.
+	for core := 0; core < 3; core++ {
+		if err := b.RecordSlice(9, core, Counters{RunNs: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []int32
+	for s := b.threadHead[9]; s >= 0; s = b.slotNext[s] {
+		got = append(got, s)
+	}
+	want := []int32{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("thread 9 owns slots %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("thread 9 owns slots %v, want lowest-first reuse %v", got, want)
+		}
+	}
+	// No growth: the store still has 8 slots.
+	if got := len(b.counters); got != 8 {
+		t.Fatalf("slot store grew to %d slots, want 8 (reuse)", got)
+	}
+}
+
+// TestSnapshotSortedUnderChurn spawns, records, and releases threads in
+// adversarial orders across epochs and verifies every snapshot is
+// sorted ascending by thread id with each PerCore sorted ascending by
+// core id — the ordering contract everything downstream (FindThread,
+// the sense loop, fault filters) relies on.
+func TestSnapshotSortedUnderChurn(t *testing.T) {
+	const cores = 8
+	b, err := NewBank(cores, Noise{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deterministic pseudo-random stream without package rand.
+	next := uint64(0x9E3779B97F4A7C15)
+	rnd := func(n int) int {
+		next = next*6364136223846793005 + 1442695040888963407
+		return int((next >> 33) % uint64(n))
+	}
+	live := map[int]bool{}
+	for epoch := 0; epoch < 20; epoch++ {
+		// Mutate the population: admit and retire a few threads.
+		for i := 0; i < 6; i++ {
+			tid := rnd(40)
+			if live[tid] && rnd(3) == 0 {
+				b.ReleaseThread(tid)
+				delete(live, tid)
+			} else {
+				live[tid] = true
+			}
+		}
+		// Record slices for the live threads on scattered cores.
+		for tid := range live {
+			for i := 0; i < 1+rnd(3); i++ {
+				if err := b.RecordSlice(tid, rnd(cores), Counters{RunNs: int64(1 + rnd(100))}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		threads, _ := b.Snapshot()
+		if !sort.SliceIsSorted(threads, func(i, j int) bool { return threads[i].Thread < threads[j].Thread }) {
+			t.Fatalf("epoch %d: snapshot threads not sorted: %v", epoch, threadIDs(threads))
+		}
+		for _, ts := range threads {
+			pc := ts.Sample.PerCore
+			if !sort.SliceIsSorted(pc, func(i, j int) bool { return pc[i].Core < pc[j].Core }) {
+				t.Fatalf("epoch %d: thread %d PerCore not sorted by core", epoch, ts.Thread)
+			}
+			for i := 1; i < len(pc); i++ {
+				if pc[i].Core == pc[i-1].Core {
+					t.Fatalf("epoch %d: thread %d has duplicate core %d", epoch, ts.Thread, pc[i].Core)
+				}
+			}
+		}
+		// FindThread agrees with linear search for every live thread.
+		for tid := range live {
+			want := false
+			for _, ts := range threads {
+				if ts.Thread == tid {
+					want = true
+				}
+			}
+			if got := FindThread(threads, tid) != nil; got != want {
+				t.Fatalf("epoch %d: FindThread(%d)=%v, linear=%v", epoch, tid, got, want)
+			}
+		}
+	}
+	// Dangling-slot audit: live chains and the free-list partition the
+	// store with no overlap.
+	seen := map[int32]bool{}
+	for _, s := range liveSlots(b) {
+		if seen[s] {
+			t.Fatalf("slot %d owned twice", s)
+		}
+		seen[s] = true
+	}
+	for _, s := range b.free {
+		if seen[s] {
+			t.Fatalf("slot %d both live and free", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) != len(b.counters) {
+		t.Fatalf("%d slots accounted, store has %d", len(seen), len(b.counters))
+	}
+}
+
+func threadIDs(threads []ThreadSample) []int {
+	ids := make([]int, len(threads))
+	for i, ts := range threads {
+		ids[i] = ts.Thread
+	}
+	return ids
+}
+
+// TestBankSteadyStateAllocFree pins the SoA bank's allocation contract
+// at 1024-core scale: once slot storage and both snapshot arenas reach
+// their high-water mark, a full epoch of recording plus Snapshot
+// allocates nothing.
+func TestBankSteadyStateAllocFree(t *testing.T) {
+	const cores, threads = 1024, 4096
+	b, err := NewBank(cores, Noise{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := func() {
+		for tid := 0; tid < threads; tid++ {
+			if err := b.RecordSlice(tid, tid%cores, Counters{RunNs: 10, Instructions: 100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		b.Snapshot()
+	}
+	// Two warm epochs fill the slot store and both double-buffered
+	// arenas.
+	epoch()
+	epoch()
+	if allocs := testing.AllocsPerRun(3, epoch); allocs != 0 {
+		t.Fatalf("steady-state epoch allocates %.1f times, want 0", allocs)
+	}
+}

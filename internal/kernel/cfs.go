@@ -4,9 +4,23 @@ import "smartbalance/internal/arch"
 
 // This file implements the per-core CFS mechanics: weighted virtual
 // runtime, timeslice computation, enqueue/dequeue with sleeper
-// fairness, and next-task selection. The runqueues are small (tens of
-// tasks), so a slice with linear minimum search stands in for the
-// kernel's red-black tree without changing behaviour.
+// fairness, and next-task selection. The runqueue is a slice of
+// pointer-free entries kept sorted ascending by (vruntime, seq) — the
+// flat-array analogue of the kernel's red-black tree — so minimum
+// lookups are O(1) and the pick is byte-identical to the historical
+// linear first-minimum scan: that scan resolved equal-vruntime ties by
+// queue position, which is insertion order, which is admission-ticket
+// order. A task's vruntime only changes while it is off the queue, so
+// the embedded key never goes stale.
+
+// rqEntry is one sorted runqueue slot. The ordering keys are embedded
+// so searches and shifts never dereference a task and the slice holds
+// no pointers for the collector to scan.
+type rqEntry struct {
+	vruntime int64
+	seq      uint64 // admission ticket; insertion-order tie-break
+	id       ThreadID
+}
 
 // minVruntime returns the smallest vruntime among a core's runnable
 // tasks (including current), or 0 when idle.
@@ -18,13 +32,43 @@ func (k *Kernel) minVruntime(c arch.CoreID) int64 {
 		min = t.vruntime
 		have = true
 	}
-	for _, t := range cr.runq {
-		if t != nil && (!have || t.vruntime < min) {
-			min = t.vruntime
-			have = true
+	if cr.runqHead < len(cr.runq) {
+		if v := cr.runq[cr.runqHead].vruntime; !have || v < min {
+			min = v
 		}
 	}
 	return min
+}
+
+// rqInsert stamps t's admission ticket and places it at its sorted
+// (vruntime, seq) position in the live region [runqHead, len) of core
+// cr's runqueue. An insert that sorts before every live entry reuses
+// the vacant slot just below the head cursor when one exists, so the
+// common pop/insert cycle moves no memory. The caller accounts
+// runqWeight.
+func (k *Kernel) rqInsert(cr *coreRun, t *Task) {
+	e := rqEntry{vruntime: t.vruntime, seq: k.rqCounter, id: t.ID}
+	k.rqCounter++
+	q := cr.runq
+	h := cr.runqHead
+	lo, hi := h, len(q)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if q[mid].vruntime < e.vruntime || (q[mid].vruntime == e.vruntime && q[mid].seq < e.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == h && h > 0 {
+		cr.runqHead = h - 1
+		q[h-1] = e
+		return
+	}
+	q = append(q, rqEntry{}) //sbvet:allow hotpath(runqueue capacity reaches the core's peak occupancy once and is reused; dequeue truncates in place)
+	copy(q[lo+1:], q[lo:])
+	q[lo] = e
+	cr.runq = q
 }
 
 // enqueue places a runnable task on core c's runqueue, applying the
@@ -39,39 +83,52 @@ func (k *Kernel) enqueue(t *Task, c arch.CoreID) {
 	}
 	t.core = c
 	t.taskState = StateRunnable
-	cr.runq = append(cr.runq, t) //sbvet:allow hotpath(runqueue capacity reaches the core's peak occupancy once and is reused; dequeue truncates in place)
+	cr.runqWeight += t.weight
+	k.rqInsert(cr, t)
 }
 
 // dequeue removes a runnable task from its core's runqueue.
 func (k *Kernel) dequeue(t *Task) {
 	cr := &k.cores[t.core]
-	for i, q := range cr.runq {
-		if q == t {
+	for i := cr.runqHead; i < len(cr.runq); i++ {
+		if cr.runq[i].id == t.ID {
 			copy(cr.runq[i:], cr.runq[i+1:])
-			cr.runq[len(cr.runq)-1] = nil
 			cr.runq = cr.runq[:len(cr.runq)-1]
+			cr.runqWeight -= t.weight
+			if cr.runqHead == len(cr.runq) {
+				cr.runq = cr.runq[:0]
+				cr.runqHead = 0
+			}
 			return
 		}
 	}
 }
 
 // pickNext removes and returns the runnable task with the smallest
-// vruntime, or nil when the queue is empty.
+// vruntime (ties to the earliest-queued), or nil when the queue is
+// empty. The sorted order makes this the live-region head; popping
+// advances the cursor in O(1), with amortized compaction once the
+// drained prefix dominates the backing array.
 func (k *Kernel) pickNext(c arch.CoreID) *Task {
 	cr := &k.cores[c]
-	if len(cr.runq) == 0 {
+	h := cr.runqHead
+	if h == len(cr.runq) {
 		return nil
 	}
-	best := 0
-	for i := 1; i < len(cr.runq); i++ {
-		if cr.runq[i].vruntime < cr.runq[best].vruntime {
-			best = i
-		}
+	t := k.tasks[cr.runq[h].id]
+	cr.runqWeight -= t.weight
+	h++
+	switch {
+	case h == len(cr.runq):
+		cr.runq = cr.runq[:0]
+		cr.runqHead = 0
+	case h >= 32 && 2*h >= len(cr.runq):
+		n := copy(cr.runq, cr.runq[h:])
+		cr.runq = cr.runq[:n]
+		cr.runqHead = 0
+	default:
+		cr.runqHead = h
 	}
-	t := cr.runq[best]
-	copy(cr.runq[best:], cr.runq[best+1:])
-	cr.runq[len(cr.runq)-1] = nil
-	cr.runq = cr.runq[:len(cr.runq)-1]
 	return t
 }
 
@@ -82,17 +139,24 @@ func (k *Kernel) pickNext(c arch.CoreID) *Task {
 // handled without double counting.
 func (k *Kernel) timeslice(t *Task, c arch.CoreID) int64 {
 	cr := &k.cores[c]
-	nr := k.RunqueueLen(c)
-	total := k.CoreLoad(c)
 	counted := cr.current == t
 	if !counted {
-		for _, q := range cr.runq {
-			if q == t {
+		for i := cr.runqHead; i < len(cr.runq); i++ {
+			if cr.runq[i].id == t.ID {
 				counted = true
 				break
 			}
 		}
 	}
+	return k.timesliceCounted(t, c, counted)
+}
+
+// timesliceCounted is timeslice with the membership question answered
+// by the caller: dispatch picks t straight off the runqueue, so it
+// knows t is unaccounted without rescanning the queue.
+func (k *Kernel) timesliceCounted(t *Task, c arch.CoreID, counted bool) int64 {
+	nr := k.RunqueueLen(c)
+	total := k.CoreLoad(c)
 	if !counted {
 		nr++
 		total += t.weight

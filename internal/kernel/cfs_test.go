@@ -105,6 +105,14 @@ func TestPickNextLowestVruntime(t *testing.T) {
 	k.Task(a).vruntime = 300
 	k.Task(b).vruntime = 100
 	k.Task(c).vruntime = 200
+	// The runqueue sorts by (vruntime, rqSeq) at insert time, so a
+	// direct key mutation must be followed by a re-insert — outside
+	// tests, vruntime only changes while a task is off the queue.
+	for _, id := range []ThreadID{a, b, c} {
+		task := k.Task(id)
+		k.dequeue(task)
+		k.enqueue(task, 0)
+	}
 	picked := k.pickNext(0)
 	if picked == nil || picked.ID != b {
 		t.Fatalf("picked %v, want task %d", picked, b)

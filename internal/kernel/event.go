@@ -1,6 +1,10 @@
 package kernel
 
-import "smartbalance/internal/arch"
+import (
+	"math/bits"
+
+	"smartbalance/internal/arch"
+)
 
 // eventKind enumerates discrete-event types.
 type eventKind int
@@ -23,6 +27,45 @@ type event struct {
 	task     ThreadID    // evWakeup target
 }
 
+// eventLess is the queue's total order: (at, seq) lexicographic. seq is
+// unique per kernel, so the order has no ties — any correct queue
+// implementation drains an identical stream.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// EventQueueKind selects the event-queue implementation backing the
+// simulation. Both drain events in the identical (at, seq) total order,
+// so equal-seed runs are byte-identical under either; the calendar
+// queue is O(1) amortized and the default, the binary heap is retained
+// for the equivalence suite and as a conservative fallback.
+type EventQueueKind int
+
+const (
+	// EventQueueCalendar is the calendar-queue scheduler (Brown 1988):
+	// a ring of time-bucketed, sorted lanes with O(1) amortized
+	// push/pop, sized and widened automatically from the live event
+	// population.
+	EventQueueCalendar EventQueueKind = iota
+	// EventQueueHeap is the original binary min-heap.
+	EventQueueHeap
+)
+
+// String names the queue kind.
+func (q EventQueueKind) String() string {
+	switch q {
+	case EventQueueCalendar:
+		return "calendar"
+	case EventQueueHeap:
+		return "heap"
+	default:
+		return "unknown"
+	}
+}
+
 // eventQueue is a binary min-heap of events ordered by (at, seq). The
 // sift routines are hand-rolled rather than delegated to container/heap
 // because heap.Push/Pop traffic in `any`, boxing every event on the hot
@@ -30,10 +73,7 @@ type event struct {
 type eventQueue []event
 
 func (q eventQueue) less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
+	return eventLess(&q[i], &q[j])
 }
 
 func (q eventQueue) siftUp(i int) {
@@ -66,31 +106,343 @@ func (q eventQueue) siftDown(i int) {
 	}
 }
 
-// push schedules an event; seq assignment keeps ordering deterministic.
-func (k *Kernel) push(e event) {
-	e.seq = k.seq
-	k.seq++
-	k.events = append(k.events, e) //sbvet:allow hotpath(event-queue capacity reaches the peak outstanding-event count once and is reused; pop truncates in place)
-	k.events.siftUp(len(k.events) - 1)
+func (q *eventQueue) push(e event) {
+	*q = append(*q, e) //sbvet:allow hotpath(event-queue capacity reaches the peak outstanding-event count once and is reused; pop truncates in place)
+	q.siftUp(len(*q) - 1)
 }
 
-// pop removes and returns the earliest event; ok is false when empty.
-func (k *Kernel) pop() (event, bool) {
-	n := len(k.events)
+func (q *eventQueue) pop() (event, bool) {
+	n := len(*q)
 	if n == 0 {
 		return event{}, false
 	}
-	e := k.events[0]
-	k.events[0] = k.events[n-1]
-	k.events = k.events[:n-1]
-	k.events.siftDown(0)
+	e := (*q)[0]
+	(*q)[0] = (*q)[n-1]
+	*q = (*q)[:n-1]
+	q.siftDown(0)
+	return e, true
+}
+
+func (q eventQueue) peekTime() (Time, bool) {
+	if len(q) == 0 {
+		return 0, false
+	}
+	return q[0].at, true
+}
+
+// Calendar-queue sizing constants.
+const (
+	calMinBuckets = 16 // smallest ring; shrink stops here
+	// calGrowFactor / calShrinkFactor bound the load factor: the ring
+	// doubles above two events per bucket and halves below one half.
+	calGrowFactor   = 2
+	calShrinkDenom  = 4
+	calInitialWidth = Time(1 << 20) // ~1 ms default lane width before the first resize
+)
+
+// calendarQueue is a calendar-queue priority queue over events (Randy
+// Brown, CACM 1988): a power-of-two ring of buckets, each a "day" of
+// fixed time width, holding its events sorted ascending by (at, seq).
+// Bucket index is (at/width) mod nbuckets; dequeue scans forward from
+// the current day and pops the head of the first bucket whose head
+// falls inside the day's window, giving O(1) amortized operations when
+// the width tracks the mean event spacing — which resize() maintains by
+// re-deriving width from the live population's span whenever the load
+// factor leaves [1/4, 2].
+//
+// Determinism contract (DESIGN.md §12): pop order is exactly the
+// (at, seq) total order the heap implements. Within a bucket the sorted
+// insert keeps equal-`at` events in seq order; across buckets the
+// window scan visits days in increasing time order, and a resize only
+// re-buckets events — their relative (at, seq) order inside any bucket
+// is rebuilt by the same sorted insert, so no resize can reorder
+// equal-`at` events.
+type calendarQueue struct {
+	buckets [][]event
+	// heads[i] is the index of bucket i's first live entry: dequeue
+	// advances the head instead of shifting the slice, so popping from a
+	// bucket is O(1) even when thousands of same-timestamp events (e.g.
+	// the spawn-time wakeup burst) share one day. The dead prefix is
+	// reclaimed when the bucket drains or by amortized compaction.
+	heads []int
+	mask  int  // len(buckets) - 1; len is a power of two
+	width Time // duration of one bucket's window ("day")
+	size  int
+
+	// cur/curTop define the scan position: bucket cur holds the window
+	// [curTop-width, curTop). Invariant: no queued event has
+	// at < curTop - width, maintained by rewinding on push.
+	cur    int
+	curTop Time
+
+	// lowPops counts consecutive pops taken while the population sits
+	// below the shrink threshold. A steady-state population breathes
+	// every epoch (sleep wakeups accumulate, then drain), and shrinking
+	// on the first undershoot would walk the ring down and back up a
+	// ladder of geometries each epoch — ~8 resizes/epoch of pure churn.
+	// Shrinking only after a full ring's worth of sustained-low pops
+	// keeps the geometry stable through the dip while still letting a
+	// genuinely shrunken population compact its ring.
+	lowPops int
+
+	// spares[k] retains the retired ring of 1<<k buckets, so when a
+	// resize does revisit a geometry it swaps back into the retired ring
+	// and reuses every bucket's capacity instead of reallocating. Total
+	// retained memory is bounded by twice the largest ring.
+	spares []calRing
+}
+
+// calRing is one retired ring geometry kept for reuse across resizes.
+type calRing struct {
+	buckets [][]event
+	heads   []int
+}
+
+func newCalendarQueue(widthHint Time) calendarQueue {
+	if widthHint <= 0 {
+		widthHint = calInitialWidth
+	}
+	q := calendarQueue{width: widthHint}
+	q.alloc(calMinBuckets)
+	q.curTop = q.width
+	return q
+}
+
+func (q *calendarQueue) alloc(nbuckets int) {
+	q.buckets = make([][]event, nbuckets) //sbvet:allow hotpath(amortized calendar resize — rings double/halve O(log n) times over a run and are population-sized)
+	q.heads = make([]int, nbuckets)       //sbvet:allow hotpath(amortized calendar resize — rings double/halve O(log n) times over a run and are population-sized)
+	q.mask = nbuckets - 1
+}
+
+// bucketOf returns the ring index of an event time under the current
+// geometry.
+func (q *calendarQueue) bucketOf(at Time) int {
+	return int((at / q.width) & Time(q.mask))
+}
+
+// windowTop returns the end of the day window containing at.
+func (q *calendarQueue) windowTop(at Time) Time {
+	return (at/q.width + 1) * q.width
+}
+
+// push inserts an event, keeping its bucket sorted by (at, seq) and
+// rewinding the scan position when the event lands in an earlier day
+// than the one being scanned.
+func (q *calendarQueue) push(e event) {
+	idx := q.bucketOf(e.at)
+	b := q.buckets[idx]
+	h := q.heads[idx]
+	// Binary search the live region [h, len) for the insertion point:
+	// first entry ordered after e. seq increases monotonically, so
+	// equal-at events insert after their predecessors (usually a pure
+	// append) and FIFO order within a timestamp is free.
+	lo, hi := h, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventLess(&b[mid], &e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == h && h > 0 {
+		// The slot just before the live region is dead: O(1) prepend.
+		q.heads[idx] = h - 1
+		b[h-1] = e
+	} else {
+		b = append(b, event{}) //sbvet:allow hotpath(bucket capacity reaches its steady occupancy once and is reused; pop truncates in place)
+		copy(b[lo+1:], b[lo:])
+		b[lo] = e
+		q.buckets[idx] = b
+	}
+	q.size++
+	if eTop := q.windowTop(e.at); eTop < q.curTop {
+		q.cur, q.curTop = idx, eTop
+	}
+	if q.size > calGrowFactor*(q.mask+1) {
+		q.resize((q.mask + 1) * 2)
+	}
+}
+
+// scan advances the (cur, curTop) cursor to the first day whose bucket
+// head falls inside its window — i.e. to the bucket holding the global
+// minimum. Must only be called on a non-empty queue. Empty-day advances
+// are one length check each; after a full fruitless cycle (the
+// population is sparser than one ring revolution) it locates the
+// minimum directly and jumps the cursor to its day.
+func (q *calendarQueue) scan() {
+	for i := 0; i <= q.mask; i++ {
+		if b, h := q.buckets[q.cur], q.heads[q.cur]; h < len(b) && b[h].at < q.curTop {
+			return
+		}
+		q.cur = (q.cur + 1) & q.mask
+		q.curTop += q.width
+	}
+	// Direct search: the sorted buckets make the candidate set the
+	// bucket heads.
+	var min *event
+	minIdx := 0
+	for i := range q.buckets {
+		if b, h := q.buckets[i], q.heads[i]; h < len(b) && (min == nil || eventLess(&b[h], min)) {
+			min = &b[h]
+			minIdx = i
+		}
+	}
+	q.cur = minIdx
+	q.curTop = q.windowTop(min.at)
+}
+
+// pop removes and returns the earliest event in (at, seq) order.
+func (q *calendarQueue) pop() (event, bool) {
+	if q.size == 0 {
+		return event{}, false
+	}
+	q.scan()
+	b := q.buckets[q.cur]
+	h := q.heads[q.cur]
+	e := b[h]
+	h++
+	switch {
+	case h == len(b):
+		// Drained: reset to reuse the full capacity.
+		q.buckets[q.cur] = b[:0]
+		q.heads[q.cur] = 0
+	case h >= 32 && 2*h >= len(b):
+		// Amortized compaction: once the dead prefix dominates, slide
+		// the live tail down. Each entry moves at most once per halving.
+		n := copy(b, b[h:])
+		q.buckets[q.cur] = b[:n]
+		q.heads[q.cur] = 0
+	default:
+		q.heads[q.cur] = h
+	}
+	q.size--
+	if n := q.mask + 1; n > calMinBuckets && q.size < n/calShrinkDenom {
+		q.lowPops++
+		if q.lowPops > n {
+			q.resize(n / 2)
+			q.lowPops = 0
+		}
+	} else {
+		q.lowPops = 0
+	}
 	return e, true
 }
 
 // peekTime returns the time of the earliest pending event.
-func (k *Kernel) peekTime() (Time, bool) {
-	if len(k.events) == 0 {
+func (q *calendarQueue) peekTime() (Time, bool) {
+	if q.size == 0 {
 		return 0, false
 	}
-	return k.events[0].at, true
+	q.scan()
+	return q.buckets[q.cur][q.heads[q.cur]].at, true
+}
+
+// resize rebuilds the ring with nbuckets buckets and a width re-derived
+// from the live population: span/size, clamped to at least 1 ns, so the
+// mean occupancy of a day stays near one event. Rebucketing reinserts
+// every event through the same sorted insert as push, preserving the
+// (at, seq) order inside each new bucket.
+func (q *calendarQueue) resize(nbuckets int) {
+	q.lowPops = 0
+	old := q.buckets
+	oldHeads := q.heads
+	minAt, maxAt := Time(0), Time(0)
+	first := true
+	for bi, b := range old {
+		for i := oldHeads[bi]; i < len(b); i++ {
+			if at := b[i].at; first {
+				minAt, maxAt = at, at
+				first = false
+			} else {
+				if at < minAt {
+					minAt = at
+				}
+				if at > maxAt {
+					maxAt = at
+				}
+			}
+		}
+	}
+	if q.size > 0 {
+		if w := (maxAt - minAt) / Time(q.size); w > 0 {
+			q.width = w
+		} else {
+			q.width = 1
+		}
+	}
+	newK := bits.TrailingZeros(uint(nbuckets))
+	oldK := bits.TrailingZeros(uint(len(old)))
+	if maxK := max(newK, oldK); maxK >= len(q.spares) {
+		grown := make([]calRing, maxK+1) //sbvet:allow hotpath(spare-ring ladder grows to its log2(max geometry) height once per run)
+		copy(grown, q.spares)
+		q.spares = grown
+	}
+	if sp := q.spares[newK]; sp.buckets != nil {
+		q.buckets, q.heads = sp.buckets, sp.heads
+		for i := range q.buckets {
+			q.buckets[i] = q.buckets[i][:0]
+			q.heads[i] = 0
+		}
+		q.mask = nbuckets - 1
+		q.spares[newK] = calRing{}
+	} else {
+		q.alloc(nbuckets)
+	}
+	q.spares[oldK] = calRing{buckets: old, heads: oldHeads}
+	for obi, ob := range old {
+		for i := oldHeads[obi]; i < len(ob); i++ {
+			e := ob[i]
+			idx := q.bucketOf(e.at)
+			b := q.buckets[idx]
+			lo, hi := 0, len(b)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if eventLess(&b[mid], &e) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			b = append(b, event{}) //sbvet:allow hotpath(amortized calendar resize — buckets are rebuilt O(log n) times over a run)
+			copy(b[lo+1:], b[lo:])
+			b[lo] = e
+			q.buckets[idx] = b
+		}
+	}
+	if q.size > 0 {
+		q.cur = 0
+		q.curTop = q.width
+		q.scan()
+	} else {
+		q.cur = 0
+		q.curTop = q.width
+	}
+}
+
+// push schedules an event; seq assignment keeps ordering deterministic.
+func (k *Kernel) push(e event) {
+	e.seq = k.seq
+	k.seq++
+	if k.useHeap {
+		k.events.push(e)
+		return
+	}
+	k.cal.push(e)
+}
+
+// pop removes and returns the earliest event; ok is false when empty.
+func (k *Kernel) pop() (event, bool) {
+	if k.useHeap {
+		return k.events.pop()
+	}
+	return k.cal.pop()
+}
+
+// peekTime returns the time of the earliest pending event.
+func (k *Kernel) peekTime() (Time, bool) {
+	if k.useHeap {
+		return k.events.peekTime()
+	}
+	return k.cal.peekTime()
 }

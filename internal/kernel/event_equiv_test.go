@@ -1,0 +1,195 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"smartbalance/internal/arch"
+	"smartbalance/internal/machine"
+	"smartbalance/internal/rng"
+	"smartbalance/internal/workload"
+)
+
+// The calendar↔heap equivalence suite (DESIGN.md §12): both event-queue
+// implementations must drain the identical (at, seq) total order, so
+// any fixed-seed simulation is byte-identical under either. The tests
+// attack the calendar queue where its mechanics differ from the heap —
+// same-timestamp bursts sharing a bucket, pushes behind the scan
+// cursor, resize-triggering churn — and then compare whole kernel runs.
+
+// drainBoth pushes the same stream into a fresh calendar queue and a
+// fresh heap, interleaving pops according to popEvery, and fails on the
+// first divergence in pop order.
+func drainBoth(t *testing.T, name string, stream []event, popEvery int) {
+	t.Helper()
+	cal := newCalendarQueue(0)
+	var heap eventQueue
+	pending := 0
+	check := func(ctx string) {
+		ce, cok := cal.pop()
+		he, hok := heap.pop()
+		if cok != hok || ce != he {
+			t.Fatalf("%s: %s: calendar popped %+v (ok=%v), heap popped %+v (ok=%v)",
+				name, ctx, ce, cok, he, hok)
+		}
+	}
+	for i, e := range stream {
+		cal.push(e)
+		heap.push(e)
+		pending++
+		if popEvery > 0 && i%popEvery == popEvery-1 {
+			check(fmt.Sprintf("interleaved pop after push %d", i))
+			pending--
+		}
+	}
+	for i := 0; i < pending; i++ {
+		check(fmt.Sprintf("drain pop %d", i))
+	}
+	if _, ok := cal.pop(); ok {
+		t.Fatalf("%s: calendar queue not empty after drain", name)
+	}
+	if _, ok := heap.pop(); ok {
+		t.Fatalf("%s: heap not empty after drain", name)
+	}
+}
+
+// TestEventQueueEquivalenceRandomStreams feeds seeded random event
+// streams through both queues: uniform times, clustered times (many
+// equal-at bursts), monotone times with occasional rewinds (pushes
+// behind the scan cursor, as a wakeup scheduled before the current
+// bucket would land), and sizes around the resize thresholds.
+func TestEventQueueEquivalenceRandomStreams(t *testing.T) {
+	type shape struct {
+		name     string
+		n        int
+		popEvery int
+		gen      func(r *rng.Rand, i int, prev Time) Time
+	}
+	shapes := []shape{
+		{"uniform", 500, 0, func(r *rng.Rand, _ int, _ Time) Time {
+			return Time(r.Intn(1e9))
+		}},
+		{"same-timestamp-burst", 1000, 0, func(r *rng.Rand, _ int, _ Time) Time {
+			// 10240-thread spawn wakeups: most events share few times.
+			return Time(r.Intn(4)) * 1e6
+		}},
+		{"clustered", 800, 3, func(r *rng.Rand, _ int, _ Time) Time {
+			return Time(r.Intn(8))*50e6 + Time(r.Intn(3))
+		}},
+		{"monotone-with-rewinds", 600, 2, func(r *rng.Rand, i int, prev Time) Time {
+			if r.Float64() < 0.2 && prev > 1e6 {
+				return prev - Time(r.Intn(1e6)) // behind the cursor
+			}
+			return prev + Time(r.Intn(2e6))
+		}},
+		{"resize-churn", 5000, 1, func(r *rng.Rand, _ int, _ Time) Time {
+			return Time(r.Intn(1e7))
+		}},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		t.Run(sh.name, func(t *testing.T) {
+			for _, seed := range []uint64{1, 2, 77} {
+				r := rng.New(seed)
+				stream := make([]event, sh.n)
+				prev := Time(0)
+				for i := range stream {
+					at := sh.gen(r, i, prev)
+					if at < 0 {
+						at = 0
+					}
+					prev = at
+					stream[i] = event{
+						at:   at,
+						seq:  uint64(i),
+						kind: eventKind(r.Intn(2)),
+						core: arch.CoreID(r.Intn(16)),
+						task: ThreadID(r.Intn(64)),
+					}
+				}
+				drainBoth(t, fmt.Sprintf("%s/seed%d", sh.name, seed), stream, sh.popEvery)
+			}
+		})
+	}
+}
+
+// equivKernel builds a QuadHMP kernel with the requested event queue,
+// a chaos balancer (heavy migration traffic leaves stale slice-end
+// events in the queue — the kernel's cancellation mechanism), and a
+// mixed finite/interactive workload.
+func equivKernel(t *testing.T, seed uint64, q EventQueueKind) *Kernel {
+	t.Helper()
+	m, err := machine.New(arch.QuadHMP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.EventQueue = q
+	k, err := New(m, &chaosBalancer{r: rng.New(seed ^ 0xC0)}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed ^ 0xE0)
+	for i := 0; i < 24; i++ {
+		spec := &workload.ThreadSpec{
+			Name:      fmt.Sprintf("equiv-%d", i),
+			Benchmark: "equiv",
+			Phases: []workload.Phase{{
+				Name:          "p",
+				Instructions:  uint64(1e5 + r.Intn(2e7)),
+				ILP:           0.8 + r.Float64()*3,
+				MemShare:      r.Float64() * 0.5,
+				BranchShare:   r.Float64() * 0.2,
+				WorkingSetIKB: 1 + r.Float64()*64,
+				WorkingSetDKB: 1 + r.Float64()*1024,
+				BranchEntropy: r.Float64(),
+				MLP:           1 + r.Float64()*3,
+			}},
+		}
+		if r.Float64() < 0.5 {
+			spec.Phases[0].SleepAfterNs = int64(r.Intn(10e6))
+		}
+		if r.Float64() < 0.3 {
+			spec.Repeats = 1 + r.Intn(3)
+		}
+		if _, err := k.Spawn(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k
+}
+
+// TestKernelRunIdenticalUnderBothQueues runs the same seeded chaotic
+// simulation under the calendar queue and the heap and requires the
+// complete observable outcome — every per-core and per-task statistic —
+// to match exactly. Chaos migrations continually invalidate in-flight
+// slices, so the stale-event (cancellation) path is exercised under
+// both queues too.
+func TestKernelRunIdenticalUnderBothQueues(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			kc := equivKernel(t, seed, EventQueueCalendar)
+			kh := equivKernel(t, seed, EventQueueHeap)
+			horizon := Time(0)
+			for step := 0; step < 10; step++ {
+				horizon += 37e6 // misaligned with the epoch length on purpose
+				if err := kc.Run(horizon); err != nil {
+					t.Fatal(err)
+				}
+				if err := kh.Run(horizon); err != nil {
+					t.Fatal(err)
+				}
+				if err := kc.CheckInvariants(); err != nil {
+					t.Fatalf("calendar invariants after step %d: %v", step, err)
+				}
+				sc := fmt.Sprintf("%+v", kc.Stats())
+				sh := fmt.Sprintf("%+v", kh.Stats())
+				if sc != sh {
+					t.Fatalf("stats diverged at step %d:\ncalendar: %s\nheap:     %s", step, sc, sh)
+				}
+			}
+		})
+	}
+}

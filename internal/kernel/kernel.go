@@ -228,8 +228,8 @@ func (t *Task) AllowedMask() []bool {
 // valid; if the task currently sits on a now-disallowed core it is
 // migrated to the first allowed one.
 func (k *Kernel) SetAffinity(id ThreadID, cores []arch.CoreID) error {
-	t, ok := k.tasks[id]
-	if !ok {
+	t := k.taskByID(id)
+	if t == nil {
 		return fmt.Errorf("kernel: affinity for unknown task %d", id)
 	}
 	if t.taskState == StateFinished {
@@ -262,8 +262,8 @@ func (k *Kernel) SetAffinity(id ThreadID, cores []arch.CoreID) error {
 
 // ClearAffinity removes the task's affinity restriction.
 func (k *Kernel) ClearAffinity(id ThreadID) error {
-	t, ok := k.tasks[id]
-	if !ok {
+	t := k.taskByID(id)
+	if t == nil {
 		return fmt.Errorf("kernel: affinity for unknown task %d", id)
 	}
 	t.allowed = nil
@@ -284,7 +284,9 @@ type FaultInjector interface {
 	// balancer invocations from 1; now is simulated time. The injector
 	// owns the returned map/slice; it must not mutate the inputs it
 	// does not return.
-	FilterEpoch(epoch int, now Time, threads map[int]*ThreadEpochSample, cores []CoreEpochSample) (map[int]*ThreadEpochSample, []CoreEpochSample)
+	// The snapshot slices follow the hpc.Bank.Snapshot contract: sorted
+	// ascending by thread id, valid until the next epoch's snapshot.
+	FilterEpoch(epoch int, now Time, threads []ThreadSample, cores []CoreEpochSample) ([]ThreadSample, []CoreEpochSample)
 	// MigrateFault returns a non-nil error when a migration request
 	// that passed all validity checks should be rejected anyway
 	// (transient kernel refusal). A nil return lets the migration
@@ -297,6 +299,8 @@ type FaultInjector interface {
 type (
 	// ThreadEpochSample is hpc.ThreadEpochSample.
 	ThreadEpochSample = hpc.ThreadEpochSample
+	// ThreadSample is hpc.ThreadSample.
+	ThreadSample = hpc.ThreadSample
 	// CoreEpochSample is hpc.CoreEpochSample.
 	CoreEpochSample = hpc.CoreEpochSample
 )
@@ -321,6 +325,10 @@ type Config struct {
 	// Faults, when non-nil, injects sensing and migration faults (see
 	// FaultInjector). Nil runs with perfect sensing.
 	Faults FaultInjector
+	// EventQueue selects the event-queue implementation. The zero value
+	// is the calendar queue; both drain the identical (at, seq) order,
+	// so the choice never changes simulation output.
+	EventQueue EventQueueKind
 }
 
 // DefaultConfig returns the configuration used across the paper's
@@ -346,6 +354,8 @@ func (c *Config) Validate() error {
 		return errors.New("kernel: epoch shorter than one CFS period")
 	case c.MigrationPenaltyNs < 0:
 		return errors.New("kernel: negative migration penalty")
+	case c.EventQueue != EventQueueCalendar && c.EventQueue != EventQueueHeap:
+		return errors.New("kernel: unknown event-queue kind")
 	}
 	return nil
 }
@@ -357,17 +367,25 @@ func (c *Config) Validate() error {
 type Balancer interface {
 	// Name identifies the policy in results tables.
 	Name() string
-	// Rebalance runs at an epoch boundary. threads maps ThreadID (as
-	// int) to the counters sampled during the elapsed epoch; cores holds
-	// the per-core aggregates.
-	Rebalance(k *Kernel, now Time, threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample)
+	// Rebalance runs at an epoch boundary. threads holds the counters
+	// sampled during the elapsed epoch, sorted ascending by thread id
+	// (hpc.FindThread performs the per-task lookup); cores holds the
+	// per-core aggregates. Both views are valid until the next epoch.
+	Rebalance(k *Kernel, now Time, threads []hpc.ThreadSample, cores []hpc.CoreEpochSample)
 }
 
 // coreRun is the per-core scheduling state.
 type coreRun struct {
-	id      arch.CoreID
-	runq    []*Task // runnable tasks (current excluded)
-	current *Task
+	id   arch.CoreID
+	runq []rqEntry // runnable tasks, sorted by (vruntime, seq); current excluded
+	// runqHead indexes the first live entry: popping the minimum
+	// advances the cursor instead of memmoving the whole queue, and the
+	// drained prefix is reclaimed by amortized compaction (see pickNext).
+	runqHead int
+	// runqWeight is the summed CFS weight of runq, maintained
+	// incrementally so CoreLoad and timeslice are O(1).
+	runqWeight int64
+	current    *Task
 	// sliceSeq invalidates stale slice-end events after idling.
 	sliceSeq uint64
 	// pending is the precomputed outcome of the in-flight slice,
@@ -392,16 +410,27 @@ type Kernel struct {
 	balancer Balancer
 	cfg      Config
 
-	now    Time
-	events eventQueue
-	seq    uint64
+	now Time
+	seq uint64
+	// rqCounter issues Task.rqSeq admission tickets.
+	rqCounter uint64
+	// Exactly one of the two event queues is active, selected by
+	// cfg.EventQueue at construction (DESIGN.md §12).
+	useHeap bool
+	events  eventQueue
+	cal     calendarQueue
 
 	cores []coreRun
-	tasks map[ThreadID]*Task
+	// tasks is indexed by ThreadID: ids are assigned densely from 0 and
+	// never reused, so the slice doubles as the id→task map.
+	tasks []*Task
 	order []ThreadID // spawn order, for deterministic iteration
 	// activeScratch backs ActiveTasks between epochs.
 	activeScratch []*Task
-	nextID        ThreadID
+	// exited buffers tasks that finished since the last epoch boundary;
+	// their bank slots are released after the next snapshot.
+	exited []ThreadID
+	nextID ThreadID
 
 	bank *hpc.Bank
 	r    *rng.Rand
@@ -443,11 +472,14 @@ func New(m *machine.Machine, b Balancer, cfg Config) (*Kernel, error) {
 		plat:     plat,
 		balancer: b,
 		cfg:      cfg,
+		useHeap:  cfg.EventQueue == EventQueueHeap,
 		cores:    make([]coreRun, plat.NumCores()),
-		tasks:    make(map[ThreadID]*Task),
 		bank:     bank,
 		r:        rng.New(cfg.Seed),
 		setSlot:  -1,
+	}
+	if !k.useHeap {
+		k.cal = newCalendarQueue(cfg.MinGranularityNs)
 	}
 	for i := range k.cores {
 		k.cores[i] = coreRun{id: arch.CoreID(i), sleeping: true}
@@ -472,7 +504,16 @@ func (k *Kernel) Config() Config { return k.cfg }
 func (k *Kernel) Balancer() Balancer { return k.balancer }
 
 // Task returns the task with the given id, or nil.
-func (k *Kernel) Task(id ThreadID) *Task { return k.tasks[id] }
+func (k *Kernel) Task(id ThreadID) *Task { return k.taskByID(id) }
+
+// taskByID resolves a thread id against the dense task table; nil for
+// ids never assigned.
+func (k *Kernel) taskByID(id ThreadID) *Task {
+	if id < 0 || int(id) >= len(k.tasks) {
+		return nil
+	}
+	return k.tasks[id]
+}
 
 // Tasks returns all tasks in spawn order.
 func (k *Kernel) Tasks() []*Task {
@@ -505,7 +546,7 @@ func (k *Kernel) NumCores() int { return len(k.cores) }
 // the one currently executing.
 func (k *Kernel) RunqueueLen(c arch.CoreID) int {
 	cr := &k.cores[c]
-	n := len(cr.runq)
+	n := len(cr.runq) - cr.runqHead
 	if cr.current != nil {
 		n++
 	}
@@ -516,10 +557,7 @@ func (k *Kernel) RunqueueLen(c arch.CoreID) int {
 // core (the vanilla balancer's load metric).
 func (k *Kernel) CoreLoad(c arch.CoreID) int64 {
 	cr := &k.cores[c]
-	var w int64
-	for _, t := range cr.runq {
-		w += t.weight
-	}
+	w := cr.runqWeight
 	if cr.current != nil {
 		w += cr.current.weight
 	}
@@ -555,7 +593,7 @@ func (k *Kernel) Spawn(spec *workload.ThreadSpec) (ThreadID, error) {
 		spawnedAt:     k.now,
 		runnableSince: k.now,
 	}
-	k.tasks[id] = t
+	k.tasks = append(k.tasks, t)
 	k.order = append(k.order, id)
 	t.pelt.Transition(k.now, true, false)
 	k.emit(TraceEvent{At: k.now, Kind: TraceSpawn, Core: best, Thread: id})
@@ -569,8 +607,8 @@ func (k *Kernel) Spawn(spec *workload.ThreadSpec) (ThreadID, error) {
 // next context switch; sleeping tasks wake up on the new core. This is
 // the simulator's set_cpus_allowed_ptr().
 func (k *Kernel) Migrate(id ThreadID, dst arch.CoreID) error {
-	t, ok := k.tasks[id]
-	if !ok {
+	t := k.taskByID(id)
+	if t == nil {
 		return fmt.Errorf("kernel: migrate unknown task %d", id) //sbvet:allow hotpath(refused-migration diagnostic; formats only on the rejected-request path)
 	}
 	if int(dst) < 0 || int(dst) >= len(k.cores) {

@@ -14,7 +14,7 @@ import (
 type noopBalancer struct{ calls int }
 
 func (b *noopBalancer) Name() string { return "noop" }
-func (b *noopBalancer) Rebalance(*Kernel, Time, map[int]*hpc.ThreadEpochSample, []hpc.CoreEpochSample) {
+func (b *noopBalancer) Rebalance(*Kernel, Time, []hpc.ThreadSample, []hpc.CoreEpochSample) {
 	b.calls++
 }
 
@@ -22,7 +22,7 @@ func (b *noopBalancer) Rebalance(*Kernel, Time, map[int]*hpc.ThreadEpochSample, 
 type spreadBalancer struct{}
 
 func (spreadBalancer) Name() string { return "spread" }
-func (spreadBalancer) Rebalance(k *Kernel, _ Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+func (spreadBalancer) Rebalance(k *Kernel, _ Time, _ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	n := k.NumCores()
 	for i, t := range k.ActiveTasks() {
 		_ = k.Migrate(t.ID, arch.CoreID(i%n))
@@ -356,12 +356,19 @@ func TestEpochTicksAndBalancerCalls(t *testing.T) {
 }
 
 func TestBalancerReceivesSamples(t *testing.T) {
-	var got map[int]*hpc.ThreadEpochSample
+	var got []hpc.ThreadSample
 	var gotCores []hpc.CoreEpochSample
-	b := balancerFunc(func(k *Kernel, now Time, th map[int]*hpc.ThreadEpochSample, cs []hpc.CoreEpochSample) {
-		if got == nil {
-			got, gotCores = th, cs
+	b := balancerFunc(func(k *Kernel, now Time, th []hpc.ThreadSample, cs []hpc.CoreEpochSample) {
+		if got != nil {
+			return
 		}
+		// Snapshot views are only valid until the next epoch, so the
+		// first epoch's samples must be copied out to survive Run.
+		for _, ts := range th {
+			c := &hpc.ThreadEpochSample{PerCore: append([]hpc.CoreCounters(nil), ts.Sample.PerCore...)}
+			got = append(got, hpc.ThreadSample{Thread: ts.Thread, Sample: c})
+		}
+		gotCores = append([]hpc.CoreEpochSample(nil), cs...)
 	})
 	k := newKernel(t, arch.QuadHMP(), b)
 	id, _ := k.Spawn(busySpec("sampled"))
@@ -371,8 +378,8 @@ func TestBalancerReceivesSamples(t *testing.T) {
 	if got == nil {
 		t.Fatal("balancer never called")
 	}
-	s, ok := got[int(id)]
-	if !ok {
+	s := hpc.FindThread(got, int(id))
+	if s == nil {
 		t.Fatal("running thread missing from samples")
 	}
 	total := s.Total()
@@ -395,10 +402,10 @@ func TestBalancerReceivesSamples(t *testing.T) {
 }
 
 // balancerFunc adapts a function to the Balancer interface.
-type balancerFunc func(*Kernel, Time, map[int]*hpc.ThreadEpochSample, []hpc.CoreEpochSample)
+type balancerFunc func(*Kernel, Time, []hpc.ThreadSample, []hpc.CoreEpochSample)
 
 func (balancerFunc) Name() string { return "func" }
-func (f balancerFunc) Rebalance(k *Kernel, now Time, th map[int]*hpc.ThreadEpochSample, cs []hpc.CoreEpochSample) {
+func (f balancerFunc) Rebalance(k *Kernel, now Time, th []hpc.ThreadSample, cs []hpc.CoreEpochSample) {
 	f(k, now, th, cs)
 }
 
@@ -538,7 +545,7 @@ func TestHeterogeneousThroughputVisible(t *testing.T) {
 	// different instruction counts — end-to-end check that kernel wiring
 	// preserves the machine model's heterogeneity.
 	pin := func(core arch.CoreID) uint64 {
-		k := newKernel(t, arch.QuadHMP(), balancerFunc(func(k *Kernel, _ Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+		k := newKernel(t, arch.QuadHMP(), balancerFunc(func(k *Kernel, _ Time, _ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 			for _, task := range k.ActiveTasks() {
 				_ = k.Migrate(task.ID, core)
 			}

@@ -120,7 +120,7 @@ type refuseAll struct{ calls int }
 
 var errRefused = errors.New("refused by test injector")
 
-func (r *refuseAll) FilterEpoch(epoch int, now Time, threads map[int]*ThreadEpochSample, cores []CoreEpochSample) (map[int]*ThreadEpochSample, []CoreEpochSample) {
+func (r *refuseAll) FilterEpoch(epoch int, now Time, threads []ThreadSample, cores []CoreEpochSample) ([]ThreadSample, []CoreEpochSample) {
 	return threads, cores
 }
 

@@ -55,7 +55,9 @@ func (k *Kernel) dispatch(c arch.CoreID) {
 	t.taskState = StateRunning
 	t.pelt.Transition(k.now, true, true)
 	cr.current = t
-	slice := k.timeslice(t, c)
+	// pickNext just removed t from the queue and current is nil, so t
+	// is never accounted here.
+	slice := k.timesliceCounted(t, c, false)
 	debt := t.migrationDebt
 	if max := k.horizon - k.now - debt; slice > max {
 		slice = max
@@ -66,16 +68,17 @@ func (k *Kernel) dispatch(c arch.CoreID) {
 		// if Run is called again with a later horizon.
 		t.taskState = StateRunnable
 		cr.current = nil
-		cr.runq = append(cr.runq, t) //sbvet:allow hotpath(runqueue capacity reaches the core's peak occupancy once and is reused; dequeue truncates in place)
+		cr.runqWeight += t.weight
+		k.rqInsert(cr, t)
 		return
 	}
 	t.migrationDebt = 0
-	r, err := k.mach.ExecSlice(t.state, k.plat.TypeID(c), slice)
-	if err != nil {
+	if err := k.mach.ExecSliceInto(&cr.pending, t.state, k.plat.TypeID(c), slice); err != nil {
 		// Impossible for a non-finished task and positive slice; fail
 		// loudly rather than corrupt accounting.
 		panic(fmt.Sprintf("kernel: ExecSlice: %v", err)) //sbvet:allow hotpath(formats only while crashing on corrupt accounting)
 	}
+	r := &cr.pending
 	if debt > 0 {
 		// Cold-cache debt after migration: stall time at idle-activity
 		// power before the slice proper.
@@ -86,7 +89,6 @@ func (k *Kernel) dispatch(c arch.CoreID) {
 		r.DurNs += debt
 	}
 	cr.sliceSeq++
-	cr.pending = r
 	endAt := k.now + r.DurNs
 	if endAt <= k.now {
 		endAt = k.now + 1
@@ -104,7 +106,7 @@ func (k *Kernel) handleSliceEnd(c arch.CoreID, sliceSeq uint64) {
 	t := cr.current
 	cr.current = nil
 	cr.switches++
-	res := cr.pending
+	res := &cr.pending
 	dur := res.DurNs
 
 	// Counter sampling at schedule() granularity (Section 5.1).
@@ -153,6 +155,7 @@ func (k *Kernel) handleSliceEnd(c arch.CoreID, sliceSeq uint64) {
 		t.finishedAt = k.now
 		t.accrueRunnable(k.now)
 		t.pelt.Transition(k.now, false, false)
+		k.exited = append(k.exited, t.ID) //sbvet:allow hotpath(exit backlog drains at every epoch boundary; capacity reaches one epoch's exits and is reused)
 		k.emit(TraceEvent{At: k.now, Kind: TraceFinish, Core: c, Thread: t.ID})
 	case res.SleepNs > 0:
 		t.taskState = StateSleeping
@@ -173,8 +176,8 @@ func (k *Kernel) handleSliceEnd(c arch.CoreID, sliceSeq uint64) {
 
 // handleWakeup returns a sleeping task to its core's runqueue.
 func (k *Kernel) handleWakeup(id ThreadID) {
-	t, ok := k.tasks[id]
-	if !ok || t.taskState != StateSleeping {
+	t := k.taskByID(id)
+	if t == nil || t.taskState != StateSleeping {
 		return
 	}
 	t.runnableSince = k.now
@@ -213,6 +216,12 @@ func (k *Kernel) handleEpoch() {
 		t.pelt.Observe(k.now)
 	}
 	threads, cores := k.bank.Snapshot()
+	// Slots of tasks that exited during the epoch are reclaimed now that
+	// their final slices are safely copied into the snapshot arenas.
+	for _, id := range k.exited {
+		k.bank.ReleaseThread(int(id))
+	}
+	k.exited = k.exited[:0]
 	if k.cfg.Faults != nil {
 		// Sensor faults degrade only what the balancer observes; the
 		// true samples above already fed the kernel's own accounting.
@@ -251,7 +260,7 @@ func (k *Kernel) Run(until Time) error {
 	// horizon.
 	for i := range k.cores {
 		cr := &k.cores[i]
-		if cr.current == nil && len(cr.runq) > 0 {
+		if cr.current == nil && cr.runqHead < len(cr.runq) {
 			if cr.sleeping {
 				k.kick(arch.CoreID(i))
 			} else {

@@ -220,7 +220,8 @@ func (k *Kernel) CheckInvariants() error {
 			}
 			seen[t.ID] = fmt.Sprintf("core %d current", i)
 		}
-		for _, t := range cr.runq {
+		for _, e := range cr.runq[cr.runqHead:] {
+			t := k.tasks[e.id]
 			if t.taskState != StateRunnable {
 				return fmt.Errorf("kernel: queued task %d in state %v", t.ID, t.taskState)
 			}
@@ -239,7 +240,8 @@ func (k *Kernel) CheckInvariants() error {
 			return fmt.Errorf("kernel: core %d sleeping while running", i)
 		}
 	}
-	for id, t := range k.tasks {
+	for i, t := range k.tasks {
+		id := ThreadID(i)
 		switch t.taskState {
 		case StateRunnable, StateRunning:
 			if _, ok := seen[id]; !ok {

@@ -17,7 +17,7 @@ type chaosBalancer struct {
 }
 
 func (c *chaosBalancer) Name() string { return "chaos" }
-func (c *chaosBalancer) Rebalance(k *Kernel, _ Time, _ map[int]*hpc.ThreadEpochSample, _ []hpc.CoreEpochSample) {
+func (c *chaosBalancer) Rebalance(k *Kernel, _ Time, _ []hpc.ThreadSample, _ []hpc.CoreEpochSample) {
 	n := k.NumCores()
 	for _, t := range k.ActiveTasks() {
 		if c.r.Float64() < 0.7 {

@@ -35,10 +35,12 @@ type ThreadState struct {
 	cyclesDone   int
 	finished     bool
 
-	// metrics[phase][coreType] holds the memoised model evaluation;
-	// valid[phase][coreType] marks filled entries.
-	metrics [][]perfmodel.Metrics
-	valid   [][]bool
+	// metrics[phase*numTypes+coreType] holds the memoised model
+	// evaluation; valid marks filled entries. Flat layout: the lookup
+	// is one bounds check and no pointer chase on the slice hot path.
+	numTypes int
+	metrics  []perfmodel.Metrics
+	valid    []bool
 }
 
 // Options tunes optional machine behaviours.
@@ -122,7 +124,11 @@ func (m *Machine) Platform() *arch.Platform { return m.plat }
 // PowerModels returns the calibrated power models.
 func (m *Machine) PowerModels() *powermodel.Platform { return m.pm }
 
-// NewThreadState validates the spec and prepares run-time state.
+// NewThreadState validates the spec and prepares run-time state. The
+// steady-state metrics of every (phase, core type) pair are evaluated
+// eagerly — the spec is immutable and the table is small, so paying
+// the model up front keeps phase transitions free of evaluation work
+// on the slice hot path.
 func (m *Machine) NewThreadState(spec *workload.ThreadSpec) (*ThreadState, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
@@ -130,13 +136,16 @@ func (m *Machine) NewThreadState(spec *workload.ThreadSpec) (*ThreadState, error
 	n := len(spec.Phases)
 	q := m.plat.NumTypes()
 	ts := &ThreadState{
-		Spec:    spec,
-		metrics: make([][]perfmodel.Metrics, n),
-		valid:   make([][]bool, n),
+		Spec:     spec,
+		numTypes: q,
+		metrics:  make([]perfmodel.Metrics, n*q),
+		valid:    make([]bool, n*q),
 	}
-	for i := 0; i < n; i++ {
-		ts.metrics[i] = make([]perfmodel.Metrics, q)
-		ts.valid[i] = make([]bool, q)
+	for p := 0; p < n; p++ {
+		for c := 0; c < q; c++ {
+			ts.metrics[p*q+c] = perfmodel.Evaluate(&spec.Phases[p], &m.plat.Types[c])
+			ts.valid[p*q+c] = true
+		}
 	}
 	return ts, nil
 }
@@ -163,15 +172,18 @@ func (t *ThreadState) Progress() (cycles int, instr uint64) {
 // predictor evaluation (Fig. 6) and the prediction-vs-oracle ablation
 // compare against.
 func (m *Machine) SteadyMetrics(t *ThreadState, tid arch.CoreTypeID) perfmodel.Metrics {
-	return m.phaseMetrics(t, t.phaseIdx, tid)
+	return *m.phaseMetrics(t, t.phaseIdx, tid)
 }
 
-func (m *Machine) phaseMetrics(t *ThreadState, phase int, tid arch.CoreTypeID) perfmodel.Metrics {
-	if !t.valid[phase][tid] {
-		t.metrics[phase][tid] = perfmodel.Evaluate(&t.Spec.Phases[phase], &m.plat.Types[tid])
-		t.valid[phase][tid] = true
+// phaseMetrics returns a pointer into the memo table; the entry is
+// immutable once filled, so callers may hold it across calls.
+func (m *Machine) phaseMetrics(t *ThreadState, phase int, tid arch.CoreTypeID) *perfmodel.Metrics {
+	idx := phase*t.numTypes + int(tid)
+	if !t.valid[idx] {
+		t.metrics[idx] = perfmodel.Evaluate(&t.Spec.Phases[phase], &m.plat.Types[tid])
+		t.valid[idx] = true
 	}
-	return t.metrics[phase][tid]
+	return &t.metrics[idx]
 }
 
 // SliceResult reports what happened during one execution slice.
@@ -207,11 +219,22 @@ type SliceResult struct {
 // a sleep point or when the thread finishes. maxDurNs must be positive.
 func (m *Machine) ExecSlice(t *ThreadState, tid arch.CoreTypeID, maxDurNs int64) (SliceResult, error) {
 	var res SliceResult
+	err := m.ExecSliceInto(&res, t, tid, maxDurNs)
+	return res, err
+}
+
+// ExecSliceInto is ExecSlice writing its result into *out (which is
+// reset first): the scheduler hot path targets the core's pending-slice
+// slot directly instead of copying the ~100-byte result twice per
+// slice.
+func (m *Machine) ExecSliceInto(out *SliceResult, t *ThreadState, tid arch.CoreTypeID, maxDurNs int64) error {
+	res := out
+	*res = SliceResult{}
 	if maxDurNs <= 0 {
-		return res, fmt.Errorf("machine: non-positive slice duration %d", maxDurNs) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
+		return fmt.Errorf("machine: non-positive slice duration %d", maxDurNs) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 	}
 	if t.finished {
-		return res, ErrFinished
+		return ErrFinished
 	}
 	ct := &m.plat.Types[tid]
 	pmod := m.pm.ForType(tid)
@@ -224,9 +247,11 @@ func (m *Machine) ExecSlice(t *ThreadState, tid arch.CoreTypeID, maxDurNs int64)
 	var memTrafficBytes float64 // L2-miss traffic feeding the shared bus
 	for remaining > 1e-9 {
 		ph := &t.Spec.Phases[t.phaseIdx]
-		var met perfmodel.Metrics
+		var met *perfmodel.Metrics
+		var contended perfmodel.Metrics
 		if latScale > 1.0001 {
-			met = perfmodel.EvaluateContended(ph, ct, latScale)
+			contended = perfmodel.EvaluateContended(ph, ct, latScale)
+			met = &contended
 		} else {
 			met = m.phaseMetrics(t, t.phaseIdx, tid)
 		}
@@ -302,7 +327,7 @@ func (m *Machine) ExecSlice(t *ThreadState, tid arch.CoreTypeID, maxDurNs int64)
 		res.DurNs = 1
 	}
 	m.recordBusTraffic(res.DurNs, memTrafficBytes)
-	return res, nil
+	return nil
 }
 
 // advancePhase moves to the next phase, handling cycle repetition and

@@ -18,6 +18,17 @@ var y = math.Pow(0.5, 1.0/32)
 // always runnable converges to it.
 var maxSum = 1 / (1 - y)
 
+// yPow memoizes y^r for the 32 possible residues r = n mod 32, so the
+// hot advance path never calls math.Pow. Entries are the exact float64
+// values math.Pow(y, r) returns, keeping decayN bit-identical to the
+// direct computation.
+var yPow = func() (t [32]float64) {
+	for i := range t {
+		t[i] = math.Pow(y, float64(i))
+	}
+	return t
+}()
+
 // decayN returns y^n.
 func decayN(n int64) float64 {
 	if n <= 0 {
@@ -29,7 +40,7 @@ func decayN(n int64) float64 {
 		return 0
 	}
 	v := math.Ldexp(1, -int(halvings))
-	return v * math.Pow(y, float64(n%32))
+	return v * yPow[n%32]
 }
 
 // Tracker follows one task's runnable/running history. The zero value
@@ -72,12 +83,9 @@ func (t *Tracker) advance(now int64) {
 
 	if fullPeriods > 0 {
 		d := decayN(fullPeriods)
-		contrib := 0.0
-		if fullPeriods >= 1 {
-			// Geometric sum of the newly completed periods:
-			// sum_{i=1..n} y^i = y*(1-y^n)/(1-y).
-			contrib = y * (1 - decayN(fullPeriods)) / (1 - y)
-		}
+		// Geometric sum of the newly completed periods:
+		// sum_{i=1..n} y^i = y*(1-y^n)/(1-y).
+		contrib := y * (1 - d) / (1 - y)
 		t.runnableSum *= d
 		t.runningSum *= d
 		if t.runnable {

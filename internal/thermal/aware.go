@@ -77,7 +77,7 @@ func (a *Aware) Validate() error {
 
 // Rebalance implements kernel.Balancer.
 func (a *Aware) Rebalance(k *kernel.Kernel, now kernel.Time,
-	threads map[int]*hpc.ThreadEpochSample, cores []hpc.CoreEpochSample) {
+	threads []hpc.ThreadSample, cores []hpc.CoreEpochSample) {
 	if err := a.Validate(); err != nil {
 		return
 	}

@@ -20,7 +20,9 @@ if ! grep -q '"schema": "sbbench-v1"' "$f"; then
 fi
 
 for key in ns_per_epoch allocs_per_epoch ns_per_epoch_telemetry \
-           allocs_per_epoch_telemetry scenarios_per_sec; do
+           allocs_per_epoch_telemetry scenarios_per_sec speedup_1024 \
+           c256_t2560 c1024_t10240 c1024_t16384 c1024_t32768 \
+           c1024_t49152 c1024_t65536; do
     if ! grep -Eq "\"$key\": [0-9]" "$f"; then
         echo "bench-check: $f missing numeric key \"$key\"" >&2
         exit 1
@@ -39,4 +41,21 @@ if ! awk -v v="$allocs_on" 'BEGIN { exit !(v <= 8) }'; then
     exit 1
 fi
 
-echo "ok: BENCH_core.json schema-valid (allocs/epoch off=$allocs_off on=$allocs_on)"
+# Scale gate: the recorded 1024-core/65536-thread throughput must be at
+# least 5x the frozen pre-refactor baseline recorded in the same file
+# (scale.baseline_pre_scale). The generated layout puts the current
+# value first and the baseline value last, so occurrence order is the
+# section order.
+scale_cur=$(grep '"c1024_t65536":' "$f" | head -1 | grep -Eo '[0-9]+' | tail -1)
+scale_base=$(grep '"c1024_t65536":' "$f" | tail -1 | grep -Eo '[0-9]+' | tail -1)
+if [ -z "$scale_cur" ] || [ -z "$scale_base" ] || [ "$scale_cur" = "$scale_base" ]; then
+    echo "bench-check: $f scale section lacks distinct current and baseline c1024_t65536 entries" >&2
+    exit 1
+fi
+if ! awk -v c="$scale_cur" -v b="$scale_base" 'BEGIN { exit !(c >= 5.0 * b) }'; then
+    echo "bench-check: recorded 1024-core scale throughput $scale_cur simthreads/s is < 5x baseline $scale_base (rerun scripts/bench.sh 20x scale after kernel hot-path changes)" >&2
+    exit 1
+fi
+speedup=$(awk -v c="$scale_cur" -v b="$scale_base" 'BEGIN { printf "%.2f", c / b }')
+
+echo "ok: BENCH_core.json schema-valid (allocs/epoch off=$allocs_off on=$allocs_on; 1024-core scale ${speedup}x baseline)"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# queue_check.sh — the calendar↔heap equivalence gate at the binary
+# level: one fixed-seed sbsim scenario (SmartBalance controller, fault
+# injection on, per-task stats) must produce byte-identical output under
+# both event-queue implementations. Complements the in-package
+# equivalence suite (internal/kernel/event_equiv_test.go), which attacks
+# the queues directly with randomized streams.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+args=(-platform quad -workload Mix1 -threads 4 -balancer smartbalance
+      -dur 800 -seed 7 -tasks -fault "drop=0.2;stale=0.1;migfail=0.2")
+
+go run ./cmd/sbsim "${args[@]}" -queue calendar >"$tmp/calendar.out"
+go run ./cmd/sbsim "${args[@]}" -queue heap     >"$tmp/heap.out"
+
+if ! cmp -s "$tmp/calendar.out" "$tmp/heap.out"; then
+    echo "queue-check: sbsim output differs between -queue calendar and -queue heap" >&2
+    diff "$tmp/calendar.out" "$tmp/heap.out" >&2 || true
+    exit 1
+fi
+
+echo "ok: fixed-seed sbsim byte-identical under calendar and heap event queues"

@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet sbvet sweep-check fault-check telemetry-check bench bench-check check
+.PHONY: build test race vet sbvet sweep-check fault-check telemetry-check fleet-check bench bench-check check
 
 build:
 	go build ./...
@@ -25,6 +25,9 @@ fault-check:
 
 telemetry-check:
 	./scripts/telemetry_check.sh
+
+fleet-check:
+	./scripts/fleet_check.sh
 
 bench:
 	./scripts/bench.sh

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives the full binary flow and returns stdout.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("sbfleet %v exited %d: %s", args, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+func TestRunReportsHeadline(t *testing.T) {
+	out := runCLI(t, "-nodes", "2", "-dur", "100", "-seed", "3", "-arrival", "uniform:rate=200")
+	if !strings.Contains(out, "headline policy=energy nodes=2") {
+		t.Errorf("missing headline line in output:\n%s", out)
+	}
+	if !strings.Contains(out, "joules/request") || !strings.Contains(out, "p99=") {
+		t.Errorf("missing energy/latency report in output:\n%s", out)
+	}
+}
+
+func TestCompareRunsEveryPolicy(t *testing.T) {
+	out := runCLI(t, "-nodes", "2", "-dur", "100", "-seed", "3", "-compare")
+	for _, pol := range []string{"rr", "least", "energy"} {
+		if !strings.Contains(out, "headline policy="+pol+" ") {
+			t.Errorf("compare output missing %s headline:\n%s", pol, out)
+		}
+	}
+}
+
+func TestStdoutAndTelemetryIdenticalAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	telA := filepath.Join(dir, "a.jsonl")
+	telB := filepath.Join(dir, "b.jsonl")
+	outA := runCLI(t, "-nodes", "4", "-dur", "100", "-seed", "7", "-arrival", "bursty",
+		"-workers", "1", "-telemetry", telA)
+	outB := runCLI(t, "-nodes", "4", "-dur", "100", "-seed", "7", "-arrival", "bursty",
+		"-workers", "8", "-telemetry", telB)
+	if outA != outB {
+		t.Errorf("stdout differs between -workers 1 and 8:\n%s\nvs\n%s", outA, outB)
+	}
+	a, err := os.ReadFile(telA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(telB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("telemetry JSONL differs between -workers 1 and 8")
+	}
+	if len(a) == 0 {
+		t.Error("telemetry export is empty")
+	}
+}
+
+func TestBadFlagsFail(t *testing.T) {
+	cases := [][]string{
+		{"-policy", "random"},
+		{"-arrival", "storm"},
+		{"-nodes", "0"},
+		{"-classes", "video"},
+		{"-compare", "-telemetry", "x.jsonl"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code == 0 {
+			t.Errorf("sbfleet %v succeeded, want failure", args)
+		}
+	}
+}

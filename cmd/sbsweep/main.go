@@ -57,9 +57,33 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		progress  = fs.Bool("progress", false, "print live per-job status to stderr")
 		expectHit = fs.Bool("expect-cached", false, "exit 2 if any job executed instead of being served from the cache")
 		telPath   = fs.String("telemetry", "", "write the sweep's merged telemetry to this file (.prom writes Prometheus text, anything else canonical JSONL)")
+
+		fleetMode     = fs.Bool("fleet", false, "sweep the fleet tier instead of single-node scenarios (grids nodes x policy x arrival; -balancers, -seeds, -dur still apply)")
+		fleetNodes    = fs.String("fleet-nodes", "8", "comma-separated fleet sizes (with -fleet)")
+		fleetPolicies = fs.String("fleet-policies", "rr,least,energy", "comma-separated dispatch policies (with -fleet)")
+		fleetArrivals = fs.String("fleet-arrivals", "bursty", "comma-separated arrival specs (with -fleet)")
+		fleetProfiles = fs.String("fleet-profiles", "quad,biglittle", "comma-separated node-platform profiles; each profile is itself a +-separated cycle, e.g. quad+biglittle (with -fleet)")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 1
+	}
+
+	if *fleetMode {
+		return runFleet(fleetArgs{
+			nodes:     *fleetNodes,
+			policies:  *fleetPolicies,
+			arrivals:  *fleetArrivals,
+			profiles:  *fleetProfiles,
+			balancers: *balancers,
+			seeds:     *seeds,
+			durMs:     *durMs,
+			workers:   *workers,
+			cacheDir:  *cacheDir,
+			salt:      *salt,
+			jsonOut:   *jsonOut,
+			progress:  *progress,
+			expectHit: *expectHit,
+		}, stdout, stderr)
 	}
 
 	grid := sweep.Grid{
@@ -172,6 +196,107 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	if *expectHit && s.Cached < s.Jobs {
+		fmt.Fprintf(stderr, "sbsweep: -expect-cached: %d of %d jobs executed\n", s.Jobs-s.Cached, s.Jobs)
+		return 2
+	}
+	return 0
+}
+
+// fleetArgs carries the flag values runFleet consumes.
+type fleetArgs struct {
+	nodes, policies, arrivals, profiles string
+	balancers, seeds                    string
+	durMs                               int64
+	workers                             int
+	cacheDir, salt                      string
+	jsonOut, progress, expectHit        bool
+}
+
+// runFleet expands and executes a fleet-tier sweep on the same engine,
+// cache, and exit-status contract as scenario sweeps.
+func runFleet(a fleetArgs, stdout, stderr io.Writer) int {
+	grid := sweep.FleetGrid{
+		Profiles:   splitList(a.profiles),
+		Balancers:  splitList(a.balancers),
+		Policies:   splitList(a.policies),
+		Arrivals:   splitList(a.arrivals),
+		DurationNs: a.durMs * 1e6,
+	}
+	// Profile cycles are "+"-separated in the flag (a profile is itself
+	// a comma list, which would collide with the axis separator).
+	for i, p := range grid.Profiles {
+		grid.Profiles[i] = strings.ReplaceAll(p, "+", ",")
+	}
+	var err error
+	if grid.Nodes, err = parseInts(a.nodes); err != nil {
+		fmt.Fprintf(stderr, "sbsweep: -fleet-nodes: %v\n", err)
+		return 1
+	}
+	if grid.Seeds, err = parseSeeds(a.seeds); err != nil {
+		fmt.Fprintf(stderr, "sbsweep: -seeds: %v\n", err)
+		return 1
+	}
+	scs, err := grid.Expand()
+	if err != nil {
+		fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+		return 1
+	}
+	tasks, err := sweep.FleetTasks(scs, a.salt)
+	if err != nil {
+		fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+		return 1
+	}
+	opts := sweep.Options{Workers: a.workers, NewClock: core.RealClock}
+	var cache *sweep.Cache
+	if a.cacheDir != "" {
+		if cache, err = sweep.OpenCache(a.cacheDir); err != nil {
+			fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+			return 1
+		}
+		opts.Cache = cache
+	}
+	if a.progress {
+		opts.OnProgress = func(p sweep.Progress) {
+			switch p.Status {
+			case sweep.StatusFailed:
+				fmt.Fprintf(stderr, "[%d/%d] %-8s %s: %v\n", p.Index+1, p.Total, p.Status, p.Key, p.Err)
+			default:
+				fmt.Fprintf(stderr, "[%d/%d] %-8s %s\n", p.Index+1, p.Total, p.Status, p.Key)
+			}
+		}
+	}
+
+	t0 := time.Now() //sbvet:allow wallclock(binary boundary: operator-facing sweep timing on stderr only)
+	results, err := sweep.Execute(tasks, opts)
+	wall := time.Since(t0)
+	if err != nil {
+		fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+		return 1
+	}
+	if a.jsonOut {
+		err = sweep.WriteJSONL(stdout, results)
+	} else {
+		err = sweep.RenderFleetTable(stdout, results)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "sbsweep: %v\n", err)
+		return 1
+	}
+	s := sweep.Summarize(results)
+	fmt.Fprintf(stderr, "sbsweep: fleet jobs=%d ok=%d failed=%d cached=%d workers=%d wall=%v\n",
+		s.Jobs, s.OK, s.Failed, s.Cached, sweep.Workers(a.workers), wall.Round(time.Millisecond))
+	if cache != nil {
+		cs := cache.Stats()
+		fmt.Fprintf(stderr, "sbsweep: cache %s: hits=%d misses=%d writes=%d write-errors=%d corrupt-evicted=%d\n",
+			cache.Dir(), cs.Hits, cs.Misses, cs.Writes, cs.WriteErrs, cs.Corrupt)
+	}
+	for _, st := range s.Stacks {
+		fmt.Fprintf(stderr, "sbsweep: recovered panic in %s\n", st)
+	}
+	if s.Failed > 0 {
+		return 1
+	}
+	if a.expectHit && s.Cached < s.Jobs {
 		fmt.Fprintf(stderr, "sbsweep: -expect-cached: %d of %d jobs executed\n", s.Jobs-s.Cached, s.Jobs)
 		return 2
 	}

@@ -1,6 +1,7 @@
 // Command sbtrace inspects telemetry traces produced by sbsim
-// -telemetry and sbsweep -telemetry (the canonical JSONL interchange
-// format).
+// -telemetry, sbsweep -telemetry, and sbfleet -telemetry (the
+// canonical JSONL interchange format). Fleet traces (meta tier=fleet)
+// additionally get a per-node rollup in summary.
 //
 // Usage:
 //
@@ -21,6 +22,7 @@ import (
 	"os"
 	"regexp"
 	"sort"
+	"strconv"
 
 	"smartbalance/internal/telemetry"
 )
@@ -104,7 +106,58 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "  %s\n", a.String())
 	}
 	fmt.Fprintf(stdout, "dumps     %d\n", len(tr.Dumps))
+	if tr.Meta["tier"] == "fleet" {
+		fleetSummary(stdout, tr)
+	}
 	return 0
+}
+
+// fleetNodeMetric matches the per-node rollup metrics a fleet run
+// exports, e.g. `fleet_node_energy_j{node="3"}`.
+var fleetNodeMetric = regexp.MustCompile(`^fleet_node_([a-z0-9_]+)\{node="(\d+)"\}$`)
+
+// fleetSummary renders the fleet-tier rollup: fleet totals followed by
+// one line per node, reconstructed from the fleet_* and fleet_node_*
+// metrics a tier=fleet trace carries.
+func fleetSummary(w io.Writer, tr *telemetry.Trace) {
+	totals := map[string]float64{}
+	perNode := map[int]map[string]float64{}
+	for _, m := range tr.Metrics {
+		if sub := fleetNodeMetric.FindStringSubmatch(m.Key); sub != nil {
+			id, err := strconv.Atoi(sub[2])
+			if err != nil {
+				continue
+			}
+			if perNode[id] == nil {
+				perNode[id] = map[string]float64{}
+			}
+			perNode[id][sub[1]] = m.Value
+			continue
+		}
+		if len(m.Key) > 6 && m.Key[:6] == "fleet_" && m.Kind != telemetry.KindHistogram {
+			totals[m.Key] = m.Value
+		}
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fmt.Fprintf(w, "fleet     nodes=%s policy=%s arrival=%s\n",
+		tr.Meta["nodes"], tr.Meta["policy"], tr.Meta["arrival"])
+	fmt.Fprintf(w, "  requests=%.0f completed=%.0f inflight=%.0f\n",
+		totals["fleet_requests_total"], totals["fleet_completed_total"], totals["fleet_inflight"])
+	fmt.Fprintf(w, "  energy_j=%s joules/request=%s\n",
+		g(totals["fleet_energy_j"]), g(totals["fleet_joules_per_request"]))
+	fmt.Fprintf(w, "  latency p50=%sms p95=%sms p99=%sms max=%sms\n",
+		g(totals["fleet_p50_ms"]), g(totals["fleet_p95_ms"]), g(totals["fleet_p99_ms"]), g(totals["fleet_max_ms"]))
+	ids := make([]int, 0, len(perNode))
+	for id := range perNode {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		n := perNode[id]
+		fmt.Fprintf(w, "  node %3d requests=%.0f completed=%.0f energy_j=%s j/req=%s p99_ms=%s\n",
+			id, n["requests_total"], n["completed_total"],
+			g(n["energy_j"]), g(n["joules_per_request"]), g(n["p99_ms"]))
+	}
 }
 
 func runGrep(args []string, stdout, stderr io.Writer) int {

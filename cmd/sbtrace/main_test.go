@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -12,6 +13,10 @@ import (
 
 	"smartbalance"
 )
+
+// update regenerates the committed golden files instead of comparing
+// against them: go test ./cmd/sbtrace -update
+var update = flag.Bool("update", false, "rewrite golden files")
 
 // writeSeedTrace runs one deterministic SmartBalance scenario with
 // telemetry attached and writes the canonical JSONL export to a temp
@@ -80,6 +85,37 @@ func TestSummary(t *testing.T) {
 	for _, want := range []string{"meta balancer", "epochs", "spans", "sense", "migrate", "metrics", "anomalies"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetSummaryGolden pins the fleet-tier summary rendering against
+// a committed trace (testdata/fleet_small.jsonl, produced by
+// `sbfleet -nodes 2 -dur 100 -seed 3 -arrival bursty:... -telemetry`)
+// and its golden output. Regenerate both with -update after an
+// intentional format change.
+func TestFleetSummaryGolden(t *testing.T) {
+	fixture := filepath.Join("testdata", "fleet_small.jsonl")
+	golden := filepath.Join("testdata", "fleet_summary.golden")
+	code, out, errOut := sbtrace("summary", fixture)
+	if code != 0 {
+		t.Fatalf("summary exit %d, stderr: %s", code, errOut)
+	}
+	if *update {
+		if err := os.WriteFile(golden, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Errorf("fleet summary drifted from golden (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	for _, frag := range []string{"meta tier         fleet", "fleet     nodes=2 policy=energy", "node   0 ", "node   1 ", "joules/request="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("fleet summary missing %q", frag)
 		}
 	}
 }

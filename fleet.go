@@ -1,0 +1,70 @@
+package smartbalance
+
+import (
+	"smartbalance/internal/fleet"
+	"smartbalance/internal/workload"
+)
+
+// Fleet tier (DESIGN.md §13): many independent simulated MPSoC nodes
+// behind an energy-aware L4-style dispatcher serving open-loop request
+// traffic. The paper's sense-predict-balance loop runs within each
+// node; the fleet adds the inter-node level, routing each request on
+// per-node signals (estimated joules per request, queue depth, p99
+// latency EWMA).
+
+// FleetConfig describes one fleet run; a run is a pure function of it
+// (minus Workers, which only changes wall-clock).
+type FleetConfig = fleet.Config
+
+// Fleet is one constructed fleet run.
+type Fleet = fleet.Fleet
+
+// FleetResult is the distilled outcome of a fleet run.
+type FleetResult = fleet.Result
+
+// FleetNodeStats is one node's distilled outcome.
+type FleetNodeStats = fleet.NodeStats
+
+// FleetRequest is one admitted unit of the open-loop request stream.
+type FleetRequest = fleet.Request
+
+// DispatchPolicy selects how the front dispatcher routes requests.
+type DispatchPolicy = fleet.Policy
+
+// Dispatch policies, re-exported.
+const (
+	// DispatchRoundRobin ignores all signals — the baseline.
+	DispatchRoundRobin = fleet.PolicyRoundRobin
+	// DispatchLeastLoaded routes to the fewest outstanding requests per
+	// core.
+	DispatchLeastLoaded = fleet.PolicyLeastLoad
+	// DispatchEnergyAware routes to the cheapest estimated joules per
+	// request, derated by load.
+	DispatchEnergyAware = fleet.PolicyEnergy
+)
+
+// DefaultFleetConfig returns a small runnable fleet configuration.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// NewFleet validates the configuration and builds a fleet; call Run
+// exactly once.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// ParseDispatchPolicy validates a dispatch-policy name
+// (rr | least | energy).
+func ParseDispatchPolicy(s string) (DispatchPolicy, error) { return fleet.ParsePolicy(s) }
+
+// FleetArrival is an open-loop arrival process (uniform, diurnal, or
+// bursty/MMPP).
+type FleetArrival = fleet.Arrival
+
+// RequestClasses lists the built-in request classes ("api", "page",
+// "query") in canonical order.
+func RequestClasses() []string { return workload.RequestClasses() }
+
+// RequestSpec materialises one short-lived request thread of the named
+// class, deterministically jittered by seed — the unit of work a fleet
+// dispatcher admits per request.
+func RequestSpec(class, name string, seed uint64) (ThreadSpec, error) {
+	return workload.RequestSpec(class, name, seed)
+}

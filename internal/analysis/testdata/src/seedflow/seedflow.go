@@ -66,3 +66,29 @@ func OKInWorker(parent *rng.Rand, out chan<- float64) {
 		out <- r.Float64()
 	}(parent.Split())
 }
+
+// arrivalSeedTag mirrors the fleet tier's per-concern stream tags.
+const arrivalSeedTag = 0xA2217A1FEE75
+
+// BadArrivalStream seeds the arrival process straight from the tag — a
+// constant — instead of deriving it from the configured fleet seed.
+func BadArrivalStream() *rng.Rand {
+	return rng.New(arrivalSeedTag)
+}
+
+// OKArrivalStream derives the arrival stream from the configured seed
+// xored with the concern tag; the argument is not constant.
+func OKArrivalStream(cfg Config) *rng.Rand {
+	return rng.New(cfg.Seed ^ arrivalSeedTag)
+}
+
+// OKPerNodeStreams chains independent per-node seeds off the
+// configured seed with splitmix, one draw per node.
+func OKPerNodeStreams(cfg Config, nodes int) []*rng.Rand {
+	state := cfg.Seed
+	streams := make([]*rng.Rand, nodes)
+	for i := range streams {
+		streams[i] = rng.New(rng.Splitmix64(&state))
+	}
+	return streams
+}

@@ -55,3 +55,16 @@ func AllowedInWorker(done chan<- time.Time) {
 		done <- time.Now() //sbvet:allow wallclock(fixture: annotated inside a worker)
 	}()
 }
+
+// BadDispatcher mirrors the fleet tier's failure mode: stamping
+// request arrivals off the wall clock while parallel node-stepping
+// goroutines run. Simulated timelines advance with the tick counter,
+// so both reads must be flagged.
+func BadDispatcher(nodes int, done chan<- time.Duration) {
+	start := time.Now()
+	for i := 0; i < nodes; i++ {
+		go func() {
+			done <- time.Since(start)
+		}()
+	}
+}

@@ -24,6 +24,7 @@ var DefaultSimPackages = []string{
 	"smartbalance/internal/sweep",
 	"smartbalance/internal/fault",
 	"smartbalance/internal/telemetry",
+	"smartbalance/internal/fleet",
 }
 
 // Wallclock returns the analyzer forbidding time.Now and time.Since in

@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+
+	"smartbalance/internal/telemetry"
+)
+
+// burstyGateConfig is the canned scenario the energy-policy gate (and
+// scripts/fleet_check.sh) runs: a heterogeneous 8-node fleet under
+// bursty traffic.
+func burstyGateConfig(policy string) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 8
+	cfg.Policy = policy
+	cfg.Arrival = "bursty:rate=300,burst=6,pburst=0.08,pcalm=0.25"
+	cfg.DurationNs = 400e6
+	cfg.Seed = 7
+	return cfg
+}
+
+// runJSONL executes one run and returns its telemetry export bytes and
+// result.
+func runJSONL(t *testing.T, cfg Config) ([]byte, *Result) {
+	t.Helper()
+	cfg.Telemetry = true
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, f.Telemetry().Trace()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+func TestFixedSeedByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg := burstyGateConfig("energy")
+	base, baseRes := runJSONL(t, cfg)
+	for _, workers := range []int{2, 4, 16} {
+		c := cfg
+		c.Workers = workers
+		got, res := runJSONL(t, c)
+		if !bytes.Equal(base, got) {
+			t.Fatalf("workers=%d: telemetry JSONL differs from serial run (%d vs %d bytes)",
+				workers, len(base), len(got))
+		}
+		if *resHeadline(res) != *resHeadline(baseRes) {
+			t.Fatalf("workers=%d: result differs from serial run:\n%v\nvs\n%v", workers, res, baseRes)
+		}
+	}
+}
+
+// resHeadline projects the comparable scalar fields of a Result.
+func resHeadline(r *Result) *struct {
+	Req, Done, Inflight int
+	Energy, JPR, P99    float64
+} {
+	return &struct {
+		Req, Done, Inflight int
+		Energy, JPR, P99    float64
+	}{r.Requests, r.Completed, r.InFlight, r.EnergyJ, r.JoulesPerRequest, r.P99Ms}
+}
+
+func TestFixedSeedByteIdenticalAcrossRuns(t *testing.T) {
+	cfg := burstyGateConfig("energy")
+	cfg.Workers = 4
+	a, _ := runJSONL(t, cfg)
+	b, _ := runJSONL(t, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal-seed runs produced different telemetry JSONL")
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	cfg := burstyGateConfig("energy")
+	a, _ := runJSONL(t, cfg)
+	cfg.Seed = 8
+	b, _ := runJSONL(t, cfg)
+	if bytes.Equal(a, b) {
+		t.Fatal("seeds 7 and 8 produced identical telemetry JSONL")
+	}
+}
+
+func TestEnergyPolicyBeatsBaselinesOnBurstyTraffic(t *testing.T) {
+	// The headline acceptance gate: on the canned bursty scenario the
+	// energy-aware dispatcher must complete everything and spend fewer
+	// joules per request than round-robin AND least-loaded.
+	jpr := map[string]float64{}
+	for _, pol := range []string{"rr", "least", "energy"} {
+		_, res := runJSONL(t, burstyGateConfig(pol))
+		if res.Completed == 0 {
+			t.Fatalf("%s: no requests completed", pol)
+		}
+		if res.InFlight > res.Requests/10 {
+			t.Fatalf("%s: %d of %d requests still in flight after drain", pol, res.InFlight, res.Requests)
+		}
+		if res.P99Ms <= 0 {
+			t.Fatalf("%s: p99 not reported", pol)
+		}
+		jpr[pol] = res.JoulesPerRequest
+		t.Logf("%-7s j/req=%.5f", pol, res.JoulesPerRequest)
+	}
+	if jpr["energy"] >= jpr["rr"] {
+		t.Errorf("energy policy (%.5f J/req) did not beat round-robin (%.5f)", jpr["energy"], jpr["rr"])
+	}
+	if jpr["energy"] >= jpr["least"] {
+		t.Errorf("energy policy (%.5f J/req) did not beat least-loaded (%.5f)", jpr["energy"], jpr["least"])
+	}
+}
+
+func TestPolicyChangesRouting(t *testing.T) {
+	// Identical seeds, different policies: the arrival stream is the
+	// same, the per-node assignment must not be.
+	_, rr := runJSONL(t, burstyGateConfig("rr"))
+	_, en := runJSONL(t, burstyGateConfig("energy"))
+	if rr.Requests != en.Requests {
+		t.Fatalf("same seed admitted %d vs %d requests", rr.Requests, en.Requests)
+	}
+	same := true
+	for i := range rr.PerNode {
+		if rr.PerNode[i].Requests != en.PerNode[i].Requests {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("rr and energy policies produced identical per-node assignments")
+	}
+}
+
+func TestAccountingConsistent(t *testing.T) {
+	_, res := runJSONL(t, burstyGateConfig("least"))
+	var nodeReq, nodeDone int
+	for _, n := range res.PerNode {
+		nodeReq += n.Requests
+		nodeDone += n.Completed
+	}
+	if nodeReq != res.Requests {
+		t.Errorf("per-node requests sum to %d, fleet admitted %d", nodeReq, res.Requests)
+	}
+	if nodeDone != res.Completed {
+		t.Errorf("per-node completions sum to %d, fleet counted %d", nodeDone, res.Completed)
+	}
+	if res.Completed+res.InFlight != res.Requests {
+		t.Errorf("completed %d + inflight %d != admitted %d", res.Completed, res.InFlight, res.Requests)
+	}
+	if res.EnergyJ <= 0 {
+		t.Error("fleet consumed no energy")
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms || res.MaxMs < res.P99Ms {
+		t.Errorf("latency percentiles disordered: p50=%v p99=%v max=%v", res.P50Ms, res.P99Ms, res.MaxMs)
+	}
+}
+
+func TestTelemetryExportShape(t *testing.T) {
+	raw, res := runJSONL(t, burstyGateConfig("energy"))
+	tr, err := telemetry.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Meta["tier"] != "fleet" {
+		t.Errorf("meta tier = %q, want fleet", tr.Meta["tier"])
+	}
+	if tr.Meta["policy"] != "energy" || tr.Meta["nodes"] != "8" {
+		t.Errorf("meta policy/nodes = %q/%q", tr.Meta["policy"], tr.Meta["nodes"])
+	}
+	if _, ok := tr.Meta["workers"]; ok {
+		t.Error("meta records workers; the export must not depend on it")
+	}
+	want := map[string]float64{
+		"fleet_requests_total":     float64(res.Requests),
+		"fleet_completed_total":    float64(res.Completed),
+		"fleet_joules_per_request": res.JoulesPerRequest,
+		"fleet_p99_ms":             res.P99Ms,
+	}
+	seen := map[string]bool{}
+	var latCount int64
+	for _, m := range tr.Metrics {
+		if v, ok := want[m.Key]; ok {
+			seen[m.Key] = true
+			if m.Value != v { //sbvet:allow floateq(exact round-trip of an exported value, not a computed comparison)
+				t.Errorf("metric %s = %v, want %v", m.Key, m.Value, v)
+			}
+		}
+		if m.Key == "fleet_latency_ms" {
+			latCount = m.Count
+		}
+	}
+	for k := range want {
+		if !seen[k] {
+			t.Errorf("metric %s missing from export", k)
+		}
+	}
+	if latCount != int64(res.Completed) {
+		t.Errorf("fleet_latency_ms observed %d completions, want %d", latCount, res.Completed)
+	}
+	if len(tr.Epochs) == 0 {
+		t.Error("export has no tick epochs")
+	}
+	// Per-node rollups present for every node, in both the fleet_node_*
+	// family and the node-prefixed kernel fold.
+	perNode := 0
+	folded := 0
+	for _, m := range tr.Metrics {
+		if len(m.Key) > 11 && m.Key[:11] == "fleet_node_" {
+			perNode++
+		}
+		if len(m.Key) > 8 && m.Key[:4] == "node" && m.Key[7] == '_' {
+			folded++
+		}
+	}
+	if perNode < 5*8 {
+		t.Errorf("expected >= 40 fleet_node_* metrics, found %d", perNode)
+	}
+	if folded == 0 {
+		t.Error("no node-prefixed kernel metrics folded into the export")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := DefaultConfig()
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero nodes", func(c *Config) { c.Nodes = 0 }},
+		{"zero duration", func(c *Config) { c.DurationNs = 0 }},
+		{"tick beyond duration", func(c *Config) { c.TickNs = c.DurationNs * 2 }},
+		{"bad policy", func(c *Config) { c.Policy = "random" }},
+		{"bad arrival", func(c *Config) { c.Arrival = "storm" }},
+		{"bad class", func(c *Config) { c.Classes = "api,video" }},
+		{"bad platform", func(c *Config) { c.Profile = "hexa" }},
+		{"bad balancer", func(c *Config) { c.Balancer = "cfs" }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: config accepted, want error", tc.name)
+		}
+	}
+}
+
+func TestSingleNodeSingleClass(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Nodes = 1
+	cfg.Profile = "quad"
+	cfg.Classes = "api"
+	cfg.Arrival = "uniform:rate=200"
+	cfg.DurationNs = 100e6
+	_, res := runJSONL(t, cfg)
+	if res.Completed == 0 {
+		t.Fatal("single-node fleet completed nothing")
+	}
+	if len(res.PerNode) != 1 || res.PerNode[0].Requests != res.Requests {
+		t.Errorf("single node did not receive all %d requests", res.Requests)
+	}
+}

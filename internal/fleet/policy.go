@@ -1,0 +1,96 @@
+package fleet
+
+import "fmt"
+
+// Dispatch policies: how the front dispatcher picks a node for each
+// admitted request. All three are pure functions of the nodes' tick
+// signals and the within-window assignments already made (assign
+// updates queueDepth immediately, so a burst landing inside one tick
+// window spreads instead of piling onto the tick-start argmin).
+//
+//	rr      round-robin, ignores all signals — the baseline
+//	least   fewest outstanding requests, normalised by core count
+//	energy  cheapest estimated joules per request, derated by load
+type Policy string
+
+const (
+	PolicyRoundRobin Policy = "rr"
+	PolicyLeastLoad  Policy = "least"
+	PolicyEnergy     Policy = "energy"
+)
+
+// ParsePolicy validates a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch Policy(s) {
+	case PolicyRoundRobin, PolicyLeastLoad, PolicyEnergy:
+		return Policy(s), nil
+	}
+	return "", fmt.Errorf("fleet: unknown policy %q (rr | least | energy)", s)
+}
+
+// epsJoules floors the energy score. It is the tie-breaking mass that
+// makes nodes with no joules-per-request estimate yet (cold start, or
+// idle long enough for the decayed horizon to empty) score purely on
+// load, so the energy policy degrades to least-loaded instead of
+// flooding node zero during warmup.
+const epsJoules = 1e-3
+
+// picker routes one request. pick must be called from the serial
+// dispatch section only.
+type picker struct {
+	policy Policy
+	nodes  []*Node
+	next   int // round-robin cursor
+}
+
+func newPicker(policy Policy, nodes []*Node) *picker {
+	return &picker{policy: policy, nodes: nodes}
+}
+
+// pick selects the destination node for the next request.
+func (p *picker) pick() *Node {
+	switch p.policy {
+	case PolicyRoundRobin:
+		n := p.nodes[p.next%len(p.nodes)]
+		p.next++
+		return n
+	case PolicyLeastLoad:
+		return p.argmin(loadScore)
+	case PolicyEnergy:
+		return p.argmin(energyScore)
+	}
+	// Unreachable: the policy was validated at construction.
+	return p.nodes[0]
+}
+
+// argmin returns the lowest-scoring node, ties to the lowest ID (the
+// iteration order), which keeps routing deterministic.
+func (p *picker) argmin(score func(*Node) float64) *Node {
+	best := p.nodes[0]
+	bestScore := score(best)
+	for _, n := range p.nodes[1:] {
+		if s := score(n); s < bestScore {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}
+
+// loadScore is outstanding requests per core: a 4-core node with 8
+// queued is busier than a 16-core node with 12.
+func loadScore(n *Node) float64 {
+	return float64(n.queueDepth()) / float64(n.cores)
+}
+
+// energyScore is the estimated marginal cost of routing here: the
+// node's decayed joules-per-request estimate, derated by its current
+// load (a cheap node that is saturated stops being cheap — queued
+// requests burn idle energy elsewhere while they wait). Nodes with no
+// estimate yet score as if free, so only load separates them.
+func energyScore(n *Node) float64 {
+	jpr, ok := n.jouleEstimate()
+	if !ok {
+		jpr = 0
+	}
+	return (jpr + epsJoules) * (1 + loadScore(n))
+}

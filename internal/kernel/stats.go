@@ -104,6 +104,18 @@ func (s *RunStats) EnergyEfficiency() float64 {
 	return s.IPS() / p
 }
 
+// TotalEnergyJ returns the cumulative energy across all cores without
+// building a full Stats snapshot — O(cores) and allocation-free, so
+// callers that poll energy at a fine cadence (the fleet tier reads it
+// every dispatch tick) never pay the per-task snapshot cost.
+func (k *Kernel) TotalEnergyJ() float64 {
+	var total float64
+	for i := range k.cores {
+		total += k.cores[i].energyJ
+	}
+	return total
+}
+
 // BenchmarkStats aggregates the tasks of one benchmark.
 type BenchmarkStats struct {
 	Benchmark string

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRequestClasses(t *testing.T) {
+	got := RequestClasses()
+	want := []string{"api", "page", "query"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RequestClasses() = %v, want %v", got, want)
+	}
+}
+
+func TestRequestSpecShape(t *testing.T) {
+	for _, class := range RequestClasses() {
+		spec, err := RequestSpec(class, "r0."+class, 1)
+		if err != nil {
+			t.Fatalf("RequestSpec(%q): %v", class, err)
+		}
+		if spec.Repeats != 1 {
+			t.Errorf("%s: Repeats = %d, want 1 (requests are run-to-completion)", class, spec.Repeats)
+		}
+		if len(spec.Phases) != 1 {
+			t.Errorf("%s: %d phases, want 1", class, len(spec.Phases))
+		}
+		if spec.Benchmark != "req:"+class {
+			t.Errorf("%s: Benchmark = %q", class, spec.Benchmark)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: perturbed spec invalid: %v", class, err)
+		}
+	}
+}
+
+func TestRequestSpecDeterministic(t *testing.T) {
+	a, err := RequestSpec("page", "r1.page", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RequestSpec("page", "r1.page", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("equal seeds produced different request specs")
+	}
+	c, err := RequestSpec("page", "r1.page", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Phases, c.Phases) {
+		t.Error("distinct seeds produced identical perturbations")
+	}
+}
+
+func TestRequestSpecJitterBounded(t *testing.T) {
+	base := requestProfiles[0].phase // api
+	for seed := uint64(0); seed < 50; seed++ {
+		spec, err := RequestSpec("api", "r.api", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := spec.Phases[0].Instructions
+		lo := uint64(float64(base.Instructions) * 0.85)
+		hi := uint64(float64(base.Instructions) * 1.15)
+		if got < lo || got > hi {
+			t.Fatalf("seed %d: instructions %d outside ±15%% of %d", seed, got, base.Instructions)
+		}
+	}
+}
+
+func TestRequestSpecUnknownClass(t *testing.T) {
+	if _, err := RequestSpec("video", "r0.video", 1); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}

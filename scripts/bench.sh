@@ -2,11 +2,12 @@
 # bench.sh — regenerate BENCH_core.json, the repo's performance
 # trajectory record (ROADMAP item 2): the epoch hot-path cost in both
 # telemetry states (ns/epoch, allocs/epoch), the sweep engine's
-# scenario throughput (scenarios/sec), and the kernel-scale throughput
-# section (simulated threads per wall second on 256/1024-core
-# machines), plus the frozen pre-refactor baselines each contract was
-# introduced against. Future PRs diff their numbers against the
-# committed file.
+# scenario throughput (scenarios/sec), the fleet tier's request
+# throughput (requests/sec and ns/request at 8 and 32 nodes), and the
+# kernel-scale throughput section (simulated threads per wall second on
+# 256/1024-core machines), plus the frozen pre-refactor baselines each
+# contract was introduced against. Future PRs diff their numbers
+# against the committed file.
 #
 # Usage: scripts/bench.sh [benchtime] [scale]
 #   benchtime  -benchtime for the epoch pair (default 20x)
@@ -30,6 +31,11 @@ go test -run '^$' -bench '^(BenchmarkEpochHot|BenchmarkEpochHotTelemetry)$' \
 go test -run '^$' -bench '^BenchmarkReplicateParallel$' \
     -benchtime 2x . >"$tmp/sweep.out"
 
+# Fleet throughput: full-kernel nodes behind the dispatcher on the
+# canned bursty scenario, at the 8- and 32-node points.
+go test -run '^$' -bench '^BenchmarkFleet$' \
+    -benchtime 3x ./internal/fleet >"$tmp/fleet.out"
+
 awk '
 function field(line, n,   parts) { split(line, parts, /[ \t]+/); return parts[n] }
 /^BenchmarkEpochHot-|^BenchmarkEpochHot / {
@@ -52,6 +58,24 @@ END {
     # 4 scenarios (seeds) per benchmark op.
     printf "%.3f\n", 4.0 / (ns * 1e-9)
 }' "$tmp/sweep.out" >"$tmp/sweep.vals"
+
+# fleetmetric POINT UNIT: the value labelled UNIT on BenchmarkFleet/POINT.
+fleetmetric() {
+    awk -v point="BenchmarkFleet/$1" -v unit="$2" '
+    index($1, point "-") == 1 || $1 == point {
+        for (i = 1; i <= NF; i++) if ($i == unit) print $(i - 1)
+    }' "$tmp/fleet.out"
+}
+fleet_n8_rps=$(fleetmetric n8 "req/s")
+fleet_n8_ns=$(fleetmetric n8 "ns/request")
+fleet_n32_rps=$(fleetmetric n32 "req/s")
+fleet_n32_ns=$(fleetmetric n32 "ns/request")
+for v in "$fleet_n8_rps" "$fleet_n8_ns" "$fleet_n32_rps" "$fleet_n32_ns"; do
+    if [ -z "$v" ]; then
+        echo "bench.sh: missing fleet benchmark output" >&2
+        exit 1
+    fi
+done
 
 read -r ns_off allocs_off ns_on allocs_on <"$tmp/epoch.vals"
 read -r scen_per_sec <"$tmp/sweep.vals"
@@ -146,6 +170,12 @@ fi
   },
   "sweep": {
     "scenarios_per_sec": $scen_per_sec
+  },
+  "fleet": {
+    "n8_requests_per_sec": $fleet_n8_rps,
+    "n8_ns_per_request": $fleet_n8_ns,
+    "n32_requests_per_sec": $fleet_n32_rps,
+    "n32_ns_per_request": $fleet_n32_ns
   },
 EOF
     cat "$tmp/scale.json"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench_check.sh — the BENCH_core.json gate: the committed benchmark
 # record must exist, carry the sbbench-v1 schema with every required
-# key, and reflect the post-hotpath allocation contract (a telemetry-off
-# epoch allocates nothing; an enabled one stays within the documented
+# key (including the fleet-tier 8/32-node throughput points), and
+# reflect the post-hotpath allocation contract (a telemetry-off epoch
+# allocates nothing; an enabled one stays within the documented
 # suppression budget). A stale pre-refactor file fails here, forcing
 # `make bench` to be rerun after hot-path changes.
 set -euo pipefail
@@ -21,6 +22,8 @@ fi
 
 for key in ns_per_epoch allocs_per_epoch ns_per_epoch_telemetry \
            allocs_per_epoch_telemetry scenarios_per_sec speedup_1024 \
+           n8_requests_per_sec n8_ns_per_request \
+           n32_requests_per_sec n32_ns_per_request \
            c256_t2560 c1024_t10240 c1024_t16384 c1024_t32768 \
            c1024_t49152 c1024_t65536; do
     if ! grep -Eq "\"$key\": [0-9]" "$f"; then

@@ -36,6 +36,9 @@ echo "== queue-check"
 echo "== telemetry-check"
 ./scripts/telemetry_check.sh
 
+echo "== fleet-check"
+./scripts/fleet_check.sh
+
 echo "== bench-check"
 ./scripts/bench_check.sh
 

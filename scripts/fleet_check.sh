@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# fleet_check.sh — the fleet-tier determinism and efficiency gate at
+# the binary level, on the canned bursty scenario (8 nodes, MMPP
+# arrivals, seed 7 — the same cell internal/fleet/fleet_test.go pins):
+#
+#   1. determinism: a fixed-seed sbfleet run must produce byte-identical
+#      stdout and telemetry JSONL under -workers 1 and -workers 8 —
+#      the parallel node-stepper must not leak scheduling order into
+#      any output;
+#   2. efficiency: the energy-aware dispatch policy must beat both
+#      round-robin and least-loaded on joules per request on that same
+#      scenario, with the latency trade-off (p99) reported alongside.
+#
+# Complements the in-package suite (internal/fleet/fleet_test.go),
+# which attacks the same properties through the library API.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+args=(-nodes 8 -profile quad,biglittle -balancer smartbalance
+      -arrival "bursty:rate=300,burst=6,pburst=0.08,pcalm=0.25"
+      -dur 400 -seed 7)
+
+go build -o "$tmp/sbfleet" ./cmd/sbfleet
+
+# Gate 1: byte-identity across worker counts, stdout and telemetry.
+"$tmp/sbfleet" "${args[@]}" -policy energy -workers 1 \
+    -telemetry "$tmp/serial.jsonl" >"$tmp/serial.out" 2>/dev/null
+"$tmp/sbfleet" "${args[@]}" -policy energy -workers 8 \
+    -telemetry "$tmp/parallel.jsonl" >"$tmp/parallel.out" 2>/dev/null
+
+if ! cmp -s "$tmp/serial.out" "$tmp/parallel.out"; then
+    echo "fleet-check: sbfleet stdout differs between -workers 1 and -workers 8" >&2
+    diff "$tmp/serial.out" "$tmp/parallel.out" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/serial.jsonl" "$tmp/parallel.jsonl"; then
+    echo "fleet-check: telemetry JSONL differs between -workers 1 and -workers 8" >&2
+    exit 1
+fi
+if [ ! -s "$tmp/serial.jsonl" ]; then
+    echo "fleet-check: telemetry export is empty" >&2
+    exit 1
+fi
+
+# Gate 2: energy-aware beats rr and least on joules/request.
+"$tmp/sbfleet" "${args[@]}" -policy rr    >"$tmp/rr.out"
+"$tmp/sbfleet" "${args[@]}" -policy least >"$tmp/least.out"
+
+jpr() { awk '/^headline /{for(i=1;i<=NF;i++) if ($i ~ /^jpr=/) {sub(/^jpr=/,"",$i); print $i}}' "$1"; }
+p99() { awk '/^headline /{for(i=1;i<=NF;i++) if ($i ~ /^p99_ms=/) {sub(/^p99_ms=/,"",$i); print $i}}' "$1"; }
+
+jpr_energy=$(jpr "$tmp/serial.out")
+jpr_rr=$(jpr "$tmp/rr.out")
+jpr_least=$(jpr "$tmp/least.out")
+p99_energy=$(p99 "$tmp/serial.out")
+
+for v in "$jpr_energy" "$jpr_rr" "$jpr_least" "$p99_energy"; do
+    if [ -z "$v" ]; then
+        echo "fleet-check: failed to parse a headline line" >&2
+        exit 1
+    fi
+done
+
+if ! awk -v e="$jpr_energy" -v r="$jpr_rr" 'BEGIN { exit !(e + 0 < r + 0) }'; then
+    echo "fleet-check: energy-aware policy ($jpr_energy J/req) does not beat round-robin ($jpr_rr J/req)" >&2
+    exit 1
+fi
+if ! awk -v e="$jpr_energy" -v l="$jpr_least" 'BEGIN { exit !(e + 0 < l + 0) }'; then
+    echo "fleet-check: energy-aware policy ($jpr_energy J/req) does not beat least-loaded ($jpr_least J/req)" >&2
+    exit 1
+fi
+
+saved=$(awk -v e="$jpr_energy" -v r="$jpr_rr" 'BEGIN { printf "%.1f", 100 * (r - e) / r }')
+echo "ok: fixed-seed sbfleet byte-identical under -workers 1 and 8;" \
+     "energy policy ${jpr_energy} J/req beats rr ${jpr_rr} and least ${jpr_least} (-${saved}% vs rr, p99=${p99_energy}ms)"

@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet sbvet sweep-check fault-check telemetry-check fleet-check bench bench-check check
+.PHONY: build test race vet sbvet sweep-check fault-check telemetry-check fleet-check bench bench-check hunt-check check
 
 build:
 	go build ./...
@@ -34,6 +34,9 @@ bench:
 
 bench-check:
 	./scripts/bench_check.sh
+
+hunt-check:
+	./scripts/hunt_check.sh
 
 check:
 	./scripts/check.sh

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives the full binary flow and returns stdout.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("sbhunt %v exited %d: %s", args, code, stderr.String())
+	}
+	return stdout.String()
+}
+
+// huntArgs is a small, fast hunt budget shared by the CLI tests.
+var huntArgs = []string{"-seed", "42", "-gens", "2", "-pop", "8"}
+
+func TestHuntLogDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full hunt in -short mode")
+	}
+	outSerial := runCLI(t, huntArgs...)
+	outParallel := runCLI(t, append([]string{"-workers", "8"}, huntArgs...)...)
+	if outSerial != outParallel {
+		t.Errorf("stdout differs between -workers 1 and 8:\n%s\nvs\n%s", outSerial, outParallel)
+	}
+	if !strings.Contains(outSerial, "hunt seed=42 gens=2 pop=8") {
+		t.Errorf("missing hunt header:\n%s", outSerial)
+	}
+	if !strings.Contains(outSerial, "hunt done evaluated=16") {
+		t.Errorf("missing hunt summary:\n%s", outSerial)
+	}
+}
+
+func TestHuntWritesAndReplaysCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full hunt in -short mode")
+	}
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus")
+	cache := filepath.Join(dir, "cache")
+	// Seed 3 at this budget is the corpus-generation configuration; it
+	// finds counterexamples on several objectives.
+	out := runCLI(t, "-seed", "3", "-gens", "4", "-pop", "12",
+		"-workers", "8", "-cache", cache, "-out", corpus)
+	if !strings.Contains(out, "corpus ") {
+		t.Fatalf("hunt found no counterexamples to pin:\n%s", out)
+	}
+	replay := runCLI(t, "-replay", corpus, "-workers", "8", "-cache", cache)
+	if !strings.Contains(replay, "failed=0") || strings.Contains(replay, "GONE") {
+		t.Errorf("fresh corpus replay failed:\n%s", replay)
+	}
+}
+
+func TestReplayFailsOnEmptyCorpus(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-replay", t.TempDir()}, &stdout, &stderr); code == 0 {
+		t.Error("replay of an empty corpus exited 0")
+	}
+}
+
+func TestRejectsUnknownTierAndStrayArgs(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-tier", "galaxy"}, &stdout, &stderr); code == 0 {
+		t.Error("unknown -tier exited 0")
+	}
+	stderr.Reset()
+	if code := run([]string{"stray"}, &stdout, &stderr); code == 0 {
+		t.Error("stray positional argument exited 0")
+	}
+}

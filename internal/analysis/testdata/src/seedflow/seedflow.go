@@ -92,3 +92,18 @@ func OKPerNodeStreams(cfg Config, nodes int) []*rng.Rand {
 	}
 	return streams
 }
+
+// huntSeedTag mirrors the adversarial hunt's mutation-stream tag.
+const huntSeedTag = 0x4B1D
+
+// BadHuntStream seeds the mutation stream from the bare tag: every
+// hunt would replay the same mutation sequence regardless of -seed.
+func BadHuntStream() *rng.Rand {
+	return rng.New(huntSeedTag)
+}
+
+// OKHuntStream derives the mutation stream from the configured hunt
+// seed xored with the tag; the argument is not constant.
+func OKHuntStream(cfg Config) *rng.Rand {
+	return rng.New(cfg.Seed ^ huntSeedTag)
+}

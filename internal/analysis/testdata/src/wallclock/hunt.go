@@ -1,0 +1,32 @@
+package wallclock
+
+import "time"
+
+// The hunt-shaped cases: an evolutionary search is the classic place a
+// wall-clock budget sneaks in ("stop after 30 seconds"), which makes
+// the number of generations — and therefore the whole corpus — depend
+// on host load instead of the seed.
+
+// BadGenerationDeadline cuts the search off on host time; both reads
+// must be flagged.
+func BadGenerationDeadline(gens int) int {
+	deadline := time.Now().Add(30 * time.Second)
+	ran := 0
+	for g := 0; g < gens; g++ {
+		if time.Since(deadline) > 0 {
+			break
+		}
+		ran++
+	}
+	return ran
+}
+
+// OKGenerationBudget bounds the search by evaluation count, a pure
+// function of the configuration.
+func OKGenerationBudget(gens, pop, budget int) int {
+	ran := 0
+	for g := 0; g < gens && ran+pop <= budget; g++ {
+		ran += pop
+	}
+	return ran
+}

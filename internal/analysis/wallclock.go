@@ -25,6 +25,7 @@ var DefaultSimPackages = []string{
 	"smartbalance/internal/fault",
 	"smartbalance/internal/telemetry",
 	"smartbalance/internal/fleet",
+	"smartbalance/internal/hunt",
 }
 
 // Wallclock returns the analyzer forbidding time.Now and time.Since in

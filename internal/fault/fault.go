@@ -112,6 +112,45 @@ func (p Plan) Validate() error {
 	return nil
 }
 
+// Clamped returns the nearest valid plan: each rate clamped to [0, 1]
+// (NaN reads as 0), the mutually exclusive sensor rates rescaled
+// proportionally when their sum exceeds 1, and a non-zero SpikeFactor
+// raised to at least 1. Validate is nil on the result. Mutation-based
+// callers (the adversarial hunt) perturb rates independently and rely
+// on this to land back inside the plan domain instead of erroring.
+func (p Plan) Clamped() Plan {
+	clamp01 := func(v float64) float64 {
+		if math.IsNaN(v) || v < 0 {
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	q := p
+	q.DropRate = clamp01(p.DropRate)
+	q.StaleRate = clamp01(p.StaleRate)
+	q.CorruptRate = clamp01(p.CorruptRate)
+	q.PowerDropRate = clamp01(p.PowerDropRate)
+	q.PowerSpikeRate = clamp01(p.PowerSpikeRate)
+	q.MigrateFailRate = clamp01(p.MigrateFailRate)
+	if s := q.sensorSum(); s > 1 {
+		q.DropRate /= s
+		q.StaleRate /= s
+		q.CorruptRate /= s
+		q.PowerDropRate /= s
+		q.PowerSpikeRate /= s
+	}
+	if math.IsNaN(q.SpikeFactor) || q.SpikeFactor < 0 {
+		q.SpikeFactor = 0
+	}
+	if q.SpikeFactor != 0 && q.SpikeFactor < 1 { //sbvet:allow floateq(zero is the use-default sentinel, never a computed value)
+		q.SpikeFactor = 1
+	}
+	return q
+}
+
 // String renders the plan in the canonical spec grammar accepted by
 // ParsePlan: semicolon-separated key=value pairs in fixed field order,
 // zero fields omitted. The zero plan renders as "none".

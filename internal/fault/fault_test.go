@@ -260,3 +260,35 @@ func TestValidate(t *testing.T) {
 }
 
 var _ kernel.FaultInjector = (*Injector)(nil)
+
+func TestClampedProducesValidPlans(t *testing.T) {
+	cases := []Plan{
+		{},
+		{DropRate: 0.3, MigrateFailRate: 0.5},
+		{DropRate: -0.2, StaleRate: 1.7}, // out of range both ways
+		{DropRate: 0.5, StaleRate: 0.5, CorruptRate: 0.5, PowerDropRate: 1}, // sensor sum 2.5
+		{SpikeFactor: 0.3}, // below the minimum
+		{SpikeFactor: -2},  // nonsense
+		{DropRate: math.NaN(), PowerSpikeRate: math.Inf(1)},
+	}
+	for i, p := range cases {
+		q := p.Clamped()
+		if err := q.Validate(); err != nil {
+			t.Errorf("case %d: Clamped() still invalid: %v (plan %+v)", i, err, q)
+		}
+	}
+	// Valid plans pass through unchanged.
+	p := Plan{DropRate: 0.2, MigrateFailRate: 0.4, SpikeFactor: 5, Seed: 9}
+	if q := p.Clamped(); q != p {
+		t.Errorf("valid plan changed by Clamped: %+v -> %+v", p, q)
+	}
+	// Oversubscribed sensor rates keep their proportions.
+	over := Plan{DropRate: 1, StaleRate: 1}
+	q := over.Clamped()
+	if q.DropRate != q.StaleRate { //sbvet:allow floateq(identical inputs must rescale identically — exactness is the point)
+		t.Errorf("proportional rescale broke symmetry: %+v", q)
+	}
+	if s := q.sensorSum(); s > 1+1e-12 {
+		t.Errorf("rescaled sensor sum %v still > 1", s)
+	}
+}

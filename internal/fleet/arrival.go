@@ -59,18 +59,23 @@ func (u *uniformArrival) Rate(int64) float64 { return u.rate }
 // the compressed day/night cycle. The phase starts at the trough so a
 // run opens in the quiet period and climbs toward peak traffic.
 type diurnalArrival struct {
-	rate     float64 // mean rate, req/s
-	depth    float64 // modulation depth in [0, 1)
-	periodNs int64   // one full cycle
+	rate  float64 // mean rate, req/s
+	depth float64 // modulation depth in [0, 1)
+	// periodMs is one full cycle in (possibly fractional) simulated
+	// milliseconds — kept exactly as parsed so Spec() round-trips. The
+	// old int64-nanosecond field made the round trip lossy twice over:
+	// Spec() rendered it with %d (truncating fractional milliseconds)
+	// and the parse truncated rather than rounded the ms->ns scaling.
+	periodMs float64
 }
 
 func (d *diurnalArrival) Spec() string {
-	return fmt.Sprintf("diurnal:rate=%s,depth=%s,period=%d",
-		formatRate(d.rate), formatRate(d.depth), d.periodNs/1e6)
+	return fmt.Sprintf("diurnal:rate=%s,depth=%s,period=%s",
+		formatRate(d.rate), formatRate(d.depth), formatRate(d.periodMs))
 }
 
 func (d *diurnalArrival) Rate(atNs int64) float64 {
-	phase := 2 * math.Pi * float64(atNs) / float64(d.periodNs)
+	phase := 2 * math.Pi * float64(atNs) / (d.periodMs * 1e6)
 	return d.rate * (1 + d.depth*math.Sin(phase-math.Pi/2))
 }
 
@@ -140,9 +145,9 @@ func ParseArrival(spec string, stream *rng.Rand) (Arrival, error) {
 		d := &diurnalArrival{
 			rate:     get("rate", 400),
 			depth:    get("depth", 0.6),
-			periodNs: int64(get("period", 2000)) * 1e6,
+			periodMs: get("period", 2000),
 		}
-		if d.rate <= 0 || d.periodNs <= 0 {
+		if d.rate <= 0 || d.periodMs <= 0 {
 			return nil, fmt.Errorf("fleet: arrival %q: non-positive rate or period", spec)
 		}
 		if d.depth < 0 || d.depth >= 1 {

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -231,5 +232,49 @@ func TestArrivalSpecRoundTrips(t *testing.T) {
 		if !strings.HasPrefix(canon, spec+":") {
 			t.Errorf("canonical spec %q does not extend %q", canon, spec)
 		}
+	}
+}
+
+// TestArrivalSpecRoundTripsProperty is the regression test for the
+// diurnal period truncation bug: Spec() rendered periodNs/1e6 with %d,
+// so any non-integral-millisecond period (period=2.5) came back as its
+// floor (period=2) from ParseArrival(a.Spec()). The round trip must be
+// an identity for every valid parameter combination, so this drives it
+// with seeded random params, including gnarly fractional ones.
+func TestArrivalSpecRoundTripsProperty(t *testing.T) {
+	r := rng.New(0xA221)
+	// in (lo, hi]: arrival params are all strictly positive.
+	draw := func(lo, hi float64) float64 {
+		return lo + (hi-lo)*r.Float64()
+	}
+	for i := 0; i < 500; i++ {
+		var spec string
+		switch i % 3 {
+		case 0:
+			spec = "uniform:rate=" + formatRate(draw(0, 2000))
+		case 1:
+			spec = fmt.Sprintf("diurnal:rate=%s,depth=%s,period=%s",
+				formatRate(draw(0, 2000)), formatRate(draw(0, 0.999)), formatRate(draw(0, 5000)))
+		case 2:
+			spec = fmt.Sprintf("bursty:rate=%s,burst=%s,pburst=%s,pcalm=%s",
+				formatRate(draw(0, 2000)), formatRate(draw(1, 20)),
+				formatRate(draw(0, 1)), formatRate(draw(0, 1)))
+		}
+		a, err := ParseArrival(spec, rng.New(1))
+		if err != nil {
+			t.Fatalf("ParseArrival(%q): %v", spec, err)
+		}
+		if got := a.Spec(); got != spec {
+			t.Fatalf("round trip broke: ParseArrival(%q).Spec() = %q", spec, got)
+		}
+	}
+	// The documented pre-fix victim, pinned explicitly.
+	spec := "diurnal:rate=400,depth=0.6,period=2.5"
+	a, err := ParseArrival(spec, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Spec(); got != spec {
+		t.Fatalf("fractional period truncated: got %q, want %q", got, spec)
 	}
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -205,19 +206,26 @@ func (n *Node) step(toNs int64) error {
 }
 
 // quantile reads the q-quantile of a sorted sample by the nearest-rank
-// method.
+// method: rank = ceil(q*n), clamped to [1, n]. The epsilon shields the
+// ceil from upward float slop in the product (0.55*100 evaluates to
+// 55.000000000000007, which must still read rank 55, not 56). The old
+// +0.999999 pseudo-ceil read one rank too low whenever q*n sat within
+// 1e-6 above an integer, which bites hardest on the tiny samples of
+// quiet ticks — with one or two completions in the window the p99
+// EWMA absorbed the minimum instead of the maximum latency.
 func quantile(sorted []int64, q float64) int64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(q*float64(len(sorted))+0.999999) - 1
-	if i < 0 {
-		i = 0
+	rank := int(math.Ceil(q*float64(n) - 1e-9))
+	if rank < 1 {
+		rank = 1
 	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+	if rank > n {
+		rank = n
 	}
-	return sorted[i]
+	return sorted[rank-1]
 }
 
 // requestName labels a request's thread, e.g. "r184.api".

@@ -1,0 +1,108 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"smartbalance/internal/rng"
+)
+
+// refQuantile is the nearest-rank definition straight from the
+// textbook: rank = ceil(q*n) clamped to [1, n], element rank-1 of the
+// sorted sample. Written independently of quantile so the table test
+// below checks the production code against it rather than against
+// itself. The big.Float detour would be overkill; the epsilon-free
+// ceil here is fine because the table feeds it exact products only.
+func refQuantile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// TestQuantileNearestRank is the regression test for the quantile
+// off-by-one: the old pseudo-ceil (+0.999999) read one rank too low
+// whenever q*n sat within 1e-6 above an integer (q=0.5000001, n=2
+// returned the minimum instead of the maximum), which skewed the p99
+// EWMA on quiet ticks with one- and two-sample windows. Cases whose
+// product carries upward float slop set slop and skip the reference
+// comparison: the naive ceil in refQuantile jumps the extra rank
+// there, and correcting that is precisely the production epsilon's
+// job.
+func TestQuantileNearestRank(t *testing.T) {
+	seq := func(n int) []int64 {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = int64((i + 1) * 100)
+		}
+		return s
+	}
+	cases := []struct {
+		name   string
+		sorted []int64
+		q      float64
+		want   int64
+		slop   bool
+	}{
+		{"empty", nil, 0.99, 0, false},
+		{"n=1 q=0.99", seq(1), 0.99, 100, false},
+		{"n=1 q=0.5", seq(1), 0.5, 100, false},
+		{"n=1 q=0", seq(1), 0, 100, false},
+		{"n=2 q=0.99", seq(2), 0.99, 200, false},
+		{"n=2 q=0.5", seq(2), 0.5, 100, false},
+		// Pre-fix failure: 0.5000001*2 + 0.999999 = 1.9999992, so the
+		// old code truncated to rank 1; nearest rank is ceil(1.0000002)
+		// = 2.
+		{"n=2 q just above half", seq(2), 0.5000001, 200, false},
+		{"n=10 q=0.7", seq(10), 0.7, 700, false},
+		{"n=10 q=0.99", seq(10), 0.99, 1000, false},
+		{"n=10 q=0.5", seq(10), 0.5, 500, false},
+		{"n=100 q=0.99", seq(100), 0.99, 9900, false},
+		{"n=100 q=0.95", seq(100), 0.95, 9500, false},
+		// 0.55*100 = 55.000000000000007 in float64: the exact product
+		// is 55, so nearest rank is 55, and only the epsilon keeps the
+		// ceil from reading 56.
+		{"n=100 q=0.55 upward slop", seq(100), 0.55, 5500, true},
+		{"q=1 is the max", seq(7), 1, 700, false},
+	}
+	for _, c := range cases {
+		if got := quantile(c.sorted, c.q); got != c.want {
+			t.Errorf("%s: quantile = %d, want %d", c.name, got, c.want)
+		}
+		if c.slop {
+			continue
+		}
+		if got, want := quantile(c.sorted, c.q), refQuantile(c.sorted, c.q); got != want {
+			t.Errorf("%s: quantile = %d, reference = %d", c.name, got, want)
+		}
+	}
+}
+
+// TestQuantileMatchesReferenceSeeded sweeps seeded random samples and
+// quantiles whose products are exact (multiples of 1/64), where the
+// production epsilon cannot move the rank, and demands exact agreement
+// with the reference on every draw.
+func TestQuantileMatchesReferenceSeeded(t *testing.T) {
+	r := rng.New(0x9E37)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + int(r.Uint64()%50)
+		sorted := make([]int64, n)
+		v := int64(0)
+		for i := range sorted {
+			v += int64(r.Uint64() % 1000)
+			sorted[i] = v
+		}
+		q := float64(r.Uint64()%65) / 64
+		if got, want := quantile(sorted, q), refQuantile(sorted, q); got != want {
+			t.Fatalf("trial %d: n=%d q=%v: quantile = %d, reference = %d", trial, n, q, got, want)
+		}
+	}
+}

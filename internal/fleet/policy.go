@@ -1,6 +1,9 @@
 package fleet
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Dispatch policies: how the front dispatcher picks a node for each
 // admitted request. All three are pure functions of the nodes' tick
@@ -28,11 +31,8 @@ func ParsePolicy(s string) (Policy, error) {
 	return "", fmt.Errorf("fleet: unknown policy %q (rr | least | energy)", s)
 }
 
-// epsJoules floors the energy score. It is the tie-breaking mass that
-// makes nodes with no joules-per-request estimate yet (cold start, or
-// idle long enough for the decayed horizon to empty) score purely on
-// load, so the energy policy degrades to least-loaded instead of
-// flooding node zero during warmup.
+// epsJoules floors the energy score so a node whose estimate is
+// (near-)zero still gets load-derated instead of scoring flat zero.
 const epsJoules = 1e-3
 
 // picker routes one request. pick must be called from the serial
@@ -40,7 +40,8 @@ const epsJoules = 1e-3
 type picker struct {
 	policy Policy
 	nodes  []*Node
-	next   int // round-robin cursor
+	next   int       // round-robin cursor
+	jprs   []float64 // scratch for the warm-median computation
 }
 
 func newPicker(policy Policy, nodes []*Node) *picker {
@@ -57,10 +58,51 @@ func (p *picker) pick() *Node {
 	case PolicyLeastLoad:
 		return p.argmin(loadScore)
 	case PolicyEnergy:
-		return p.argmin(energyScore)
+		med, warm := p.warmMedianJPR()
+		if !warm {
+			// No node has an estimate yet: only load can separate them.
+			return p.argmin(loadScore)
+		}
+		return p.argminEnergy(med)
 	}
 	// Unreachable: the policy was validated at construction.
 	return p.nodes[0]
+}
+
+// warmMedianJPR is the median joules-per-request estimate across the
+// nodes that have one. It is the stand-in cost for cold nodes: a node
+// with no estimate is priced like a typical node, so only load
+// separates it from the pack, instead of its unknown cost reading as
+// free and every burst flooding it until it warms.
+func (p *picker) warmMedianJPR() (float64, bool) {
+	p.jprs = p.jprs[:0]
+	for _, n := range p.nodes {
+		if jpr, ok := n.jouleEstimate(); ok {
+			p.jprs = append(p.jprs, jpr)
+		}
+	}
+	if len(p.jprs) == 0 {
+		return 0, false
+	}
+	sort.Float64s(p.jprs)
+	m := len(p.jprs)
+	if m%2 == 1 {
+		return p.jprs[m/2], true
+	}
+	return (p.jprs[m/2-1] + p.jprs[m/2]) / 2, true
+}
+
+// argminEnergy is argmin over the energy score with cold nodes priced
+// at the warm-median estimate.
+func (p *picker) argminEnergy(medianJPR float64) *Node {
+	best := p.nodes[0]
+	bestScore := energyScore(best, medianJPR)
+	for _, n := range p.nodes[1:] {
+		if s := energyScore(n, medianJPR); s < bestScore {
+			best, bestScore = n, s
+		}
+	}
+	return best
 }
 
 // argmin returns the lowest-scoring node, ties to the lowest ID (the
@@ -85,12 +127,15 @@ func loadScore(n *Node) float64 {
 // energyScore is the estimated marginal cost of routing here: the
 // node's decayed joules-per-request estimate, derated by its current
 // load (a cheap node that is saturated stops being cheap — queued
-// requests burn idle energy elsewhere while they wait). Nodes with no
-// estimate yet score as if free, so only load separates them.
-func energyScore(n *Node) float64 {
+// requests burn idle energy elsewhere while they wait). A node with no
+// estimate yet — cold start, or idle long enough for the decayed
+// horizon to empty — is priced at the fleet's warm-median estimate
+// rather than zero: the old zero pricing scored strictly below every
+// warm node's real cost and flooded cold nodes with whole bursts.
+func energyScore(n *Node, medianJPR float64) float64 {
 	jpr, ok := n.jouleEstimate()
 	if !ok {
-		jpr = 0
+		jpr = medianJPR
 	}
 	return (jpr + epsJoules) * (1 + loadScore(n))
 }

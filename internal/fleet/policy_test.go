@@ -1,0 +1,90 @@
+package fleet
+
+import "testing"
+
+// warmNode fabricates a node whose decayed signals read as a warm node
+// with the given joules-per-request estimate.
+func warmNode(id, cores int, jpr float64) *Node {
+	return &Node{
+		ID:          id,
+		cores:       cores,
+		ewmaEnergyJ: jpr * 10,
+		// ewmaCompleted >= 0.5 makes jouleEstimate report ok.
+		ewmaCompleted: 10,
+	}
+}
+
+// coldNode fabricates a node with no joules estimate yet.
+func coldNode(id, cores int) *Node {
+	return &Node{ID: id, cores: cores}
+}
+
+// TestEnergyPolicyColdStartNotFlooded is the regression test for the
+// cold-start starvation bug: a single cold node among warm ones used to
+// score epsJoules*(1+load) — strictly below any warm node's real cost —
+// so an entire burst piled onto it until it warmed. With the cold node
+// priced at the warm-median estimate, a burst must spread by load
+// instead.
+func TestEnergyPolicyColdStartNotFlooded(t *testing.T) {
+	nodes := []*Node{coldNode(0, 4)}
+	for i := 1; i < 8; i++ {
+		// Warm estimates around 0.03 J/req, all well above epsJoules.
+		nodes = append(nodes, warmNode(i, 4, 0.03+0.001*float64(i)))
+	}
+	p := newPicker(PolicyEnergy, nodes)
+
+	const burst = 32
+	counts := make([]int, len(nodes))
+	for i := 0; i < burst; i++ {
+		n := p.pick()
+		n.assign(Request{ID: uint64(i)})
+		counts[n.ID]++
+	}
+
+	fair := burst / len(nodes)
+	if counts[0] > 2*fair {
+		t.Fatalf("cold node absorbed %d of %d burst requests (fair share %d): cold-start starvation is back; counts=%v",
+			counts[0], burst, fair, counts)
+	}
+	spread := 0
+	for _, c := range counts {
+		if c > 0 {
+			spread++
+		}
+	}
+	if spread < len(nodes)/2 {
+		t.Fatalf("burst landed on only %d of %d nodes: %v", spread, len(nodes), counts)
+	}
+}
+
+// TestEnergyPolicyAllColdDegradesToLoad: with no estimates anywhere the
+// energy policy must order nodes purely by load (ties to lowest ID),
+// exactly like least-loaded.
+func TestEnergyPolicyAllColdDegradesToLoad(t *testing.T) {
+	nodes := []*Node{coldNode(0, 4), coldNode(1, 4), coldNode(2, 4)}
+	p := newPicker(PolicyEnergy, nodes)
+	for i := 0; i < 9; i++ {
+		n := p.pick()
+		n.assign(Request{ID: uint64(i)})
+	}
+	for _, n := range nodes {
+		if got := n.queueDepth(); got != 3 {
+			t.Fatalf("node %d queue depth %d, want 3 (pure load ordering)", n.ID, got)
+		}
+	}
+}
+
+// TestEnergyPolicyStillPrefersCheapWarmNodes: the median pricing must
+// not blunt the policy's point — an idle cheap warm node still wins
+// over an idle expensive one.
+func TestEnergyPolicyStillPrefersCheapWarmNodes(t *testing.T) {
+	nodes := []*Node{
+		warmNode(0, 4, 0.08),
+		warmNode(1, 4, 0.02),
+		warmNode(2, 4, 0.05),
+	}
+	p := newPicker(PolicyEnergy, nodes)
+	if n := p.pick(); n.ID != 1 {
+		t.Fatalf("picked node %d, want the cheapest warm node 1", n.ID)
+	}
+}

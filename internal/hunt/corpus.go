@@ -1,0 +1,152 @@
+package hunt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Corpus: minimized counterexamples serialized to checked-in JSON so CI
+// replays every pinned scenario forever. An entry records the full
+// candidate genome plus the evaluator configuration that judged it, so
+// a replay reproduces the exact violation — or fails loudly when a
+// behaviour change (intended or not) un-pins it.
+
+// CorpusSchemaVersion tags every corpus entry; replays reject entries
+// from other schemas instead of guessing.
+const CorpusSchemaVersion = "sbhunt-corpus-v1"
+
+// Entry is one pinned counterexample.
+type Entry struct {
+	Schema    string    `json:"schema"`
+	Objective string    `json:"objective"`
+	Score     float64   `json:"score"`
+	Detail    string    `json:"detail"`
+	SLO       SLO       `json:"slo"`
+	Margin    float64   `json:"margin"`
+	Candidate Candidate `json:"candidate"`
+}
+
+// NewEntry packages a minimization result as a corpus entry.
+func NewEntry(m Minimized, slo SLO, margin float64) Entry {
+	return Entry{
+		Schema:    CorpusSchemaVersion,
+		Objective: m.Violation.Objective,
+		Score:     m.Violation.Score,
+		Detail:    m.Violation.Detail,
+		SLO:       slo,
+		Margin:    margin,
+		Candidate: m.Cand,
+	}
+}
+
+// Name is the entry's canonical filename: the objective plus the
+// candidate hash, so distinct counterexamples never collide and
+// re-running the hunt over an unchanged simulator rewrites files
+// byte-identically.
+func (e Entry) Name() string {
+	return fmt.Sprintf("%s-%s.json", e.Objective, e.Candidate.Hash())
+}
+
+// WriteCorpus writes entries into dir under their canonical names and
+// returns the filenames written, sorted.
+func WriteCorpus(dir string, entries []Entry) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("hunt: corpus dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		data, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("hunt: encode corpus entry: %w", err)
+		}
+		data = append(data, '\n')
+		name := e.Name()
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return nil, fmt.Errorf("hunt: write corpus entry: %w", err)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// LoadCorpus reads every *.json entry in dir, in sorted filename order.
+func LoadCorpus(dir string) ([]Entry, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("hunt: corpus dir: %w", err)
+	}
+	var names []string
+	for _, f := range files {
+		if !f.IsDir() && strings.HasSuffix(f.Name(), ".json") {
+			names = append(names, f.Name())
+		}
+	}
+	sort.Strings(names)
+	entries := make([]Entry, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("hunt: read corpus entry: %w", err)
+		}
+		var e Entry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return nil, fmt.Errorf("hunt: corpus entry %s: %w", name, err)
+		}
+		if e.Schema != CorpusSchemaVersion {
+			return nil, fmt.Errorf("hunt: corpus entry %s: schema %q, want %q",
+				name, e.Schema, CorpusSchemaVersion)
+		}
+		if err := e.Candidate.Validate(); err != nil {
+			return nil, fmt.Errorf("hunt: corpus entry %s: %w", name, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// ReplayResult is one entry's replay outcome.
+type ReplayResult struct {
+	Entry Entry
+	// Violation is the re-evaluated violation for the entry's objective.
+	Violation Violation
+	// OK reports whether the objective still violates (Score >= 0).
+	OK bool
+	// Err is set when the candidate failed to evaluate at all.
+	Err error
+}
+
+// Replay re-evaluates each entry under its own recorded SLO and margin
+// (not the caller's: a pinned counterexample is judged by the contract
+// it was found under) and reports whether the violation still
+// reproduces. Cache and workers come from e; SLO and margin in e are
+// overridden per entry.
+func Replay(e *Evaluator, entries []Entry) []ReplayResult {
+	out := make([]ReplayResult, len(entries))
+	for i, entry := range entries {
+		ev := Evaluator{
+			SLO:     entry.SLO,
+			Margin:  entry.Margin,
+			Cache:   e.Cache,
+			Workers: e.Workers,
+		}
+		res := ev.Evaluate(entry.Candidate)
+		out[i] = ReplayResult{Entry: entry}
+		if res.Err != nil {
+			out[i].Err = res.Err
+			continue
+		}
+		for _, v := range res.Violations {
+			if v.Objective == entry.Objective {
+				out[i].Violation = v
+				out[i].OK = v.Score >= 0
+				break
+			}
+		}
+	}
+	return out
+}

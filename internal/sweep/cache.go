@@ -29,12 +29,21 @@ import (
 type Cache struct {
 	dir string
 
+	// remove evicts a corrupt entry; os.RemoveAll outside tests. Tests
+	// inject failures here because the usual trick — a read-only parent
+	// directory — does not fail under root, and CI runs as root.
+	remove func(path string) error
+
 	mu        sync.Mutex
 	hits      int
 	misses    int
 	writes    int
 	writeErrs int
 	corrupt   int
+	// stuck marks entries detected corrupt whose eviction failed, so a
+	// re-detection on the next Get is not double-counted in corrupt.
+	// A successful eviction or Put clears the mark.
+	stuck map[string]bool
 }
 
 // CacheStats is a point-in-time snapshot of cache traffic.
@@ -48,9 +57,11 @@ type CacheStats struct {
 	// WriteErrs counts failed stores (the sweep still completed, just
 	// uncached).
 	WriteErrs int
-	// Corrupt counts entries found present but unusable (unreadable or
-	// not valid JSON) and evicted. Each corrupt entry also counts as a
-	// miss, but — because detection evicts it — only once.
+	// Corrupt counts distinct corrupt-entry detections: entries found
+	// present but unusable (unreadable or not valid JSON). Detection
+	// evicts the entry; if the eviction itself fails (read-only cache
+	// dir), every later Get of the slot is still a miss but not another
+	// corrupt detection until the slot changes.
 	Corrupt int
 }
 
@@ -62,7 +73,7 @@ func OpenCache(dir string) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Cache{dir: dir}, nil
+	return &Cache{dir: dir, remove: os.RemoveAll, stuck: map[string]bool{}}, nil
 }
 
 // Dir returns the cache's root directory.
@@ -105,19 +116,30 @@ func (c *Cache) Get(fp []byte) ([]byte, bool) {
 		err = errors.New("sweep: cache entry is not valid JSON")
 		data = nil
 	}
+	evicted := false
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		// Something is there but unusable: evict it so the slot heals
 		// on the next Put. RemoveAll covers the pathological
 		// directory-where-a-file-belongs case.
 		corrupt = true
-		_ = os.RemoveAll(path)
+		evicted = c.remove(path) == nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
 		c.misses++
 		if corrupt {
-			c.corrupt++
+			// Count each distinct detection once. When the eviction
+			// fails the entry stays on disk, and without the stuck mark
+			// every subsequent Get would re-detect and re-count it.
+			if !c.stuck[path] {
+				c.corrupt++
+			}
+			if evicted {
+				delete(c.stuck, path)
+			} else {
+				c.stuck[path] = true
+			}
 		}
 		return nil, false
 	}
@@ -130,13 +152,17 @@ func (c *Cache) Get(fp []byte) ([]byte, bool) {
 // the entry is simply absent (a future miss) and the failure is counted
 // in Stats.
 func (c *Cache) Put(fp, data []byte) {
-	err := c.write(c.path(fp), data)
+	path := c.path(fp)
+	err := c.write(path, data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err != nil {
 		c.writeErrs++
 		return
 	}
+	// The slot holds fresh bytes now; a corrupt re-detection here would
+	// be a new corruption, not the stuck one.
+	delete(c.stuck, path)
 	c.writes++
 }
 

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -256,5 +257,112 @@ func TestCacheDirectoryEntryEvicted(t *testing.T) {
 	}
 	if _, err := os.Stat(p); !os.IsNotExist(err) {
 		t.Fatalf("directory entry not evicted: stat err %v", err)
+	}
+}
+
+// TestCacheCorruptEvictionFailureNotDoubleCounted is the regression
+// test for the read-only-cache-dir accounting bug: when the eviction
+// unlink fails, the corrupt entry stays on disk and every Get
+// re-detects it — the old code counted a fresh Corrupt each time, so
+// Stats.Corrupt grew without bound while only one entry was ever bad.
+// The eviction failure is injected through the cache's remove hook
+// because a read-only parent directory does not stop root, and CI runs
+// as root.
+func TestCacheCorruptEvictionFailureNotDoubleCounted(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	removeCalls := 0
+	cache.remove = func(string) error {
+		removeCalls++
+		return errors.New("unlink denied")
+	}
+	fp := []byte("fp-stuck")
+	p := cache.path(fp)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if _, ok := cache.Get(fp); ok {
+			t.Fatalf("Get %d: corrupt entry served as a hit", i)
+		}
+	}
+	if removeCalls != 3 {
+		t.Fatalf("eviction attempted %d times, want 3 (every detection retries)", removeCalls)
+	}
+	st := cache.Stats()
+	if st.Misses != 3 {
+		t.Fatalf("want 3 misses, got %+v", st)
+	}
+	if st.Corrupt != 1 {
+		t.Fatalf("stuck corrupt entry double-counted: want Corrupt=1, got %+v", st)
+	}
+
+	// Put overwrites the stuck slot atomically (rename does not need
+	// the unlink that was denied); the fresh bytes clear the stuck mark
+	// and serve hits again.
+	cache.Put(fp, []byte(`{"ok":1}`))
+	if data, ok := cache.Get(fp); !ok || string(data) != `{"ok":1}` {
+		t.Fatalf("healed slot: %q, %v", data, ok)
+	}
+	if st := cache.Stats(); st.Corrupt != 1 || st.Hits != 1 {
+		t.Fatalf("after heal: %+v", st)
+	}
+
+	// A *new* corruption of the healed slot is a new detection.
+	if err := os.WriteFile(p, []byte("{torn again"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(fp); ok {
+		t.Fatal("re-corrupted entry served as a hit")
+	}
+	if st := cache.Stats(); st.Corrupt != 2 {
+		t.Fatalf("fresh corruption not counted: %+v", st)
+	}
+}
+
+// TestCacheEvictionRecoveryClearsStuckMark: when a later eviction of a
+// stuck entry succeeds (the transient unlink failure cleared), the slot
+// returns to the ordinary lifecycle — and the *next* corruption of the
+// same slot counts again.
+func TestCacheEvictionRecoveryClearsStuckMark(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail := true
+	cache.remove = func(path string) error {
+		if fail {
+			return errors.New("unlink denied")
+		}
+		return os.RemoveAll(path)
+	}
+	fp := []byte("fp-transient")
+	p := cache.path(fp)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write := func() {
+		t.Helper()
+		if err := os.WriteFile(p, []byte("{torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write()
+	cache.Get(fp) // detected, eviction fails -> stuck
+	fail = false
+	cache.Get(fp) // re-detected (not recounted), eviction succeeds
+	if st := cache.Stats(); st.Corrupt != 1 || st.Misses != 2 {
+		t.Fatalf("transient failure: %+v", st)
+	}
+	write()
+	cache.Get(fp) // fresh corruption after recovery: counts again
+	if st := cache.Stats(); st.Corrupt != 2 || st.Misses != 3 {
+		t.Fatalf("post-recovery corruption: %+v", st)
 	}
 }

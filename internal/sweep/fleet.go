@@ -125,6 +125,15 @@ type FleetOutcome struct {
 
 // RunFleetScenario executes one fleet cell end to end.
 func RunFleetScenario(sc FleetScenario) (*FleetOutcome, error) {
+	return RunFleetScenarioWorkers(sc, 1)
+}
+
+// RunFleetScenarioWorkers is RunFleetScenario with an explicit
+// node-stepping worker count. The fleet's determinism contract says
+// the count never changes any output — the adversarial hunt runs the
+// same cell under different counts precisely to check that claim, so
+// the knob must be reachable from the sweep layer.
+func RunFleetScenarioWorkers(sc FleetScenario, workers int) (*FleetOutcome, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
@@ -136,7 +145,7 @@ func RunFleetScenario(sc FleetScenario) (*FleetOutcome, error) {
 	cfg.Arrival = sc.Arrival
 	cfg.Seed = sc.Seed
 	cfg.DurationNs = sc.DurationNs
-	cfg.Workers = 1 // the sweep engine owns the parallelism
+	cfg.Workers = workers
 	f, err := fleet.New(cfg)
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"smartbalance/internal/fault"
 	"smartbalance/internal/kernel"
 	"smartbalance/internal/machine"
+	"smartbalance/internal/telemetry"
 	"smartbalance/internal/workload"
 )
 
@@ -155,6 +156,20 @@ const faultSeedTag = 0xFA_17_1A_9E_5D
 // workload, and balancer, simulate for the scenario's duration, check
 // kernel invariants, and distill the run statistics.
 func RunScenario(sc Scenario) (*Outcome, error) {
+	return runScenario(sc, nil)
+}
+
+// RunScenarioObserved runs the scenario with a telemetry collector
+// attached to the kernel and the balancer (when it accepts one), so
+// callers can inspect flight-recorder anomalies alongside the outcome.
+// Telemetry observation never changes the simulation itself — the
+// outcome is byte-identical to RunScenario's — so observed runs share
+// the unobserved runs' cache entries safely.
+func RunScenarioObserved(sc Scenario, tel *telemetry.Collector) (*Outcome, error) {
+	return runScenario(sc, tel)
+}
+
+func runScenario(sc Scenario, tel *telemetry.Collector) (*Outcome, error) {
 	if err := sc.validate(); err != nil {
 		return nil, err
 	}
@@ -195,6 +210,15 @@ func RunScenario(sc Scenario) (*Outcome, error) {
 	k, err := kernel.New(m, bal, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if tel != nil {
+		tel.SetMeta("scenario", sc.Key())
+		k.AddObserver(telemetry.KernelObserver(tel))
+		if sink, ok := bal.(interface {
+			SetTelemetry(*telemetry.Collector)
+		}); ok {
+			sink.SetTelemetry(tel)
+		}
 	}
 	for i := range specs {
 		if _, err := k.Spawn(&specs[i]); err != nil {
@@ -279,6 +303,9 @@ func buildPlatform(name string) (*arch.Platform, error) {
 
 // buildWorkload resolves a workload name into thread specs.
 func buildWorkload(name string, threads int, seed uint64) ([]workload.ThreadSpec, error) {
+	if strings.HasPrefix(name, workload.SynthPrefix) {
+		return workload.Synth(name, threads, seed)
+	}
 	if strings.HasPrefix(name, "imb:") {
 		code := strings.TrimPrefix(name, "imb:")
 		// Accept both "HTMI" and "HM" forms, as cmd/sbsim does.

@@ -375,6 +375,26 @@ func (c *Collector) Anomalies() []Anomaly {
 	return append([]Anomaly(nil), c.anomalies...)
 }
 
+// AnomalyReasons returns the distinct anomaly reasons recorded, sorted
+// — the summary consumers that only care *whether* a class of anomaly
+// fired (the adversarial hunt's flight-recorder objective, report
+// rollups) key on. Nil-safe like every other read.
+func (c *Collector) AnomalyReasons() []string {
+	if c == nil || len(c.anomalies) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, 4)
+	for i := range c.anomalies {
+		seen[c.anomalies[i].Reason] = true
+	}
+	out := make([]string, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Dumps returns the retained flight-recorder dumps in order.
 func (c *Collector) Dumps() []Dump {
 	if c == nil {

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Synthetic parametric benchmarks: the mutable corner of the workload
+// vocabulary. The named PARSEC-like profiles are fixed points chosen to
+// mirror the paper's evaluation; adversarial search (internal/hunt)
+// instead needs a workload whose phase structure and attributes are
+// continuous knobs it can push around. A SynthSpec is that knob set —
+// small enough to minimize over, expressive enough to reach the
+// compute-bound, memory-bound, and phasic regimes the balancers
+// disagree on.
+//
+// The spec grammar mirrors the arrival specs ("kind:key=val,..."):
+//
+//	synth:phases=2,ins=30,ilp=2.4,mem=0.3,bsh=0.12,wsi=12,wsd=256,ent=0.4,mlp=2.5,sleep=0
+//
+// ins is instructions per phase in millions; sleep is the sleep after
+// the last phase of each cycle in milliseconds (the interactivity
+// mechanism); everything else matches the Phase attribute of the same
+// (abbreviated) name. Odd-indexed phases lean memory-bound — working
+// sets grow and ILP drops — so phases >= 2 produces the phasic
+// behaviour that stresses epoch-based balancers.
+
+// SynthPrefix starts every synthetic workload name.
+const SynthPrefix = "synth:"
+
+// SynthSpec is a parametric synthetic benchmark description.
+type SynthSpec struct {
+	Phases int     `json:"phases"`
+	InsM   float64 `json:"ins_m"`
+	ILP    float64 `json:"ilp"`
+	Mem    float64 `json:"mem"`
+	Bsh    float64 `json:"bsh"`
+	WsIKB  float64 `json:"wsi_kb"`
+	WsDKB  float64 `json:"wsd_kb"`
+	Ent    float64 `json:"ent"`
+	MLP    float64 `json:"mlp"`
+	SleepM float64 `json:"sleep_ms"`
+}
+
+// DefaultSynth is the spec every omitted parameter falls back to — a
+// middle-of-the-road mixed workload.
+func DefaultSynth() SynthSpec {
+	return SynthSpec{
+		Phases: 2, InsM: 30, ILP: 2.4, Mem: 0.3, Bsh: 0.12,
+		WsIKB: 12, WsDKB: 256, Ent: 0.4, MLP: 2.5, SleepM: 0,
+	}
+}
+
+// String renders the canonical spec name: every parameter explicit, in
+// fixed order, shortest-exact numbers. ParseSynth(s.String()) == s for
+// every valid spec.
+func (s SynthSpec) String() string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return fmt.Sprintf("%sphases=%d,ins=%s,ilp=%s,mem=%s,bsh=%s,wsi=%s,wsd=%s,ent=%s,mlp=%s,sleep=%s",
+		SynthPrefix, s.Phases, f(s.InsM), f(s.ILP), f(s.Mem), f(s.Bsh),
+		f(s.WsIKB), f(s.WsDKB), f(s.Ent), f(s.MLP), f(s.SleepM))
+}
+
+// Validate checks the spec's own domains. They are deliberately tighter
+// than Phase.Validate's: Spawn jitters every attribute by up to 8%, and
+// these bounds keep the jittered phases inside the model domains.
+func (s SynthSpec) Validate() error {
+	switch {
+	case s.Phases < 1 || s.Phases > 8:
+		return fmt.Errorf("workload: synth phases %d outside [1,8]", s.Phases)
+	case s.InsM < 1 || s.InsM > 500:
+		return fmt.Errorf("workload: synth ins %v outside [1,500] (millions)", s.InsM)
+	case s.ILP < 0.5 || s.ILP > 8:
+		return fmt.Errorf("workload: synth ilp %v outside [0.5,8]", s.ILP)
+	case s.Mem < 0 || s.Mem > 0.6:
+		return fmt.Errorf("workload: synth mem %v outside [0,0.6]", s.Mem)
+	case s.Bsh < 0 || s.Bsh > 0.25:
+		return fmt.Errorf("workload: synth bsh %v outside [0,0.25]", s.Bsh)
+	case s.WsIKB < 1 || s.WsIKB > 1024:
+		return fmt.Errorf("workload: synth wsi %v outside [1,1024] KB", s.WsIKB)
+	case s.WsDKB < 1 || s.WsDKB > 65536:
+		return fmt.Errorf("workload: synth wsd %v outside [1,65536] KB", s.WsDKB)
+	case s.Ent < 0 || s.Ent > 1:
+		return fmt.Errorf("workload: synth ent %v outside [0,1]", s.Ent)
+	case s.MLP < 1 || s.MLP > 8:
+		return fmt.Errorf("workload: synth mlp %v outside [1,8]", s.MLP)
+	case s.SleepM < 0 || s.SleepM > 50:
+		return fmt.Errorf("workload: synth sleep %v outside [0,50] ms", s.SleepM)
+	}
+	return nil
+}
+
+// ParseSynth parses a "synth:..." name. Omitted parameters take the
+// DefaultSynth values; unknown parameters are errors.
+func ParseSynth(name string) (SynthSpec, error) {
+	s := DefaultSynth()
+	if !strings.HasPrefix(name, SynthPrefix) {
+		return s, fmt.Errorf("workload: %q is not a synth spec (want %q prefix)", name, SynthPrefix)
+	}
+	params := strings.TrimPrefix(name, SynthPrefix)
+	if params == "" {
+		return s, s.Validate()
+	}
+	for _, part := range strings.Split(params, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return s, fmt.Errorf("workload: synth parameter %q malformed (want key=value)", part)
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return s, fmt.Errorf("workload: synth parameter %q: %v", part, err)
+		}
+		switch strings.TrimSpace(k) {
+		case "phases":
+			s.Phases = int(f)
+			if float64(s.Phases) != f { //sbvet:allow floateq(integrality check on a parsed literal, not a computed value)
+				return s, fmt.Errorf("workload: synth phases %v is not an integer", f)
+			}
+		case "ins":
+			s.InsM = f
+		case "ilp":
+			s.ILP = f
+		case "mem":
+			s.Mem = f
+		case "bsh":
+			s.Bsh = f
+		case "wsi":
+			s.WsIKB = f
+		case "wsd":
+			s.WsDKB = f
+		case "ent":
+			s.Ent = f
+		case "mlp":
+			s.MLP = f
+		case "sleep":
+			s.SleepM = f
+		default:
+			return s, fmt.Errorf("workload: unknown synth parameter %q", k)
+		}
+	}
+	return s, s.Validate()
+}
+
+// phases materialises the spec's phase cycle. Even-indexed phases carry
+// the spec's attributes as given; odd-indexed phases lean memory-bound
+// (bigger data working set, lower ILP, higher memory share) so
+// multi-phase specs exercise the phase-tracking paths of the balancers.
+func (s SynthSpec) phases() []Phase {
+	out := make([]Phase, s.Phases)
+	for i := range out {
+		p := Phase{
+			Name:          fmt.Sprintf("synth-p%d", i),
+			Instructions:  uint64(s.InsM * 1e6),
+			ILP:           s.ILP,
+			MemShare:      s.Mem,
+			BranchShare:   s.Bsh,
+			WorkingSetIKB: s.WsIKB,
+			WorkingSetDKB: s.WsDKB,
+			BranchEntropy: s.Ent,
+			MLP:           s.MLP,
+			TLBPressureI:  clampF(s.WsIKB/1024, 0, 0.8),
+			TLBPressureD:  clampF(s.WsDKB/8192, 0, 0.8),
+		}
+		if i%2 == 1 {
+			p.ILP = clampF(p.ILP*0.6, 0.5, 8)
+			p.MemShare = clampF(p.MemShare*1.4+0.1, 0, 0.6)
+			p.WorkingSetDKB = clampF(p.WorkingSetDKB*8, 1, 65536)
+			p.MLP = clampF(p.MLP*0.8, 1, 8)
+		}
+		if i == len(out)-1 && s.SleepM > 0 {
+			p.SleepAfterNs = int64(s.SleepM * 1e6)
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Synth materialises nthreads worker threads from a synthetic spec
+// name, with the same deterministic per-worker jitter as the named
+// benchmarks.
+func Synth(name string, nthreads int, seed uint64) ([]ThreadSpec, error) {
+	s, err := ParseSynth(name)
+	if err != nil {
+		return nil, err
+	}
+	// Spawn under the canonical name so equal specs produce equal
+	// thread names regardless of parameter spelling or order.
+	return Spawn(s.String(), s.phases(), nthreads, seed)
+}

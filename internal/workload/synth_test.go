@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSynthDefaultsAndCanonicalForm(t *testing.T) {
+	s, err := ParseSynth("synth:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != DefaultSynth() {
+		t.Fatalf("bare synth: = %+v, want defaults %+v", s, DefaultSynth())
+	}
+	canon := s.String()
+	if !strings.HasPrefix(canon, SynthPrefix+"phases=") {
+		t.Fatalf("canonical form %q", canon)
+	}
+	again, err := ParseSynth(canon)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	if again != s {
+		t.Fatalf("round trip: %+v != %+v", again, s)
+	}
+	if again.String() != canon {
+		t.Fatalf("canonical form unstable: %q then %q", canon, again.String())
+	}
+}
+
+func TestParseSynthOverridesAndOrderIndependence(t *testing.T) {
+	a, err := ParseSynth("synth:ilp=3.5,phases=4,mem=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseSynth("synth:mem=0.5,ilp=3.5,phases=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("parameter order changed the spec: %+v vs %+v", a, b)
+	}
+	if a.ILP != 3.5 || a.Phases != 4 || a.Mem != 0.5 {
+		t.Fatalf("overrides not applied: %+v", a)
+	}
+	if a.InsM != DefaultSynth().InsM {
+		t.Fatalf("omitted parameter not defaulted: %+v", a)
+	}
+}
+
+func TestParseSynthRejectsBadSpecs(t *testing.T) {
+	bad := []string{
+		"synth:phases=0",     // below domain
+		"synth:phases=2.5",   // non-integer
+		"synth:ins=0",        // below domain
+		"synth:mem=0.9",      // above the jitter-safe cap
+		"synth:bsh=0.4",      //
+		"synth:mlp=32",       //
+		"synth:sleep=-1",     //
+		"synth:bogus=1",      // unknown parameter
+		"synth:ilp",          // malformed
+		"synth:ilp=x",        // non-numeric
+		"blackscholes",       // not a synth name
+		"synthetic:phases=2", // wrong prefix
+	}
+	for _, in := range bad {
+		if _, err := ParseSynth(in); err == nil {
+			t.Errorf("ParseSynth(%q) accepted, want error", in)
+		}
+	}
+}
+
+// TestSynthSpawnsValidThreads: every valid spec must materialise
+// threads whose jittered phases still pass the model-domain
+// validation, including the extreme corners of the spec domains.
+func TestSynthSpawnsValidThreads(t *testing.T) {
+	specs := []string{
+		"synth:",
+		"synth:phases=1,ins=1,ilp=0.5,mem=0,bsh=0,wsi=1,wsd=1,ent=0,mlp=1,sleep=0",
+		"synth:phases=8,ins=500,ilp=8,mem=0.6,bsh=0.25,wsi=1024,wsd=65536,ent=1,mlp=8,sleep=50",
+		"synth:phases=3,mem=0.6,bsh=0.25",
+	}
+	for _, spec := range specs {
+		for seed := uint64(0); seed < 20; seed++ {
+			threads, err := Synth(spec, 4, seed)
+			if err != nil {
+				t.Fatalf("Synth(%q, seed %d): %v", spec, seed, err)
+			}
+			if len(threads) != 4 {
+				t.Fatalf("Synth(%q) made %d threads", spec, len(threads))
+			}
+			for i := range threads {
+				if err := threads[i].Validate(); err != nil {
+					t.Fatalf("Synth(%q, seed %d) thread %d invalid: %v", spec, seed, i, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSynthDeterministicAndPhasic: equal (spec, seed) reproduce equal
+// threads, and multi-phase specs alternate toward memory-bound odd
+// phases.
+func TestSynthDeterministicAndPhasic(t *testing.T) {
+	a, err := Synth("synth:phases=2", 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synth("synth:phases=2", 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Phases) != len(b[i].Phases) {
+			t.Fatalf("nondeterministic spawn: %+v vs %+v", a[i], b[i])
+		}
+		for j := range a[i].Phases {
+			if a[i].Phases[j] != b[i].Phases[j] {
+				t.Fatalf("thread %d phase %d differs across identical spawns", i, j)
+			}
+		}
+	}
+	s, _ := ParseSynth("synth:phases=2")
+	base := s.phases()
+	if base[1].MemShare <= base[0].MemShare || base[1].WorkingSetDKB <= base[0].WorkingSetDKB {
+		t.Fatalf("odd phase does not lean memory-bound: %+v vs %+v", base[0], base[1])
+	}
+	if base[1].ILP >= base[0].ILP {
+		t.Fatalf("odd phase ILP did not drop: %v vs %v", base[1].ILP, base[0].ILP)
+	}
+}

@@ -42,6 +42,9 @@ echo "== fleet-check"
 echo "== bench-check"
 ./scripts/bench_check.sh
 
+echo "== hunt-check"
+./scripts/hunt_check.sh
+
 echo "== go test -race ./..."
 go test -race ./...
 

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# hunt_check.sh — the adversarial-search gate at the binary level:
+#
+#   1. determinism: a fixed-seed sbhunt run must produce byte-identical
+#      stdout and corpus files under -workers 1 and -workers 8, cold
+#      and warm cache — the evaluation pool and the content-addressed
+#      cache must not leak into the hunt log or the minimized genomes
+#      (DESIGN.md §14);
+#   2. yield: the corpus-generation configuration (seed 3) must keep
+#      finding at least 3 distinct minimized counterexamples, so the
+#      checked-in corpus stays reproducible from its recorded seed;
+#   3. pinning: every checked-in counterexample in testdata/corpus must
+#      still violate its recorded objective on replay — a behaviour
+#      change that un-pins one fails CI instead of silently erasing a
+#      known weakness.
+#
+# Complements the in-package suite (internal/hunt), which attacks the
+# same properties through the library API.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# The corpus-generation configuration: testdata/corpus was produced by
+# exactly this seed and budget (see DESIGN.md §14).
+args=(-seed 3 -gens 6 -pop 16)
+
+go build -o "$tmp/sbhunt" ./cmd/sbhunt
+
+# Gate 1: byte-identity across worker counts and cache states.
+"$tmp/sbhunt" "${args[@]}" -workers 1 -out "$tmp/corpus1" >"$tmp/serial.out"
+"$tmp/sbhunt" "${args[@]}" -workers 8 -cache "$tmp/cache" -out "$tmp/corpus8" >"$tmp/cold.out"
+"$tmp/sbhunt" "${args[@]}" -workers 8 -cache "$tmp/cache" -out "$tmp/corpus8w" >"$tmp/warm.out"
+
+if ! cmp -s "$tmp/serial.out" "$tmp/cold.out"; then
+    echo "hunt-check: sbhunt stdout differs between -workers 1 and -workers 8" >&2
+    diff "$tmp/serial.out" "$tmp/cold.out" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$tmp/cold.out" "$tmp/warm.out"; then
+    echo "hunt-check: sbhunt stdout differs between cold and warm cache" >&2
+    diff "$tmp/cold.out" "$tmp/warm.out" >&2 || true
+    exit 1
+fi
+if ! diff -r "$tmp/corpus1" "$tmp/corpus8" >/dev/null; then
+    echo "hunt-check: corpus files differ between -workers 1 and -workers 8" >&2
+    diff -r "$tmp/corpus1" "$tmp/corpus8" >&2 || true
+    exit 1
+fi
+
+# Gate 2: the recorded seed still yields >= 3 distinct counterexamples.
+found=$(ls "$tmp/corpus1" | wc -l)
+if [ "$found" -lt 3 ]; then
+    echo "hunt-check: seed 3 found only $found minimized counterexamples, want >= 3" >&2
+    exit 1
+fi
+
+# Gate 3: every checked-in counterexample still reproduces.
+if ! "$tmp/sbhunt" -replay testdata/corpus -workers 8 >"$tmp/replay.out"; then
+    echo "hunt-check: checked-in corpus replay failed" >&2
+    cat "$tmp/replay.out" >&2
+    exit 1
+fi
+
+entries=$(ls testdata/corpus/*.json | wc -l)
+echo "ok: fixed-seed sbhunt byte-identical under -workers 1 and 8, cold and warm cache;" \
+     "seed 3 yields ${found} minimized counterexamples; all ${entries} pinned entries still violate"

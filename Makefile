@@ -1,6 +1,6 @@
 # Convenience targets; scripts/check.sh is the canonical gate.
 
-.PHONY: build test race vet sbvet sweep-check fault-check telemetry-check fleet-check bench bench-check hunt-check check
+.PHONY: build test race vet sbvet sweep-check fault-check telemetry-check fleet-check bench bench-check hunt-check contention-check check
 
 build:
 	go build ./...
@@ -37,6 +37,9 @@ bench-check:
 
 hunt-check:
 	./scripts/hunt_check.sh
+
+contention-check:
+	./scripts/contention_check.sh
 
 check:
 	./scripts/check.sh

@@ -48,6 +48,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		threads   = fs.String("threads", "4", "comma-separated worker-thread counts")
 		seeds     = fs.String("seeds", "1", "comma-separated seeds; a-b expands the inclusive range")
 		faults    = fs.String("faults", "", `comma-separated fault plans, e.g. "none,drop=0.3;migfail=0.1" (empty sweeps clean)`)
+		contSpecs = fs.String("contentions", "", `comma-separated contention specs, e.g. "none,on" or "on:llc=512" (empty sweeps uncontended)`)
 		durMs     = fs.Int64("dur", 1500, "simulated duration per scenario in milliseconds")
 		workers   = fs.Int("workers", 0, "sweep worker pool size (<= 0 selects GOMAXPROCS)")
 		cacheDir  = fs.String("cache", "", "content-addressed result-cache directory (empty disables caching)")
@@ -87,11 +88,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 
 	grid := sweep.Grid{
-		Platforms:  splitList(*platforms),
-		Balancers:  splitList(*balancers),
-		Workloads:  splitList(*workloads),
-		Faults:     splitList(*faults),
-		DurationNs: *durMs * 1e6,
+		Platforms:   splitList(*platforms),
+		Balancers:   splitList(*balancers),
+		Workloads:   splitList(*workloads),
+		Faults:      splitList(*faults),
+		Contentions: splitList(*contSpecs),
+		DurationNs:  *durMs * 1e6,
 	}
 	var err error
 	if grid.Threads, err = parseInts(*threads); err != nil {

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"smartbalance/internal/contention"
 	"smartbalance/internal/hpc"
 	"smartbalance/internal/kernel"
 )
@@ -33,12 +34,20 @@ func (c *captureBalancer) Rebalance(k *kernel.Kernel, now kernel.Time,
 	c.inner.Rebalance(k, now, threads, cores)
 }
 
-// epochHotHarness builds a quad-core HMP system under SmartBalance,
-// runs it for enough epochs to warm every per-epoch scratch buffer, and
-// returns the controller plus a captured epoch snapshot to replay.
-func epochHotHarness(tb testing.TB, telemetry bool) (*captureBalancer, *kernel.Kernel) {
+// epochHotHarness builds an HMP system under SmartBalance, runs it for
+// enough epochs to warm every per-epoch scratch buffer, and returns the
+// controller plus a captured epoch snapshot to replay. contended
+// switches to the clustered big.LITTLE platform with the LLC-domain
+// contention model enabled and coupled to the controller, so the replay
+// exercises the contention-aware objective.
+func epochHotHarness(tb testing.TB, telemetry, contended bool) (*captureBalancer, *kernel.Kernel) {
 	tb.Helper()
 	plat := QuadHMP()
+	var mopts MachineOptions
+	if contended {
+		plat = OctaBigLittle()
+		mopts.Contention = contention.Spec{Enabled: true}
+	}
 	pred, err := TrainPredictor(plat.Types, 1)
 	if err != nil {
 		tb.Fatal(err)
@@ -50,9 +59,12 @@ func epochHotHarness(tb testing.TB, telemetry bool) (*captureBalancer, *kernel.K
 		tb.Fatal(err)
 	}
 	cap := &captureBalancer{inner: inner}
-	sys, err := NewSystem(plat, cap)
+	sys, err := NewSystemFull(plat, cap, DefaultKernelConfig(), mopts)
 	if err != nil {
 		tb.Fatal(err)
+	}
+	if contended {
+		inner.SetContention(sys.Kernel().Machine().Contention())
 	}
 	if telemetry {
 		tcfg := TelemetryConfig{MaxEpochs: 64}
@@ -78,9 +90,9 @@ func epochHotHarness(tb testing.TB, telemetry bool) (*captureBalancer, *kernel.K
 
 // epochAllocs measures steady-state heap allocations per replayed
 // sense→predict→balance epoch.
-func epochAllocs(tb testing.TB, telemetry bool) float64 {
+func epochAllocs(tb testing.TB, telemetry, contended bool) float64 {
 	tb.Helper()
-	cap, k := epochHotHarness(tb, telemetry)
+	cap, k := epochHotHarness(tb, telemetry, contended)
 	// Warm the controller's scratch buffers beyond the captured state.
 	for i := 0; i < 16; i++ {
 		cap.inner.Rebalance(k, cap.now, cap.threads, cap.cores)
@@ -97,8 +109,9 @@ func TestEpochAllocsReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	t.Logf("allocs/epoch telemetry-off: %.1f", epochAllocs(t, false))
-	t.Logf("allocs/epoch telemetry-on:  %.1f", epochAllocs(t, true))
+	t.Logf("allocs/epoch telemetry-off: %.1f", epochAllocs(t, false, false))
+	t.Logf("allocs/epoch telemetry-on:  %.1f", epochAllocs(t, true, false))
+	t.Logf("allocs/epoch contended:     %.1f", epochAllocs(t, false, true))
 }
 
 // TestEpochHotAllocsPinned pins the steady-state allocation budget of
@@ -112,19 +125,24 @@ func TestEpochHotAllocsPinned(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if got := epochAllocs(t, false); got != 0 {
+	if got := epochAllocs(t, false, false); got != 0 {
 		t.Errorf("telemetry-off epoch allocates: %.1f allocs/epoch, want 0", got)
 	}
 	const maxEnabled = 8
-	if got := epochAllocs(t, true); got > maxEnabled {
+	if got := epochAllocs(t, true, false); got > maxEnabled {
 		t.Errorf("telemetry-on epoch allocates %.1f allocs/epoch, want <= %d", got, maxEnabled)
+	}
+	// The contention-aware objective rides the same scratch buffers: the
+	// budget does not move when the model is on.
+	if got := epochAllocs(t, false, true); got != 0 {
+		t.Errorf("contended epoch allocates: %.1f allocs/epoch, want 0", got)
 	}
 }
 
 // BenchmarkEpochHot measures one replayed sense→predict→balance epoch
 // with telemetry disabled — the ns/epoch headline of BENCH_core.json.
 func BenchmarkEpochHot(b *testing.B) {
-	cap, k := epochHotHarness(b, false)
+	cap, k := epochHotHarness(b, false, false)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -135,7 +153,19 @@ func BenchmarkEpochHot(b *testing.B) {
 // BenchmarkEpochHotTelemetry is the same epoch replay with the
 // telemetry collector enabled — the enabled-path cost contract.
 func BenchmarkEpochHotTelemetry(b *testing.B) {
-	cap, k := epochHotHarness(b, true)
+	cap, k := epochHotHarness(b, true, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cap.inner.Rebalance(k, cap.now, cap.threads, cap.cores)
+	}
+}
+
+// BenchmarkEpochHotContended replays the epoch on the clustered
+// big.LITTLE platform with the LLC-domain contention model coupled in —
+// the contention-aware objective's overhead headline in BENCH_core.json.
+func BenchmarkEpochHotContended(b *testing.B) {
+	cap, k := epochHotHarness(b, false, true)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,25 @@
+package wallclock
+
+import "time"
+
+// The contention-shaped cases: a shared-resource model decays its
+// per-core pressure EWMAs over time, and host time is the classic
+// wrong clock to decay against — the miss-rate inflation then depends
+// on how fast the host ran the epoch loop, not on the simulated
+// schedule, and fixed-seed runs stop being byte-identical.
+
+// BadEwmaDecay ages the pressure average against the host clock; the
+// read must be flagged.
+func BadEwmaDecay(ewma, sample, tau float64, last time.Time) float64 {
+	dt := time.Now().Sub(last).Seconds()
+	alpha := dt / (dt + tau)
+	return ewma + alpha*(sample-ewma)
+}
+
+// OKEwmaDecay ages the average against simulated nanoseconds carried
+// by the caller, a pure function of the schedule.
+func OKEwmaDecay(ewma, sample, tau float64, nowNs, lastNs int64) float64 {
+	dt := float64(nowNs - lastNs)
+	alpha := dt / (dt + tau)
+	return ewma + alpha*(sample-ewma)
+}

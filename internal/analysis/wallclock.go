@@ -26,6 +26,7 @@ var DefaultSimPackages = []string{
 	"smartbalance/internal/telemetry",
 	"smartbalance/internal/fleet",
 	"smartbalance/internal/hunt",
+	"smartbalance/internal/contention",
 }
 
 // Wallclock returns the analyzer forbidding time.Now and time.Since in

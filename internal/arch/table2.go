@@ -119,6 +119,24 @@ func OctaBigLittle() *Platform {
 	return p
 }
 
+// HexaDualCluster returns a six-core big.LITTLE part whose little
+// cores sit in two separate clusters — cores 0-1 little (cluster 0),
+// 2-3 big, 4-5 little (cluster 1) — the DynamIQ-style arrangement
+// where one core type spans multiple LLC domains. It is the A14
+// contention-ablation platform: a type-indexed predictor cannot tell
+// the two little clusters apart (same type, same predicted IPS), so
+// only a contention-aware objective can choose which threads share a
+// little LLC. Both little groups carry the same CoreTypeID; the domain
+// split comes purely from non-contiguity (arch.LLCDomains).
+func HexaDualCluster() *Platform {
+	p := &Platform{Name: "hexa-dualcluster", Types: BigLittleTypes()}
+	layout := []CoreTypeID{1, 1, 0, 0, 1, 1}
+	for i, t := range layout {
+		p.Cores = append(p.Cores, Core{ID: CoreID(i), Type: t})
+	}
+	return p
+}
+
 // ScalingHMP builds an n-core heterogeneous platform for the Fig. 7
 // scalability analysis by tiling the Table 2 quad (Huge, Big, Medium,
 // Small, Huge, ...). n must be at least 1.

@@ -1,0 +1,49 @@
+package arch
+
+// LLC-domain topology. The Table 2 platforms carry private L1/L2
+// hierarchies, but physical MPSoCs cluster cores: contiguous cores of
+// one type share a cluster-level last-level cache and a slice of the
+// memory fabric (the Exynos-style big.LITTLE CCI arrangement the GTS
+// comparison models). The contention model (internal/contention) needs
+// that grouping; arch owns it because it is purely topological.
+
+// LLCDomain is one shared last-level-cache domain: a maximal run of
+// contiguous same-type cores plus the aggregate LLC capacity backing
+// them (the member cores' private L2 allocations pooled at cluster
+// level).
+type LLCDomain struct {
+	// Cores lists the member core ids, ascending and contiguous.
+	Cores []CoreID
+	// TypeID is the shared core type of the members.
+	TypeID CoreTypeID
+	// LLCKB is the pooled last-level capacity of the domain in KB.
+	LLCKB float64
+}
+
+// LLCDomains derives the platform's LLC-domain partition: each maximal
+// run of contiguous cores of one type forms a domain whose capacity is
+// the sum of the members' L2 allocations. A heterogeneous platform
+// with per-core types (QuadHMP) therefore yields singleton domains —
+// private caches, contention only through the shared memory fabric —
+// while OctaBigLittle yields one big and one little cluster. The
+// partition is a pure function of the platform, in core order.
+func LLCDomains(p *Platform) []LLCDomain {
+	if p == nil || len(p.Cores) == 0 {
+		return nil
+	}
+	var out []LLCDomain
+	start := 0
+	for i := 1; i <= len(p.Cores); i++ {
+		if i < len(p.Cores) && p.Cores[i].Type == p.Cores[start].Type {
+			continue
+		}
+		tid := p.Cores[start].Type
+		d := LLCDomain{TypeID: tid, LLCKB: float64(i-start) * float64(p.Types[tid].L2KB)}
+		for c := start; c < i; c++ {
+			d.Cores = append(d.Cores, CoreID(c))
+		}
+		out = append(out, d)
+		start = i
+	}
+	return out
+}

@@ -79,6 +79,10 @@ func (c *AnnealConfig) Validate() error {
 type AnnealResult struct {
 	Allocation Allocation
 	Objective  float64
+	// Initial is the objective of the starting allocation before any
+	// moves — the incumbent score. Callers that want plan-acceptance
+	// hysteresis compare Objective against it without re-evaluating.
+	Initial float64
 	// Iterations actually executed and moves accepted.
 	Iterations int
 	Accepted   int
@@ -148,7 +152,7 @@ func (a *Annealer) Run(prob *Problem, initial Allocation, cfg AnnealConfig) (*An
 	a.best = growAlloc(a.best, len(eval.alloc))
 	copy(a.best, eval.alloc)
 	bestScore := eval.Objective()
-	a.res = AnnealResult{}
+	a.res = AnnealResult{Initial: bestScore}
 	res := &a.res
 
 	for iter := 0; iter < cfg.MaxIter; iter++ {

@@ -75,6 +75,91 @@ type Problem struct {
 	// true entry — the affinity constraints the paper notes "can easily
 	// be included". nil (or a nil row) means unrestricted.
 	Allowed [][]bool
+	// Contention, when non-nil, adds the shared-resource interference
+	// term: candidate allocations that oversubscribe an LLC domain's
+	// capacity or bandwidth have their throughput discounted. nil keeps
+	// the contention-blind objective, bit-for-bit.
+	Contention *ContentionTerm
+}
+
+// ContentionTerm is the optimiser-side view of the LLC-domain model
+// (internal/contention): the static domain partition plus per-thread
+// sensed appetite estimates. The optimiser discounts each domain's
+// throughput contribution by a penalty that grows with the pooled
+// working set beyond the domain LLC and with bandwidth utilisation —
+// the same mechanisms the machine-side model applies to ground truth,
+// so minimising predicted interference minimises real interference.
+type ContentionTerm struct {
+	// DomainOf maps core j -> LLC-domain index.
+	DomainOf []int32
+	// DomLLCKB and DomBWGBps are the per-domain capacities.
+	DomLLCKB  []float64
+	DomBWGBps []float64
+	// WsKB[i] is thread i's estimated data working set (KB), inverted
+	// from its sensed L1D miss rate; BwGBps[i] its estimated memory
+	// bandwidth demand (sensed traffic scaled by utilisation).
+	WsKB   []float64
+	BwGBps []float64
+	// MissSlope scales the capacity-oversubscription penalty;
+	// PressureCap and MaxBWUtil clamp the two terms.
+	MissSlope   float64
+	PressureCap float64
+	MaxBWUtil   float64
+}
+
+// penalty returns the throughput discount factor for a core whose LLC
+// domain d carries co-runner working set wsKB and bandwidth demand
+// bwGBps beyond the core's own (the same self-exclusion the machine
+// model applies: a core alone in its domain sees factor exactly 1, and
+// a thread is never charged for pressure it generates itself — only
+// for what its co-runners inflict on it).
+func (t *ContentionTerm) penalty(d int, wsKB, bwGBps float64) float64 {
+	pressure := wsKB / t.DomLLCKB[d]
+	if pressure < 0 {
+		pressure = 0
+	} else if pressure > t.PressureCap {
+		pressure = t.PressureCap
+	}
+	util := bwGBps / t.DomBWGBps[d]
+	if util < 0 {
+		util = 0
+	} else if util > t.MaxBWUtil {
+		util = t.MaxBWUtil
+	}
+	return 1 / (1 + t.MissSlope*pressure + util/(1-util))
+}
+
+// validate checks the term's shape against m threads and n cores.
+func (t *ContentionTerm) validate(m, n int) error {
+	if len(t.DomainOf) != n {
+		return errContentionShape
+	}
+	nd := len(t.DomLLCKB)
+	if nd == 0 || len(t.DomBWGBps) != nd {
+		return errContentionShape
+	}
+	for _, d := range t.DomainOf {
+		if int(d) < 0 || int(d) >= nd {
+			return errContentionShape
+		}
+	}
+	if len(t.WsKB) != m || len(t.BwGBps) != m {
+		return errContentionShape
+	}
+	for d := 0; d < nd; d++ {
+		if t.DomLLCKB[d] <= 0 || t.DomBWGBps[d] <= 0 {
+			return errContentionDomain
+		}
+	}
+	for i := 0; i < m; i++ {
+		if t.WsKB[i] < 0 || t.BwGBps[i] < 0 || !isFinite(t.WsKB[i]) || !isFinite(t.BwGBps[i]) {
+			return errContentionThread
+		}
+	}
+	if t.MissSlope < 0 || t.PressureCap <= 0 || t.MaxBWUtil <= 0 || t.MaxBWUtil >= 1 {
+		return errContentionShape
+	}
+	return nil
 }
 
 // AllowedOn reports whether thread i may run on core j.
@@ -102,6 +187,10 @@ var (
 	errAffinityRows = errors.New("core: affinity matrix row count != threads")
 	errAllocLen     = errors.New("core: allocation length != thread count")
 	errAllocCore    = errors.New("core: allocation addresses invalid core")
+
+	errContentionShape  = errors.New("core: contention term shape mismatch")
+	errContentionDomain = errors.New("core: contention domain with non-positive capacity")
+	errContentionThread = errors.New("core: contention thread estimate negative or non-finite")
 )
 
 // Validate checks the problem's shape and value domains.
@@ -159,6 +248,11 @@ func (p *Problem) Validate() error {
 			if !any {
 				return fmt.Errorf("core: thread %d has an empty affinity set", i) //sbvet:allow hotpath(diagnostic formats only on the rejected-input path)
 			}
+		}
+	}
+	if p.Contention != nil {
+		if err := p.Contention.validate(m, n); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -285,6 +379,19 @@ type Evaluator struct {
 	sumPow        float64
 	ratioSum      float64 // Σ ω_j IPS_j/P_j for PerCoreRatioSum mode
 
+	// Contention aggregates, maintained only when the problem carries a
+	// ContentionTerm (zero-length otherwise): the pooled thread
+	// appetites (working set, bandwidth) per LLC domain and per core. A
+	// move or swap touches at most two cores and two domains, so these
+	// stay O(1) to maintain; the penalised objective is an O(cores)
+	// fold where core j's discount is driven by its domain aggregate
+	// minus its own contribution (self-exclusion, mirroring the
+	// machine-side model).
+	domWs  []float64
+	domBw  []float64
+	coreWs []float64
+	coreBw []float64
+
 	// Scratch reused across Reset calls and delta previews, so a
 	// controller-owned evaluator allocates nothing in steady state
 	// (DESIGN.md §11). utilScratch/shareScratch/idxScratch back
@@ -345,6 +452,31 @@ func (e *Evaluator) Reset(prob *Problem, initial Allocation) error {
 		e.prevPopulated[j] = len(e.byCore[j]) > 0
 		e.ratioSum += ratio(g, w, e.prevPopulated[j])
 	}
+	if t := prob.Contention; t != nil {
+		nd := len(t.DomLLCKB)
+		e.domWs = growFloats(e.domWs, nd)
+		e.domBw = growFloats(e.domBw, nd)
+		for d := 0; d < nd; d++ {
+			e.domWs[d], e.domBw[d] = 0, 0
+		}
+		e.coreWs = growFloats(e.coreWs, n)
+		e.coreBw = growFloats(e.coreBw, n)
+		for j := 0; j < n; j++ {
+			e.coreWs[j], e.coreBw[j] = 0, 0
+		}
+		for i, c := range e.alloc {
+			d := t.DomainOf[c]
+			e.domWs[d] += t.WsKB[i]
+			e.domBw[d] += t.BwGBps[i]
+			e.coreWs[c] += t.WsKB[i]
+			e.coreBw[c] += t.BwGBps[i]
+		}
+	} else {
+		e.domWs = e.domWs[:0]
+		e.domBw = e.domBw[:0]
+		e.coreWs = e.coreWs[:0]
+		e.coreBw = e.coreBw[:0]
+	}
 	return nil
 }
 
@@ -356,8 +488,33 @@ func ratio(gips, pow float64, populated bool) float64 {
 	return gips / pow
 }
 
-// Objective returns the current J_E under the problem's mode.
+// Objective returns the current J_E under the problem's mode. With a
+// contention term the throughput side is a penalty-discounted fold
+// over cores — each core discounted by the co-runner appetite pooled
+// in its LLC domain, its own contribution excluded — while power is
+// never discounted (contention wastes cycles, it does not save
+// energy).
 func (e *Evaluator) Objective() float64 {
+	if t := e.prob.Contention; t != nil {
+		var penG, penR float64
+		for j := range e.coreGIPS {
+			d := int(t.DomainOf[j])
+			pen := t.penalty(d, e.domWs[d]-e.coreWs[j], e.domBw[d]-e.coreBw[j])
+			penG += pen * e.coreGIPS[j]
+			penR += pen * ratio(e.coreGIPS[j], e.corePow[j], e.prevPopulated[j])
+		}
+		switch e.prob.Mode {
+		case PerCoreRatioSum:
+			return penR
+		case MaxThroughput:
+			return penG
+		default:
+			if e.sumPow <= 0 {
+				return 0
+			}
+			return penG / e.sumPow
+		}
+	}
 	switch e.prob.Mode {
 	case PerCoreRatioSum:
 		return e.ratioSum
@@ -396,6 +553,53 @@ func (e *Evaluator) objectiveWith(a, b int, ga, wa float64, na bool, gb, wb floa
 	}
 }
 
+// objectiveWithCont computes the penalised objective if cores a and b
+// had the given replacement values and their pooled thread appetites
+// (and so their LLC domains') shifted by the given deltas. The deltas
+// land on the domain aggregates of every *other* core in the affected
+// domains; for cores a and b themselves the domain and own-core shifts
+// cancel (self-exclusion: a core's discount never reflects its own
+// threads, only its co-runners').
+func (e *Evaluator) objectiveWithCont(a, b int, ga, wa float64, na bool, gb, wb float64, nb bool, dwsA, dbwA, dwsB, dbwB float64) float64 {
+	t := e.prob.Contention
+	da, db := int(t.DomainOf[a]), int(t.DomainOf[b])
+	var penG, penR float64
+	for j := range e.coreGIPS {
+		g, w, pop := e.coreGIPS[j], e.corePow[j], e.prevPopulated[j]
+		if j == a {
+			g, w, pop = ga, wa, na
+		} else if j == b {
+			g, w, pop = gb, wb, nb
+		}
+		d := int(t.DomainOf[j])
+		ws := e.domWs[d] - e.coreWs[j]
+		bw := e.domBw[d] - e.coreBw[j]
+		if d == da && j != a {
+			ws += dwsA
+			bw += dbwA
+		}
+		if d == db && j != b {
+			ws += dwsB
+			bw += dbwB
+		}
+		pen := t.penalty(d, ws, bw)
+		penG += pen * g
+		penR += pen * ratio(g, w, pop)
+	}
+	switch e.prob.Mode {
+	case PerCoreRatioSum:
+		return penR
+	case MaxThroughput:
+		return penG
+	default:
+		w := e.sumPow - e.corePow[a] - e.corePow[b] + wa + wb
+		if w <= 0 {
+			return 0
+		}
+		return penG / w
+	}
+}
+
 // MoveDelta returns the objective change of moving thread i to core
 // dst, without applying it.
 func (e *Evaluator) MoveDelta(i int, dst arch.CoreID) float64 {
@@ -410,6 +614,10 @@ func (e *Evaluator) MoveDelta(i int, dst arch.CoreID) float64 {
 	e.previewB[nd] = i
 	ga, wa := e.coreEval(int(src), e.previewA)
 	gb, wb := e.coreEval(int(dst), e.previewB)
+	if t := e.prob.Contention; t != nil {
+		return e.objectiveWithCont(int(src), int(dst), ga, wa, len(e.previewA) > 0, gb, wb, true,
+			-t.WsKB[i], -t.BwGBps[i], t.WsKB[i], t.BwGBps[i]) - e.Objective()
+	}
 	return e.objectiveWith(int(src), int(dst), ga, wa, len(e.previewA) > 0, gb, wb, true) - e.Objective()
 }
 
@@ -424,6 +632,17 @@ func (e *Evaluator) Move(i int, dst arch.CoreID) float64 {
 	e.byCore[src] = removeInPlace(e.byCore[src], i)
 	e.byCore[dst] = append(e.byCore[dst], i) //sbvet:allow hotpath(per-core member rows keep their high-water capacity; growth stops after the first epochs)
 	e.alloc[i] = dst
+	if t := e.prob.Contention; t != nil {
+		ds, dd := t.DomainOf[src], t.DomainOf[dst]
+		e.domWs[ds] -= t.WsKB[i]
+		e.domBw[ds] -= t.BwGBps[i]
+		e.domWs[dd] += t.WsKB[i]
+		e.domBw[dd] += t.BwGBps[i]
+		e.coreWs[src] -= t.WsKB[i]
+		e.coreBw[src] -= t.BwGBps[i]
+		e.coreWs[dst] += t.WsKB[i]
+		e.coreBw[dst] += t.BwGBps[i]
+	}
 	e.recompute(int(src))
 	e.recompute(int(dst))
 	return e.Objective() - before
@@ -446,6 +665,11 @@ func (e *Evaluator) SwapDelta(i, k int) float64 {
 	e.previewB[nb] = i
 	ga, wa := e.coreEval(int(ci), e.previewA)
 	gb, wb := e.coreEval(int(ck), e.previewB)
+	if t := e.prob.Contention; t != nil {
+		return e.objectiveWithCont(int(ci), int(ck), ga, wa, true, gb, wb, true,
+			t.WsKB[k]-t.WsKB[i], t.BwGBps[k]-t.BwGBps[i],
+			t.WsKB[i]-t.WsKB[k], t.BwGBps[i]-t.BwGBps[k]) - e.Objective()
+	}
 	return e.objectiveWith(int(ci), int(ck), ga, wa, true, gb, wb, true) - e.Objective()
 }
 
@@ -459,6 +683,17 @@ func (e *Evaluator) Swap(i, k int) float64 {
 	e.byCore[ci] = append(removeInPlace(e.byCore[ci], i), k) //sbvet:allow hotpath(the in-place removal freed one slot, so this append never grows)
 	e.byCore[ck] = append(removeInPlace(e.byCore[ck], k), i) //sbvet:allow hotpath(the in-place removal freed one slot, so this append never grows)
 	e.alloc[i], e.alloc[k] = ck, ci
+	if t := e.prob.Contention; t != nil {
+		di, dk := t.DomainOf[ci], t.DomainOf[ck]
+		e.domWs[di] += t.WsKB[k] - t.WsKB[i]
+		e.domBw[di] += t.BwGBps[k] - t.BwGBps[i]
+		e.domWs[dk] += t.WsKB[i] - t.WsKB[k]
+		e.domBw[dk] += t.BwGBps[i] - t.BwGBps[k]
+		e.coreWs[ci] += t.WsKB[k] - t.WsKB[i]
+		e.coreBw[ci] += t.BwGBps[k] - t.BwGBps[i]
+		e.coreWs[ck] += t.WsKB[i] - t.WsKB[k]
+		e.coreBw[ck] += t.BwGBps[i] - t.BwGBps[k]
+	}
 	e.recompute(int(ci))
 	e.recompute(int(ck))
 	return e.Objective() - before
@@ -467,9 +702,11 @@ func (e *Evaluator) Swap(i, k int) float64 {
 // recompute refreshes core j's cached contribution after a membership
 // change.
 func (e *Evaluator) recompute(j int) {
-	e.sumGIPS -= e.coreGIPS[j]
-	e.sumPow -= e.corePow[j]
-	e.ratioSum -= ratio(e.coreGIPS[j], e.corePow[j], e.prevPopulated[j])
+	oldG, oldW := e.coreGIPS[j], e.corePow[j]
+	oldR := ratio(oldG, oldW, e.prevPopulated[j])
+	e.sumGIPS -= oldG
+	e.sumPow -= oldW
+	e.ratioSum -= oldR
 	g, w := e.coreEval(j, e.byCore[j])
 	e.coreGIPS[j] = g
 	e.corePow[j] = w

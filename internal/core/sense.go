@@ -42,6 +42,13 @@ type Measurement struct {
 	MissITLB    float64 // mr_itlb
 	MissDTLB    float64 // mr_dtlb
 
+	// Shared-resource counters (internal/contention). These are sensed
+	// alongside the predictor features but deliberately kept out of the
+	// trained feature set (the paper's 10-counter interface is fixed);
+	// the balancer's contention term consumes them directly.
+	MissLLC  float64 // LLC misses per L1D miss (conditional L2->memory rate)
+	MemBWGBs float64 // memory traffic in GB/s while running
+
 	// Util is the thread's runnable fraction of the epoch, the U vector
 	// of Algorithm 1's inputs.
 	Util float64
@@ -95,6 +102,9 @@ func (s SenseStatus) String() string {
 const (
 	ipcHeadroom   = 1.05
 	powerHeadroom = 4.0
+	// llcLineBytes is the transfer size of one LLC miss; the bandwidth
+	// envelope is one line per retired instruction at peak throughput.
+	llcLineBytes = 64.0
 )
 
 // Sense converts one thread's epoch counter sample into a Measurement,
@@ -172,6 +182,15 @@ func SenseChecked(sample *hpc.ThreadEpochSample, util float64, plat *arch.Platfo
 	if m.PowerW > ct.PeakPowerW*powerHeadroom {
 		return Measurement{}, SenseInvalid
 	}
+	if m.MissLLC > ipcHeadroom {
+		// A conditional miss probability cannot exceed 1.
+		return Measurement{}, SenseInvalid
+	}
+	if m.MemBWGBs > ct.PeakIPC*(ct.FreqMHz/1000)*llcLineBytes*ipcHeadroom {
+		// More than one line of traffic per retired instruction at peak
+		// throughput: saturated counters, not physics.
+		return Measurement{}, SenseInvalid
+	}
 	return m, SenseOK
 }
 
@@ -190,6 +209,8 @@ func assemble(core arch.CoreID, srcType arch.CoreTypeID, counters *hpc.Counters,
 		Mispredict:  counters.MispredictRate(),
 		MissITLB:    counters.MissRateITLB(),
 		MissDTLB:    counters.MissRateDTLB(),
+		MissLLC:     counters.MissRateLLC(),
+		MemBWGBs:    counters.MemBWGBps(),
 		Util:        util,
 		Valid:       true,
 	}
@@ -202,5 +223,6 @@ func finiteMeasurement(m *Measurement) bool {
 	return isFinite(m.IPC) && isFinite(m.IPS) && isFinite(m.PowerW) &&
 		isFinite(m.MissL1I) && isFinite(m.MissL1D) && isFinite(m.MemShare) &&
 		isFinite(m.BranchShare) && isFinite(m.Mispredict) &&
-		isFinite(m.MissITLB) && isFinite(m.MissDTLB) && isFinite(m.Util)
+		isFinite(m.MissITLB) && isFinite(m.MissDTLB) &&
+		isFinite(m.MissLLC) && isFinite(m.MemBWGBs) && isFinite(m.Util)
 }

@@ -3,11 +3,14 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"smartbalance/internal/arch"
+	"smartbalance/internal/contention"
 	"smartbalance/internal/hpc"
 	"smartbalance/internal/kernel"
+	"smartbalance/internal/perfmodel"
 	"smartbalance/internal/telemetry"
 )
 
@@ -164,6 +167,22 @@ type SmartBalance struct {
 	ipsByType []float64
 	powByType []float64
 	spanAttrs [8]telemetry.Attr
+
+	// cont, when non-nil, is the machine-side LLC-domain model the
+	// contention-aware objective reads its topology from (SetContention).
+	// The static per-domain arrays are snapshotted there; contTerm's
+	// per-thread appetite vectors are epoch scratch, re-estimated from
+	// sensing every Rebalance.
+	cont         *contention.Model
+	contDomainOf []int32
+	contDomLLC   []float64
+	contDomBW    []float64
+	contMaxWsKB  float64
+	contTerm     ContentionTerm
+	contCurWs    []float64
+	contCurBw    []float64
+	contCoreWs   []float64
+	contCoreBw   []float64
 }
 
 // New constructs a SmartBalance controller around a trained predictor.
@@ -205,6 +224,166 @@ func (s *SmartBalance) Overhead() PhaseOverhead { return s.overhead }
 
 // Health returns the controller's accumulated degradation telemetry.
 func (s *SmartBalance) Health() Health { return s.health }
+
+// SetContention couples the controller to the machine's LLC-domain
+// model: from the next epoch on, the optimiser's objective carries the
+// shared-resource interference term (the "aware" arm of the A14
+// ablation), with per-thread cache and bandwidth appetites estimated
+// purely from sensed counters. nil — or never calling this — keeps the
+// contention-blind objective, bit-for-bit. The domain topology is
+// snapshotted here; it is static for the life of a model.
+func (s *SmartBalance) SetContention(m *contention.Model) {
+	s.cont = m
+	if m == nil {
+		return
+	}
+	n := m.NumCores()
+	nd := m.NumDomains()
+	s.contDomainOf = make([]int32, n)
+	for c := 0; c < n; c++ {
+		s.contDomainOf[c] = int32(m.DomainOf(arch.CoreID(c)))
+	}
+	s.contDomLLC = make([]float64, nd)
+	s.contDomBW = make([]float64, nd)
+	maxLLC := 0.0
+	for d := 0; d < nd; d++ {
+		s.contDomLLC[d] = m.DomainLLCKB(d)
+		s.contDomBW[d] = m.DomainBWGBps(d)
+		if s.contDomLLC[d] > maxLLC {
+			maxLLC = s.contDomLLC[d]
+		}
+	}
+	// Working-set estimates beyond (1+cap) x the largest LLC cannot
+	// change any domain's clamped pressure, so the inversion saturates
+	// there.
+	s.contMaxWsKB = (1 + m.PressureCap()) * maxLLC
+}
+
+// contMissSlopeToIPS converts the machine model's miss-rate slope into
+// an IPS-level penalty slope, and contMaxBWUtilIPS bounds the queueing
+// term the optimiser sees. The machine applies its slope to the
+// conditional L2 miss rate — a quantity that caps at 1 and is only one
+// term of CPI — so the IPS-level interference is several times smaller
+// than the miss-rate inflation. Reusing the raw knobs makes moving off
+// a pressured cluster look like a near-3x throughput win, which the
+// annealer pays real watts to chase (spreading over clusters that
+// gating should empty). Empirically on the A14 mixes ~1/4 of the
+// machine slope, with the queueing term clamped at 2:1, tracks the
+// realised degradation.
+const (
+	contMissSlopeToIPS = 2.0
+	contMaxBWUtilIPS   = 0.9
+)
+
+// contMinGain is the plan-acceptance hysteresis for the contention-aware
+// controller: a new allocation is applied only when its predicted
+// objective beats the incumbent placement's by this relative margin.
+// The interference term makes near-tied plans common (several
+// placements isolate the same antagonist equally well) while the
+// annealer's per-epoch seed variation breaks those ties differently
+// each epoch; with zero threshold the controller oscillates between
+// equivalent optima and pays the cold-cache migration debt every epoch.
+// Blind controllers keep the zero-threshold paper behaviour — the gate
+// is only active when a contention model is attached, so disabled-model
+// runs stay byte-identical.
+const contMinGain = 0.02
+
+// fillContentionTerm assembles the optimiser-side term for this epoch's
+// measurements: static topology by reference, per-thread appetites
+// estimated from sensing (working set by inverting the L1D capacity
+// curve on the source type's cache; bandwidth as measured traffic
+// scaled by utilisation).
+func (s *SmartBalance) fillContentionTerm(t *ContentionTerm, plat *arch.Platform, meas []Measurement) {
+	t.DomainOf = s.contDomainOf
+	t.DomLLCKB = s.contDomLLC
+	t.DomBWGBps = s.contDomBW
+	// The machine's slope inflates the *conditional L2 miss rate*; only a
+	// fraction of that reaches IPS (a miss is one term of CPI, and the
+	// rate caps at 1). An IPS-level penalty reusing the raw slope
+	// overstates interference several-fold, and an overstated term makes
+	// the optimiser trade real watts for imaginary throughput (spreading
+	// across clusters that gating should empty). Temper both knobs to
+	// IPS scale.
+	t.MissSlope = contMissSlopeToIPS * s.cont.MissSlope()
+	t.PressureCap = s.cont.PressureCap()
+	t.MaxBWUtil = s.cont.MaxBWUtil()
+	if t.MaxBWUtil > contMaxBWUtilIPS {
+		t.MaxBWUtil = contMaxBWUtilIPS
+	}
+	t.WsKB = growFloats(t.WsKB, len(meas))
+	t.BwGBps = growFloats(t.BwGBps, len(meas))
+	for i := range meas {
+		mm := &meas[i]
+		ct := &plat.Types[mm.SrcType]
+		// Working set from the L2 capacity curve: the sensed conditional
+		// LLC rate times the L1D rate is the absolute L2-to-memory rate,
+		// whose inversion stays well-conditioned far beyond the cache
+		// size (the L1D curve alone saturates a few multiples past L1,
+		// flattening every appetite to the clamp and erasing the
+		// placement gradient). The sensed rate embeds the co-runner
+		// inflation the machine applied on the thread's current core;
+		// dividing by the model's own MissScale recovers the clean
+		// appetite, so estimates do not balloon under the very pressure
+		// the balancer is trying to relieve.
+		abs2 := mm.MissLLC * mm.MissL1D
+		bw := mm.MemBWGBs
+		if scale := s.cont.MissScale(mm.Core); scale > 1 {
+			abs2 /= scale
+			bw /= scale
+		}
+		t.WsKB[i] = perfmodel.EstimateWorkingSetKB(abs2, float64(ct.L2KB), perfmodel.L1DMissCap, s.contMaxWsKB)
+		t.BwGBps[i] = bw * mm.Util
+	}
+}
+
+// normalizeContentionIPS rescales each thread's predicted-IPS row by
+// the inverse of the penalty its *current* core carries under the
+// incumbent co-runner set (domain appetite minus the core's own —
+// the same self-exclusion the machine and the evaluator apply).
+// Sensed counters already embed the current contention (the machine
+// degraded the slices that produced them), so applying the candidate
+// penalty to raw predictions would double-count it; after this
+// normalization the penalized objective reproduces the sensed
+// throughput exactly at the incumbent placement, and the term scores
+// only the *change* a move makes to co-location. Threads on
+// unpressured cores (penalty 1) are untouched bit-for-bit.
+func (s *SmartBalance) normalizeContentionIPS(t *ContentionTerm, ips [][]float64, meas []Measurement) {
+	nd := len(t.DomLLCKB)
+	n := len(t.DomainOf)
+	s.contCurWs = growFloats(s.contCurWs, nd)
+	s.contCurBw = growFloats(s.contCurBw, nd)
+	for d := 0; d < nd; d++ {
+		s.contCurWs[d] = 0
+		s.contCurBw[d] = 0
+	}
+	s.contCoreWs = growFloats(s.contCoreWs, n)
+	s.contCoreBw = growFloats(s.contCoreBw, n)
+	for c := 0; c < n; c++ {
+		s.contCoreWs[c] = 0
+		s.contCoreBw[c] = 0
+	}
+	for i := range meas {
+		c := meas[i].Core
+		d := t.DomainOf[c]
+		s.contCurWs[d] += t.WsKB[i]
+		s.contCurBw[d] += t.BwGBps[i]
+		s.contCoreWs[c] += t.WsKB[i]
+		s.contCoreBw[c] += t.BwGBps[i]
+	}
+	for i := range meas {
+		c := meas[i].Core
+		d := int(t.DomainOf[c])
+		pen := t.penalty(d, s.contCurWs[d]-s.contCoreWs[c], s.contCurBw[d]-s.contCoreBw[c])
+		if pen >= 1 {
+			continue
+		}
+		inv := 1 / pen
+		row := ips[i]
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
 
 // SetTelemetry installs (or, with nil, removes) the telemetry
 // collector the controller reports into: per-phase spans with
@@ -292,6 +471,10 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 				fmt.Sprintf("epoch ee %.4g fell below 0.75 x previous %.4g", ee, s.prevEE))
 		}
 		s.prevEE = ee
+		if s.cont != nil {
+			s.tel.Gauge("smartbalance_contention_pressure_max").Set(s.cont.MaxPressure())
+			s.tel.Gauge("smartbalance_contention_bw_util_max").Set(s.cont.MaxBWUtilization())
+		}
 	}
 
 	// ---- Phase 1: sensing & measurement (Section 4.1, Eq. 4-7). ----
@@ -451,6 +634,16 @@ func (s *SmartBalance) Rebalance(k *kernel.Kernel, now kernel.Time,
 		s.tel.Span(telemetry.PhaseDecide, now, 0, s.spanAttrs[:3]...)
 	}
 
+	// Plan-acceptance hysteresis (aware only): hold the incumbent
+	// placement unless the annealed plan clears a relative margin over
+	// it. See contMinGain for why ties oscillate without this.
+	if s.cont != nil && result.Objective-result.Initial <= contMinGain*math.Abs(result.Initial) {
+		if s.tel.Enabled() {
+			s.tel.Counter("smartbalance_plans_held_total").Add(1)
+		}
+		return
+	}
+
 	// ---- Phase 4: apply Ψ via migration (set_cpus_allowed_ptr). ----
 	t3 := s.clock.Now()
 	applied, refused := 0, 0
@@ -504,6 +697,11 @@ func (s *SmartBalance) buildProblem(plat *arch.Platform, k *kernel.Kernel, meas 
 	prob.Weights = s.cfg.Weights
 	prob.Mode = s.cfg.Objective
 	prob.Allowed = nil
+	prob.Contention = nil
+	if s.cont != nil {
+		s.fillContentionTerm(&s.contTerm, plat, meas)
+		prob.Contention = &s.contTerm
+	}
 	prob.Util = growFloats(prob.Util, m)
 	prob.IdlePower = growFloats(prob.IdlePower, n)
 	prob.IPS = growFloatRows(prob.IPS, m)
@@ -542,6 +740,9 @@ func (s *SmartBalance) buildProblem(plat *arch.Platform, k *kernel.Kernel, meas 
 		prob.Power[i] = powRow
 		prob.Util[i] = mm.Util
 	}
+	if prob.Contention != nil {
+		s.normalizeContentionIPS(prob.Contention, prob.IPS, meas)
+	}
 	return prob, nil
 }
 
@@ -559,6 +760,11 @@ func (s *SmartBalance) BuildProblem(plat *arch.Platform, k *kernel.Kernel, meas 
 		IdlePower: make([]float64, n),
 		Weights:   s.cfg.Weights,
 		Mode:      s.cfg.Objective,
+	}
+	if s.cont != nil {
+		t := &ContentionTerm{}
+		s.fillContentionTerm(t, plat, meas)
+		prob.Contention = t
 	}
 	pm := k.Machine().PowerModels()
 	for j := 0; j < n; j++ {
@@ -590,6 +796,9 @@ func (s *SmartBalance) BuildProblem(plat *arch.Platform, k *kernel.Kernel, meas 
 			prob.Power[i][j] = powByType[tid]
 		}
 		prob.Util[i] = m.Util
+	}
+	if prob.Contention != nil {
+		s.normalizeContentionIPS(prob.Contention, prob.IPS, meas)
 	}
 	return prob, nil
 }

@@ -115,6 +115,7 @@ func Registry() []struct {
 		{"A11", AblationFairness},
 		{"A12", AblationSensorNoise},
 		{"A13", AblationFaultRobustness},
+		{"A14", AblationContention},
 	}
 }
 

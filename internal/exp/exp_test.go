@@ -41,7 +41,7 @@ func TestOptionsValidate(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"T1", "T2", "T3", "T4", "F4a", "F4b", "F5", "F6", "F7", "F8",
-		"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13"}
+		"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10", "A11", "A12", "A13", "A14"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries", len(reg))

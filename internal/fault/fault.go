@@ -415,6 +415,8 @@ func saturateSample(s *hpc.ThreadEpochSample) {
 		c.BranchMispredicts = saturated
 		c.ITLBMisses = saturated
 		c.DTLBMisses = saturated
+		c.LLCMisses = saturated
+		c.MemBytes = saturated
 	}
 }
 

@@ -45,6 +45,8 @@ type Counters struct {
 	BranchMispredicts  uint64
 	ITLBMisses         uint64
 	DTLBMisses         uint64
+	LLCMisses          uint64  // L1D misses that escaped the private L2 to memory
+	MemBytes           uint64  // line traffic of those misses on the memory fabric
 	EnergyJ            float64 // from the per-core power sensor
 }
 
@@ -61,6 +63,8 @@ func (c *Counters) Add(o *Counters) {
 	c.BranchMispredicts += o.BranchMispredicts
 	c.ITLBMisses += o.ITLBMisses
 	c.DTLBMisses += o.DTLBMisses
+	c.LLCMisses += o.LLCMisses
+	c.MemBytes += o.MemBytes
 	c.EnergyJ += o.EnergyJ
 }
 
@@ -112,6 +116,19 @@ func (c *Counters) MissRateITLB() float64 { return ratio(c.ITLBMisses, c.Instruc
 
 // MissRateDTLB returns DTLB misses per memory access.
 func (c *Counters) MissRateDTLB() float64 { return ratio(c.DTLBMisses, c.MemInstructions) }
+
+// MissRateLLC returns LLC (private-L2-to-memory) misses per L1D miss —
+// the conditional miss probability the contention model inflates.
+func (c *Counters) MissRateLLC() float64 { return ratio(c.LLCMisses, c.L1DMisses) }
+
+// MemBWGBps returns the memory traffic rate in GB/s (bytes per
+// nanosecond) over the accumulated run time.
+func (c *Counters) MemBWGBps() float64 {
+	if c.RunNs <= 0 {
+		return 0
+	}
+	return float64(c.MemBytes) / float64(c.RunNs)
+}
 
 func ratio(num, den uint64) float64 {
 	if den == 0 {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"smartbalance/internal/contention"
 	"smartbalance/internal/fault"
 	"smartbalance/internal/fleet"
 	"smartbalance/internal/workload"
@@ -57,6 +58,13 @@ type NodeGenome struct {
 	Seed       uint64             `json:"seed"`
 	Synth      workload.SynthSpec `json:"synth"`
 	Fault      fault.Plan         `json:"fault"`
+	// Contention is a shared-resource model spec
+	// (contention.ParseSpec); empty hunts the uncontended machine.
+	// When enabled, the candidate additionally pits the
+	// contention-aware controller against its "-blind" twin (the
+	// contention-loss objective). omitempty keeps pre-axis corpus
+	// entries' keys — and hashes — byte-stable.
+	Contention string `json:"contention,omitempty"`
 }
 
 // FleetGenome describes a fleet-tier scenario: node count, per-node
@@ -129,6 +137,9 @@ func (n *NodeGenome) validate() error {
 		return fmt.Errorf("hunt: node duration %dms outside [50,400]", n.DurationMs)
 	}
 	if err := n.Synth.Validate(); err != nil {
+		return err
+	}
+	if _, err := contention.ParseSpec(n.Contention); err != nil {
 		return err
 	}
 	return n.Fault.Validate()

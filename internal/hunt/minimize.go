@@ -154,7 +154,21 @@ var nodeAxes = []axis{
 	// 4. Each synth parameter back to its default — the minimized
 	// workload differs from the canonical one only where it must.
 	func(c Candidate) []Candidate { return resetSynthFields(c) },
-	// 5. Platform to quad (the smaller platform), when the violation
+	// 5. Contention off entirely, then down to the bare "on" defaults.
+	// Objectives that need the contended machine (contention-loss)
+	// reject the first proposal and keep the second when the capacity
+	// overrides were incidental.
+	func(c Candidate) []Candidate {
+		var out []Candidate
+		if c.Node.Contention != "" {
+			out = append(out, reduceNode(c, func(n *NodeGenome) { n.Contention = "" }))
+			if c.Node.Contention != "on" {
+				out = append(out, reduceNode(c, func(n *NodeGenome) { n.Contention = "on" }))
+			}
+		}
+		return out
+	},
+	// 6. Platform to quad (the smaller platform), when the violation
 	// survives losing the GTS baseline.
 	func(c Candidate) []Candidate {
 		if c.Node.Platform == "quad" {
@@ -211,6 +225,7 @@ func resetSynthFields(c Candidate) []Candidate {
 		func(s *workload.SynthSpec) { s.Ent = def.Ent },
 		func(s *workload.SynthSpec) { s.MLP = def.MLP },
 		func(s *workload.SynthSpec) { s.SleepM = def.SleepM },
+		func(s *workload.SynthSpec) { s.Ant = def.Ant },
 	}
 	for _, f := range reset {
 		probe := cur

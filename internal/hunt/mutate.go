@@ -97,7 +97,7 @@ func clone(c Candidate) Candidate {
 }
 
 func mutateNode(r *rng.Rand, n *NodeGenome) {
-	switch r.Intn(16) {
+	switch r.Intn(18) {
 	case 0:
 		if n.Platform == "quad" {
 			n.Platform = "biglittle"
@@ -135,6 +135,16 @@ func mutateNode(r *rng.Rand, n *NodeGenome) {
 		// where the paper's claims are most fragile (Hofmann et al.),
 		// so the search should probe it often.
 		mutateFault(r, n)
+	case 16:
+		// Shared-resource model toggle: contended genomes additionally
+		// race the aware controller against its blind twin.
+		if n.Contention == "" {
+			n.Contention = "on"
+		} else {
+			n.Contention = ""
+		}
+	case 17:
+		n.Synth.Ant = r.Intn(3)
 	}
 }
 

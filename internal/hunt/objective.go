@@ -33,10 +33,15 @@ const (
 	// ObjDivergence: the same fleet cell renders different outcomes
 	// under different -workers settings — a determinism-contract break.
 	ObjDivergence = "workers-divergence"
+	// ObjContentionLoss: on a contended machine, the contention-aware
+	// controller loses energy efficiency to its contention-blind twin —
+	// the interference term made placement worse, inverting the A14
+	// claim. Scored only when the genome enables contention.
+	ObjContentionLoss = "contention-loss"
 )
 
 // Objectives lists every objective in canonical report order.
-var Objectives = []string{ObjEELoss, ObjAnomaly, ObjEnergySLO, ObjP99SLO, ObjPolicyLoss, ObjDivergence}
+var Objectives = []string{ObjEELoss, ObjAnomaly, ObjContentionLoss, ObjEnergySLO, ObjP99SLO, ObjPolicyLoss, ObjDivergence}
 
 // SLO holds the service-level objectives the fleet-tier search tries
 // to break.
@@ -213,6 +218,10 @@ func (n *NodeGenome) scenario() sweep.Scenario {
 	if faultSpec == "none" {
 		faultSpec = ""
 	}
+	contSpec := n.Contention
+	if contSpec == "none" || contSpec == "off" {
+		contSpec = ""
+	}
 	return sweep.Scenario{
 		Platform:   n.Platform,
 		Balancer:   "smartbalance",
@@ -221,6 +230,7 @@ func (n *NodeGenome) scenario() sweep.Scenario {
 		Seed:       n.Seed,
 		DurationNs: n.DurationMs * 1e6,
 		Fault:      faultSpec,
+		Contention: contSpec,
 	}
 }
 
@@ -243,6 +253,11 @@ func nodeSubtasks(n *NodeGenome) []subtask {
 	if n.Platform == "biglittle" {
 		// GTS needs exactly two core types; quad has four.
 		baselines = append(baselines, "gts")
+	}
+	if sc.Contention != "" {
+		// Contended genomes also run the blind twin: same controller,
+		// same contended machine, no topology — the contention-loss arm.
+		baselines = append(baselines, "smartbalance-blind")
 	}
 	for _, bal := range baselines {
 		bsc := sc
@@ -344,7 +359,21 @@ func scoreNode(payload map[string][]byte, margin float64) ([]Violation, error) {
 		anom.Score = 1
 		anom.Detail = strings.Join(obs.Anomalies, ",")
 	}
-	return []Violation{eeLoss, anom}, nil
+	contLoss := Violation{Objective: ObjContentionLoss, Score: -1, Detail: "contention off"}
+	if data, ok := payload["smartbalance-blind"]; ok {
+		blind, err := sweep.DecodeOutcome(data)
+		if err != nil {
+			return nil, fmt.Errorf("hunt: blind baseline: %w", err)
+		}
+		if blind.EnergyEff > 0 {
+			r := obs.Outcome.EnergyEff / blind.EnergyEff
+			contLoss.Score = (1 - margin) - r
+			contLoss.Detail = "aware/blind=" + g(r)
+		} else {
+			contLoss.Detail = "blind arm without throughput"
+		}
+	}
+	return []Violation{eeLoss, anom, contLoss}, nil
 }
 
 func scoreFleet(payload map[string][]byte, slo SLO, margin float64) ([]Violation, error) {

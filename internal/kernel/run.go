@@ -73,7 +73,7 @@ func (k *Kernel) dispatch(c arch.CoreID) {
 		return
 	}
 	t.migrationDebt = 0
-	if err := k.mach.ExecSliceInto(&cr.pending, t.state, k.plat.TypeID(c), slice); err != nil {
+	if err := k.mach.ExecSliceOnCore(&cr.pending, t.state, c, slice); err != nil {
 		// Impossible for a non-finished task and positive slice; fail
 		// loudly rather than corrupt accounting.
 		panic(fmt.Sprintf("kernel: ExecSlice: %v", err)) //sbvet:allow hotpath(formats only while crashing on corrupt accounting)
@@ -122,6 +122,8 @@ func (k *Kernel) handleSliceEnd(c arch.CoreID, sliceSeq uint64) {
 		BranchMispredicts:  res.BranchMispredicts,
 		ITLBMisses:         res.ITLBMisses,
 		DTLBMisses:         res.DTLBMisses,
+		LLCMisses:          res.LLCMisses,
+		MemBytes:           res.MemBytes,
 		EnergyJ:            res.EnergyJ,
 	})
 

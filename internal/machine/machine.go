@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"smartbalance/internal/arch"
+	"smartbalance/internal/contention"
 	"smartbalance/internal/perfmodel"
 	"smartbalance/internal/powermodel"
 	"smartbalance/internal/workload"
@@ -52,6 +53,11 @@ type Options struct {
 	// effective memory latency with an M/M/1-style queueing factor.
 	// Zero disables contention (independent cores).
 	BusBandwidthGBps float64
+	// Contention configures the LLC-domain shared-resource model
+	// (internal/contention): co-runner working-set overlap inflating
+	// miss rates and domain bandwidth saturation flattening IPS. The
+	// zero spec disables it; it composes with the global bus model.
+	Contention contention.Spec
 }
 
 // Bus-model constants.
@@ -73,6 +79,9 @@ type Machine struct {
 	// busBytesPerNs is the decayed average of L1-miss traffic; 1 GB/s
 	// equals one byte per nanosecond.
 	busBytesPerNs float64
+
+	// cont is the LLC-domain contention model; nil when disabled.
+	cont *contention.Model
 }
 
 // New builds a Machine for the platform with default options. The
@@ -90,8 +99,16 @@ func NewWithOptions(plat *arch.Platform, opts Options) (*Machine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("machine: %w", err)
 	}
-	return &Machine{plat: plat, pm: pm, opts: opts}, nil
+	cont, err := contention.NewModel(plat, opts.Contention)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	return &Machine{plat: plat, pm: pm, opts: opts, cont: cont}, nil
 }
+
+// Contention returns the machine's LLC-domain contention model, or nil
+// when the model is disabled.
+func (m *Machine) Contention() *contention.Model { return m.cont }
 
 // MemLatencyScale returns the current contention multiplier applied to
 // memory latency (1 when the bus model is disabled or unloaded).
@@ -205,6 +222,12 @@ type SliceResult struct {
 	BranchMispredicts uint64
 	ITLBMisses        uint64
 	DTLBMisses        uint64
+	// LLCMisses counts L1D misses that also missed the private L2 and
+	// went to memory; MemBytes is the corresponding line traffic. These
+	// are the counters the contention model and its sensing envelope
+	// consume.
+	LLCMisses uint64
+	MemBytes  uint64
 	// EnergyJ is the energy consumed by the core during the slice.
 	EnergyJ float64
 	// SleepNs > 0 indicates the thread entered a sleep/wait period at
@@ -226,8 +249,25 @@ func (m *Machine) ExecSlice(t *ThreadState, tid arch.CoreTypeID, maxDurNs int64)
 // ExecSliceInto is ExecSlice writing its result into *out (which is
 // reset first): the scheduler hot path targets the core's pending-slice
 // slot directly instead of copying the ~100-byte result twice per
-// slice.
+// slice. It executes with core identity unknown, so the LLC-domain
+// contention model (which needs to know the co-runner set) is not
+// applied; the kernel's dispatch path uses ExecSliceOnCore.
 func (m *Machine) ExecSliceInto(out *SliceResult, t *ThreadState, tid arch.CoreTypeID, maxDurNs int64) error {
+	return m.execSlice(out, t, tid, -1, maxDurNs)
+}
+
+// ExecSliceOnCore is ExecSliceInto with the executing core identified,
+// which lets the LLC-domain contention model degrade the slice by the
+// core's co-runner pressure and fold the slice's footprint back into
+// the model. With the model disabled it is arithmetically identical to
+// ExecSliceInto on the core's type.
+func (m *Machine) ExecSliceOnCore(out *SliceResult, t *ThreadState, core arch.CoreID, maxDurNs int64) error {
+	return m.execSlice(out, t, m.plat.TypeID(core), int(core), maxDurNs)
+}
+
+// execSlice is the shared slice-execution loop. core < 0 means the
+// executing core is unknown (no LLC-domain contention applies).
+func (m *Machine) execSlice(out *SliceResult, t *ThreadState, tid arch.CoreTypeID, core int, maxDurNs int64) error {
 	res := out
 	*res = SliceResult{}
 	if maxDurNs <= 0 {
@@ -239,18 +279,25 @@ func (m *Machine) ExecSliceInto(out *SliceResult, t *ThreadState, tid arch.CoreT
 	ct := &m.plat.Types[tid]
 	pmod := m.pm.ForType(tid)
 	freqGHz := ct.FreqMHz / 1000 // cycles per ns
-	// Contention is sampled once per slice (the factor moves on the
-	// busTauNs scale, far slower than a slice).
+	// Contention is sampled once per slice (the factors move on the
+	// busTauNs/ewmaTauNs scale, far slower than a slice).
 	latScale := m.MemLatencyScale()
+	missScale := 1.0
+	if m.cont != nil && core >= 0 {
+		missScale = m.cont.MissScale(arch.CoreID(core))
+		latScale *= m.cont.LatScale(arch.CoreID(core))
+	}
 
 	remaining := float64(maxDurNs)
 	var memTrafficBytes float64 // L2-miss traffic feeding the shared bus
+	wsKB := t.Spec.Phases[t.phaseIdx].WorkingSetDKB
 	for remaining > 1e-9 {
 		ph := &t.Spec.Phases[t.phaseIdx]
+		wsKB = ph.WorkingSetDKB
 		var met *perfmodel.Metrics
 		var contended perfmodel.Metrics
-		if latScale > 1.0001 {
-			contended = perfmodel.EvaluateContended(ph, ct, latScale)
+		if latScale > 1.0001 || missScale > 1.0001 {
+			contended = perfmodel.EvaluateShared(ph, ct, latScale, missScale)
 			met = &contended
 		} else {
 			met = m.phaseMetrics(t, t.phaseIdx, tid)
@@ -296,7 +343,10 @@ func (m *Machine) ExecSliceInto(out *SliceResult, t *ThreadState, tid arch.CoreT
 		memOps := float64(segInstr) * ph.MemShare
 		res.L1DMisses += uint64(memOps * met.MissRateL1D)
 		// Only misses that escape the private L2 reach the shared bus.
-		memTrafficBytes += memOps * met.MissRateL1D * met.MissRateL2 * cacheLineBytes
+		llcMisses := memOps * met.MissRateL1D * met.MissRateL2
+		res.LLCMisses += uint64(llcMisses)
+		res.MemBytes += uint64(llcMisses * cacheLineBytes)
+		memTrafficBytes += llcMisses * cacheLineBytes
 		res.BranchMispredicts += uint64(float64(segInstr) * ph.BranchShare * met.MispredictRate)
 		res.ITLBMisses += uint64(float64(segInstr) * met.MissRateITLB)
 		res.DTLBMisses += uint64(memOps * met.MissRateDTLB)
@@ -327,6 +377,9 @@ func (m *Machine) ExecSliceInto(out *SliceResult, t *ThreadState, tid arch.CoreT
 		res.DurNs = 1
 	}
 	m.recordBusTraffic(res.DurNs, memTrafficBytes)
+	if m.cont != nil && core >= 0 {
+		m.cont.RecordSlice(arch.CoreID(core), res.DurNs, wsKB, memTrafficBytes)
+	}
 	return nil
 }
 

@@ -54,6 +54,9 @@ const (
 	// per instruction respectively).
 	l1dMissCap = 0.30
 	l1iMissCap = 0.12
+	// L1DMissCap exports the data-cache capacity-miss ceiling for
+	// callers inverting the curve (EstimateWorkingSetKB's cap argument).
+	L1DMissCap = l1dMissCap
 )
 
 // Metrics is the per-(phase, core-type) steady-state behaviour: the
@@ -128,10 +131,36 @@ func pipelineDepth(ct *arch.CoreType) float64 {
 	return 6 + float64(ct.IssueWidth)
 }
 
+// EstimateWorkingSetKB inverts CacheMissRate: given a measured miss
+// rate against a cache of cacheKB kilobytes, it recovers the working
+// set that would produce it under the capacity law. This is how the
+// contention-aware balancer estimates per-thread LLC appetite from the
+// sensed L1D miss rate alone — sensing-driven, no ground-truth access.
+// Rates at or beyond the cap (saturated) clamp to maxKB.
+func EstimateWorkingSetKB(missRate, cacheKB, cap, maxKB float64) float64 {
+	if cacheKB <= 0 || missRate <= 0 {
+		return 0
+	}
+	if missRate <= l1MissFloor {
+		// Below-capacity branch: miss = floor * ratio^2.
+		return cacheKB * math.Sqrt(missRate/l1MissFloor)
+	}
+	// Spilled branch: miss = floor + cap*(1 - 1/ratio).
+	frac := (missRate - l1MissFloor) / cap
+	if frac >= 0.999 {
+		return maxKB
+	}
+	ws := cacheKB / (1 - frac)
+	if ws > maxKB {
+		return maxKB
+	}
+	return ws
+}
+
 // Evaluate computes the steady-state Metrics of executing phase ph on
 // core type ct with uncontended memory.
 func Evaluate(ph *workload.Phase, ct *arch.CoreType) Metrics {
-	return EvaluateContended(ph, ct, 1)
+	return EvaluateShared(ph, ct, 1, 1)
 }
 
 // EvaluateContended computes Metrics with the effective memory latency
@@ -140,8 +169,23 @@ func Evaluate(ph *workload.Phase, ct *arch.CoreType) Metrics {
 // other cores inflate everyone's miss latency). Scales below 1 clamp
 // to 1.
 func EvaluateContended(ph *workload.Phase, ct *arch.CoreType, memLatScale float64) Metrics {
+	return EvaluateShared(ph, ct, memLatScale, 1)
+}
+
+// EvaluateShared is the full shared-resource evaluation: memLatScale
+// inflates the effective memory latency (bus/bandwidth queueing) and
+// llcMissScale inflates the conditional L2->memory miss probability
+// (co-runner working sets stealing LLC capacity, internal/contention).
+// Both factors clamp below at 1; at (1, 1) the arithmetic is
+// bit-identical to the uncontended Evaluate — multiplying by exactly
+// 1.0 is exact in IEEE 754, which is what keeps contention-disabled
+// runs byte-identical.
+func EvaluateShared(ph *workload.Phase, ct *arch.CoreType, memLatScale, llcMissScale float64) Metrics {
 	if memLatScale < 1 {
 		memLatScale = 1
+	}
+	if llcMissScale < 1 {
+		llcMissScale = 1
 	}
 	var m Metrics
 
@@ -153,7 +197,7 @@ func EvaluateContended(ph *workload.Phase, ct *arch.CoreType, memLatScale float6
 	// absolute capacity curves approximates P(L2 miss | L1 miss).
 	if m.MissRateL1D > 0 {
 		abs2 := CacheMissRate(ph.WorkingSetDKB, float64(ct.L2KB), l1dMissCap)
-		m.MissRateL2 = abs2 / m.MissRateL1D
+		m.MissRateL2 = abs2 * llcMissScale / m.MissRateL1D
 		if m.MissRateL2 > 1 {
 			m.MissRateL2 = 1
 		}

@@ -10,6 +10,7 @@ import (
 
 	"smartbalance/internal/arch"
 	"smartbalance/internal/balancer"
+	"smartbalance/internal/contention"
 	"smartbalance/internal/core"
 	"smartbalance/internal/fault"
 	"smartbalance/internal/kernel"
@@ -27,8 +28,9 @@ const SchemaVersion = "sbsweep-v1"
 // balancing policy, a workload, and the seed driving every source of
 // randomness in the run. Naming follows cmd/sbsim: platform "quad" |
 // "biglittle" | "scaling:<n>", workload a benchmark name, "MixN", or
-// "imb:<T><I>", balancer "smartbalance" | "vanilla" | "gts" | "iks" |
-// "pinned".
+// "imb:<T><I>", balancer "smartbalance" | "smartbalance-blind" |
+// "vanilla" | "gts" | "iks" | "pinned" ("-blind" is the SmartBalance
+// controller denied the contention topology — the A14 baseline).
 type Scenario struct {
 	Platform   string `json:"platform"`
 	Balancer   string `json:"balancer"`
@@ -41,6 +43,12 @@ type Scenario struct {
 	// omitempty tag keeps clean scenarios' fingerprints — and therefore
 	// their cache entries — identical to builds that predate the axis.
 	Fault string `json:"fault,omitempty"`
+	// Contention is a shared-resource model spec in
+	// contention.ParseSpec's grammar ("on" or
+	// "on,llc=...,bw=...,slope=..."); empty or "none" runs with the
+	// uncontended machine. As with Fault, omitempty keeps uncontended
+	// fingerprints identical to pre-axis builds.
+	Contention string `json:"contention,omitempty"`
 }
 
 // Key canonically identifies the scenario within a sweep. Clean
@@ -51,6 +59,9 @@ func (s Scenario) Key() string {
 		s.Platform, s.Balancer, s.Workload, s.Threads, s.Seed, s.DurationNs/1e6)
 	if s.Fault != "" && s.Fault != "none" {
 		key += "/f[" + s.Fault + "]"
+	}
+	if s.Contention != "" && s.Contention != "none" {
+		key += "/c[" + s.Contention + "]"
 	}
 	return key
 }
@@ -74,6 +85,9 @@ func (s Scenario) validate() error {
 	if _, err := fault.ParsePlan(s.Fault); err != nil {
 		return fmt.Errorf("sweep: scenario fault plan: %w", err)
 	}
+	if _, err := contention.ParseSpec(s.Contention); err != nil {
+		return fmt.Errorf("sweep: scenario contention spec: %w", err)
+	}
 	return nil
 }
 
@@ -88,6 +102,10 @@ type Grid struct {
 	// Faults is the optional fault-plan axis (fault.ParsePlan specs);
 	// empty expands as a single clean cell.
 	Faults []string
+	// Contentions is the optional shared-resource axis
+	// (contention.ParseSpec specs); empty expands as a single
+	// uncontended cell.
+	Contentions []string
 }
 
 // Expand materialises the grid in canonical job order — platform-major,
@@ -102,6 +120,10 @@ func (g Grid) Expand() ([]Scenario, error) {
 	if len(faults) == 0 {
 		faults = []string{""}
 	}
+	contentions := g.Contentions
+	if len(contentions) == 0 {
+		contentions = []string{""}
+	}
 	var scs []Scenario
 	for _, plat := range g.Platforms {
 		for _, bal := range g.Balancers {
@@ -112,19 +134,25 @@ func (g Grid) Expand() ([]Scenario, error) {
 							if fp == "none" || fp == "off" {
 								fp = ""
 							}
-							sc := Scenario{
-								Platform:   plat,
-								Balancer:   bal,
-								Workload:   wl,
-								Threads:    tc,
-								Seed:       seed,
-								DurationNs: g.DurationNs,
-								Fault:      fp,
+							for _, cp := range contentions {
+								if cp == "none" || cp == "off" {
+									cp = ""
+								}
+								sc := Scenario{
+									Platform:   plat,
+									Balancer:   bal,
+									Workload:   wl,
+									Threads:    tc,
+									Seed:       seed,
+									DurationNs: g.DurationNs,
+									Fault:      fp,
+									Contention: cp,
+								}
+								if err := sc.validate(); err != nil {
+									return nil, err
+								}
+								scs = append(scs, sc)
 							}
-							if err := sc.validate(); err != nil {
-								return nil, err
-							}
-							scs = append(scs, sc)
 						}
 					}
 				}
@@ -185,9 +213,23 @@ func runScenario(sc Scenario, tel *telemetry.Collector) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := machine.New(plat)
+	cspec, err := contention.ParseSpec(sc.Contention)
 	if err != nil {
 		return nil, err
+	}
+	m, err := machine.NewWithOptions(plat, machine.Options{Contention: cspec})
+	if err != nil {
+		return nil, err
+	}
+	if sc.Balancer != "smartbalance-blind" {
+		// Contention-aware controllers read the machine's domain model;
+		// the "-blind" arm runs the same controller with the same ground
+		// truth but never learns the topology (the A14 baseline).
+		if aware, ok := bal.(interface {
+			SetContention(*contention.Model)
+		}); ok {
+			aware.SetContention(m.Contention())
+		}
 	}
 	cfg := kernel.DefaultConfig()
 	cfg.Seed = sc.Seed
@@ -347,7 +389,7 @@ func parseLevel(s string) (workload.Level, error) {
 // buildBalancer resolves a balancer name for the platform.
 func buildBalancer(name string, plat *arch.Platform, seed uint64) (kernel.Balancer, error) {
 	switch name {
-	case "smartbalance":
+	case "smartbalance", "smartbalance-blind":
 		pred, err := trainedPredictor(plat.Types, seed)
 		if err != nil {
 			return nil, err
@@ -364,7 +406,7 @@ func buildBalancer(name string, plat *arch.Platform, seed uint64) (kernel.Balanc
 	case "pinned":
 		return balancer.Pinned{}, nil
 	}
-	return nil, fmt.Errorf("sweep: unknown balancer %q (smartbalance | vanilla | gts | iks | pinned)", name)
+	return nil, fmt.Errorf("sweep: unknown balancer %q (smartbalance | smartbalance-blind | vanilla | gts | iks | pinned)", name)
 }
 
 // predictorEntry is one memoised training run.

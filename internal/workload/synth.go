@@ -24,7 +24,10 @@ import (
 // mechanism); everything else matches the Phase attribute of the same
 // (abbreviated) name. Odd-indexed phases lean memory-bound — working
 // sets grow and ILP drops — so phases >= 2 produces the phasic
-// behaviour that stresses epoch-based balancers.
+// behaviour that stresses epoch-based balancers. An optional ant=1|2
+// reshapes the spec into a steady streaming (bandwidth) or
+// cache-resident (occupancy) antagonist for the contention study; it
+// is omitted from canonical names when zero.
 
 // SynthPrefix starts every synthetic workload name.
 const SynthPrefix = "synth:"
@@ -41,7 +44,24 @@ type SynthSpec struct {
 	Ent    float64 `json:"ent"`
 	MLP    float64 `json:"mlp"`
 	SleepM float64 `json:"sleep_ms"`
+	// Ant selects an antagonist profile for the contention study
+	// (internal/contention): AntNone leaves the spec as-is, the other
+	// values reshape every phase into a steady shared-resource
+	// aggressor. Rendered in String only when non-zero, so the knob
+	// changes no pre-existing canonical name.
+	Ant int `json:"ant,omitempty"`
 }
+
+// Antagonist profiles. A streaming antagonist sweeps a working set far
+// beyond any LLC at high memory share — maximal bandwidth demand, no
+// reuse for co-runners to evict. A cache-resident antagonist parks a
+// working set sized to an LLC slice and re-references it — maximal
+// occupancy pressure at modest bandwidth.
+const (
+	AntNone          = 0
+	AntStreaming     = 1
+	AntCacheResident = 2
+)
 
 // DefaultSynth is the spec every omitted parameter falls back to — a
 // middle-of-the-road mixed workload.
@@ -57,9 +77,13 @@ func DefaultSynth() SynthSpec {
 // every valid spec.
 func (s SynthSpec) String() string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	return fmt.Sprintf("%sphases=%d,ins=%s,ilp=%s,mem=%s,bsh=%s,wsi=%s,wsd=%s,ent=%s,mlp=%s,sleep=%s",
+	name := fmt.Sprintf("%sphases=%d,ins=%s,ilp=%s,mem=%s,bsh=%s,wsi=%s,wsd=%s,ent=%s,mlp=%s,sleep=%s",
 		SynthPrefix, s.Phases, f(s.InsM), f(s.ILP), f(s.Mem), f(s.Bsh),
 		f(s.WsIKB), f(s.WsDKB), f(s.Ent), f(s.MLP), f(s.SleepM))
+	if s.Ant != AntNone {
+		name += ",ant=" + strconv.Itoa(s.Ant)
+	}
+	return name
 }
 
 // Validate checks the spec's own domains. They are deliberately tighter
@@ -87,6 +111,8 @@ func (s SynthSpec) Validate() error {
 		return fmt.Errorf("workload: synth mlp %v outside [1,8]", s.MLP)
 	case s.SleepM < 0 || s.SleepM > 50:
 		return fmt.Errorf("workload: synth sleep %v outside [0,50] ms", s.SleepM)
+	case s.Ant < AntNone || s.Ant > AntCacheResident:
+		return fmt.Errorf("workload: synth ant %d outside [0,2]", s.Ant)
 	}
 	return nil
 }
@@ -135,6 +161,11 @@ func ParseSynth(name string) (SynthSpec, error) {
 			s.MLP = f
 		case "sleep":
 			s.SleepM = f
+		case "ant":
+			s.Ant = int(f)
+			if float64(s.Ant) != f { //sbvet:allow floateq(integrality check on a parsed literal, not a computed value)
+				return s, fmt.Errorf("workload: synth ant %v is not an integer", f)
+			}
 		default:
 			return s, fmt.Errorf("workload: unknown synth parameter %q", k)
 		}
@@ -146,6 +177,9 @@ func ParseSynth(name string) (SynthSpec, error) {
 // the spec's attributes as given; odd-indexed phases lean memory-bound
 // (bigger data working set, lower ILP, higher memory share) so
 // multi-phase specs exercise the phase-tracking paths of the balancers.
+// Antagonist specs (Ant != AntNone) are deliberately steady instead:
+// every phase carries the aggressor profile, so their pressure on
+// co-runners is constant and contention effects are attributable.
 func (s SynthSpec) phases() []Phase {
 	out := make([]Phase, s.Phases)
 	for i := range out {
@@ -162,11 +196,24 @@ func (s SynthSpec) phases() []Phase {
 			TLBPressureI:  clampF(s.WsIKB/1024, 0, 0.8),
 			TLBPressureD:  clampF(s.WsDKB/8192, 0, 0.8),
 		}
-		if i%2 == 1 {
-			p.ILP = clampF(p.ILP*0.6, 0.5, 8)
-			p.MemShare = clampF(p.MemShare*1.4+0.1, 0, 0.6)
-			p.WorkingSetDKB = clampF(p.WorkingSetDKB*8, 1, 65536)
-			p.MLP = clampF(p.MLP*0.8, 1, 8)
+		switch s.Ant {
+		case AntStreaming:
+			// Steady bandwidth aggressor: no phasing, every phase sweeps.
+			p.ILP = clampF(p.ILP*0.8, 0.5, 8)
+			p.MemShare = clampF(p.MemShare*1.5+0.25, 0, 0.6)
+			p.WorkingSetDKB = clampF(p.WorkingSetDKB*32, 8192, 65536)
+			p.MLP = clampF(p.MLP+2, 1, 8)
+		case AntCacheResident:
+			// Steady occupancy aggressor: LLC-slice-sized reuse set.
+			p.MemShare = clampF(p.MemShare+0.1, 0, 0.6)
+			p.WorkingSetDKB = clampF(p.WorkingSetDKB*4, 512, 8192)
+		default:
+			if i%2 == 1 {
+				p.ILP = clampF(p.ILP*0.6, 0.5, 8)
+				p.MemShare = clampF(p.MemShare*1.4+0.1, 0, 0.6)
+				p.WorkingSetDKB = clampF(p.WorkingSetDKB*8, 1, 65536)
+				p.MLP = clampF(p.MLP*0.8, 1, 8)
+			}
 		}
 		if i == len(out)-1 && s.SleepM > 0 {
 			p.SleepAfterNs = int64(s.SleepM * 1e6)

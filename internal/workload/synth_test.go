@@ -58,6 +58,9 @@ func TestParseSynthRejectsBadSpecs(t *testing.T) {
 		"synth:bsh=0.4",      //
 		"synth:mlp=32",       //
 		"synth:sleep=-1",     //
+		"synth:ant=3",        // unknown antagonist profile
+		"synth:ant=-1",       //
+		"synth:ant=1.5",      // non-integer
 		"synth:bogus=1",      // unknown parameter
 		"synth:ilp",          // malformed
 		"synth:ilp=x",        // non-numeric
@@ -67,6 +70,66 @@ func TestParseSynthRejectsBadSpecs(t *testing.T) {
 	for _, in := range bad {
 		if _, err := ParseSynth(in); err == nil {
 			t.Errorf("ParseSynth(%q) accepted, want error", in)
+		}
+	}
+}
+
+// TestSynthAntagonistKnob: the ant knob round-trips through the
+// canonical form, stays out of it when zero (so pre-existing names are
+// byte-stable), and produces the documented steady aggressor shapes.
+func TestSynthAntagonistKnob(t *testing.T) {
+	if s := DefaultSynth().String(); strings.Contains(s, "ant=") {
+		t.Fatalf("ant=0 leaked into the canonical form %q", s)
+	}
+	for _, ant := range []int{AntStreaming, AntCacheResident} {
+		s, err := ParseSynth("synth:ant=" + string(rune('0'+ant)))
+		if err != nil {
+			t.Fatalf("ant=%d: %v", ant, err)
+		}
+		if s.Ant != ant {
+			t.Fatalf("ant=%d parsed as %d", ant, s.Ant)
+		}
+		canon := s.String()
+		if !strings.HasSuffix(canon, ",ant="+string(rune('0'+ant))) {
+			t.Fatalf("canonical form %q does not carry ant=%d", canon, ant)
+		}
+		again, err := ParseSynth(canon)
+		if err != nil || again != s {
+			t.Fatalf("round trip of %q: %+v (%v)", canon, again, err)
+		}
+	}
+
+	base, _ := ParseSynth("synth:phases=2")
+	stream, _ := ParseSynth("synth:phases=2,ant=1")
+	resident, _ := ParseSynth("synth:phases=2,ant=2")
+	bp, sp, rp := base.phases(), stream.phases(), resident.phases()
+	if sp[0].WorkingSetDKB < 8192 || sp[0].MemShare <= bp[0].MemShare {
+		t.Fatalf("streaming antagonist not memory-aggressive: %+v", sp[0])
+	}
+	unnamed := func(p Phase) Phase { p.Name = ""; return p }
+	if unnamed(sp[0]) != unnamed(sp[1]) || unnamed(rp[0]) != unnamed(rp[1]) {
+		t.Fatalf("antagonist phases are not steady: %+v vs %+v", sp[0], sp[1])
+	}
+	if rp[0].WorkingSetDKB <= bp[0].WorkingSetDKB || rp[0].WorkingSetDKB > 8192 {
+		t.Fatalf("cache-resident antagonist working set %v outside the LLC-slice regime", rp[0].WorkingSetDKB)
+	}
+	// Jittered spawns of the extreme corners must stay model-valid.
+	for _, spec := range []string{
+		"synth:phases=1,ins=1,ilp=0.5,mem=0,wsd=1,ant=1",
+		"synth:phases=8,ins=500,ilp=8,mem=0.6,wsd=65536,ant=1",
+		"synth:phases=8,ins=500,ilp=8,mem=0.6,wsd=65536,ant=2",
+		"synth:wsd=64,ant=2",
+	} {
+		for seed := uint64(0); seed < 10; seed++ {
+			threads, err := Synth(spec, 4, seed)
+			if err != nil {
+				t.Fatalf("Synth(%q, seed %d): %v", spec, seed, err)
+			}
+			for i := range threads {
+				if err := threads[i].Validate(); err != nil {
+					t.Fatalf("Synth(%q, seed %d) thread %d invalid: %v", spec, seed, i, err)
+				}
+			}
 		}
 	}
 }

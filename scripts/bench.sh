@@ -23,7 +23,7 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
 # Hot-epoch pair: one replayed sense→predict→balance iteration.
-go test -run '^$' -bench '^(BenchmarkEpochHot|BenchmarkEpochHotTelemetry)$' \
+go test -run '^$' -bench '^(BenchmarkEpochHot|BenchmarkEpochHotTelemetry|BenchmarkEpochHotContended)$' \
     -benchmem -benchtime "$benchtime" . >"$tmp/epoch.out"
 
 # Sweep throughput: BenchmarkReplicateParallel replicates 4 seeds of F6
@@ -44,9 +44,12 @@ function field(line, n,   parts) { split(line, parts, /[ \t]+/); return parts[n]
 /^BenchmarkEpochHotTelemetry/ {
     ns_on = field($0, 3); allocs_on = field($0, 7)
 }
+/^BenchmarkEpochHotContended/ {
+    ns_cont = field($0, 3); allocs_cont = field($0, 7)
+}
 END {
-    if (ns_off == "" || ns_on == "") { print "bench.sh: missing epoch benchmark output" > "/dev/stderr"; exit 1 }
-    printf "%s %s %s %s\n", ns_off, allocs_off, ns_on, allocs_on
+    if (ns_off == "" || ns_on == "" || ns_cont == "") { print "bench.sh: missing epoch benchmark output" > "/dev/stderr"; exit 1 }
+    printf "%s %s %s %s %s %s\n", ns_off, allocs_off, ns_on, allocs_on, ns_cont, allocs_cont
 }' "$tmp/epoch.out" >"$tmp/epoch.vals"
 
 awk '
@@ -77,7 +80,7 @@ for v in "$fleet_n8_rps" "$fleet_n8_ns" "$fleet_n32_rps" "$fleet_n32_ns"; do
     fi
 done
 
-read -r ns_off allocs_off ns_on allocs_on <"$tmp/epoch.vals"
+read -r ns_off allocs_off ns_on allocs_on ns_cont allocs_cont <"$tmp/epoch.vals"
 read -r scen_per_sec <"$tmp/sweep.vals"
 
 # Kernel-scale section. The baseline block is frozen: it records the
@@ -167,6 +170,10 @@ fi
     "allocs_per_epoch": $allocs_off,
     "ns_per_epoch_telemetry": $ns_on,
     "allocs_per_epoch_telemetry": $allocs_on
+  },
+  "contention": {
+    "ns_per_epoch_contended": $ns_cont,
+    "allocs_per_epoch_contended": $allocs_cont
   },
   "sweep": {
     "scenarios_per_sec": $scen_per_sec

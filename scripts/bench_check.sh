@@ -21,7 +21,8 @@ if ! grep -q '"schema": "sbbench-v1"' "$f"; then
 fi
 
 for key in ns_per_epoch allocs_per_epoch ns_per_epoch_telemetry \
-           allocs_per_epoch_telemetry scenarios_per_sec speedup_1024 \
+           allocs_per_epoch_telemetry ns_per_epoch_contended \
+           allocs_per_epoch_contended scenarios_per_sec speedup_1024 \
            n8_requests_per_sec n8_ns_per_request \
            n32_requests_per_sec n32_ns_per_request \
            c256_t2560 c1024_t10240 c1024_t16384 c1024_t32768 \
@@ -41,6 +42,12 @@ if ! awk -v v="$allocs_off" 'BEGIN { exit !(v == 0) }'; then
 fi
 if ! awk -v v="$allocs_on" 'BEGIN { exit !(v <= 8) }'; then
     echo "bench-check: recorded telemetry-on allocs/epoch is $allocs_on, want <= 8 (stale file? rerun scripts/bench.sh)" >&2
+    exit 1
+fi
+
+allocs_cont=$(grep -m1 '"allocs_per_epoch_contended":' "$f" | grep -Eo '[0-9.]+' | tail -1)
+if ! awk -v v="$allocs_cont" 'BEGIN { exit !(v == 0) }'; then
+    echo "bench-check: recorded contended allocs/epoch is $allocs_cont, want 0 (the contention term must stay off the allocator; rerun scripts/bench.sh)" >&2
     exit 1
 fi
 

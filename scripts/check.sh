@@ -45,6 +45,9 @@ echo "== bench-check"
 echo "== hunt-check"
 ./scripts/hunt_check.sh
 
+echo "== contention-check"
+./scripts/contention_check.sh
+
 echo "== go test -race ./..."
 go test -race ./...
 

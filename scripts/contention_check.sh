@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# contention_check.sh — the contention-aware placement gate. Two
+# fixed-seed runs of the A14 ablation must print byte-identical
+# artefacts (modulo the operator-facing "(regenerated in ...)" timing
+# line — the shared-LLC model is exactly as reproducible as the rest of
+# the simulator), the model-off regime must show aware == blind
+# bit-for-bit (ratio exactly 1: with the model disabled the aware
+# controller must collapse to the paper-faithful objective), and on the
+# antagonist mix the aware controller must beat its contention-blind
+# twin on energy efficiency by a clear margin.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/smartbench" ./cmd/smartbench
+
+args=(-run A14 -quick -dur 1200 -threads 2 -seed 7)
+"$tmp/smartbench" "${args[@]}" | grep -v '(regenerated in' >"$tmp/a.txt"
+"$tmp/smartbench" "${args[@]}" | grep -v '(regenerated in' >"$tmp/b.txt"
+
+if ! cmp -s "$tmp/a.txt" "$tmp/b.txt"; then
+    echo "contention-check: fixed-seed A14 reruns diverged:" >&2
+    diff "$tmp/a.txt" "$tmp/b.txt" >&2 || true
+    exit 1
+fi
+
+off=$(awk '/headline aware-over-blind-model-off:/ {print $3}' "$tmp/a.txt")
+if [ "$off" != "1" ]; then
+    echo "contention-check: model-off ratio '${off}' != 1 — aware and blind diverged with the contention model disabled" >&2
+    cat "$tmp/a.txt" >&2
+    exit 1
+fi
+
+ant=$(awk '/headline aware-over-blind-antagonist:/ {print $3}' "$tmp/a.txt")
+if [ -z "$ant" ]; then
+    echo "contention-check: aware-over-blind-antagonist headline missing from A14 output:" >&2
+    cat "$tmp/a.txt" >&2
+    exit 1
+fi
+if ! awk -v r="$ant" 'BEGIN { exit !(r >= 1.05) }'; then
+    echo "contention-check: antagonist-mix gain ${ant}x < 1.05x — contention-aware placement is not paying for itself" >&2
+    exit 1
+fi
+
+echo "ok: A14 deterministic across reruns; model-off aware==blind exactly; antagonist gain ${ant}x >= 1.05x"

@@ -520,7 +520,7 @@ func ExperimentIDs() []string {
 }
 
 // RunExperiment regenerates one paper table/figure by id (T2..T4,
-// F4a..F8) or ablation (A1..A9).
+// F4a..F8) or ablation (A1..A14).
 func RunExperiment(id string, opts ExperimentOptions) (*ExperimentResult, error) {
 	r := exp.RunnerFor(id)
 	if r == nil {

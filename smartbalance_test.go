@@ -120,7 +120,7 @@ func TestPlatformPassthroughs(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 23 { // Table 1 + 9 evaluation artefacts + 13 ablations
+	if len(ids) != 24 { // Table 1 + 9 evaluation artefacts + 14 ablations
 		t.Fatalf("%d experiment ids", len(ids))
 	}
 	opts := DefaultExperimentOptions()
